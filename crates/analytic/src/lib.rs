@@ -1,0 +1,61 @@
+//! Analytic models from the paper, used both to validate the simulators
+//! ("theory vs. practice", §3.2) and to regenerate the modelling results
+//! (Appendix A, Table 6).
+//!
+//! # Examples
+//!
+//! ```
+//! use nemo_analytic::HierarchicalWaModel;
+//!
+//! // The paper's Log5-OP5 configuration: L2SWA(P) ≈ 9, and with p = 0.25
+//! // the total L2SWA ≈ 15.75 (§3.2 "Theory vs. Practice").
+//! let m = HierarchicalWaModel::from_fractions(1.0, 0.05, 0.05);
+//! assert!((m.l2swa_passive() - 9.5).abs() < 1.0);
+//! assert!((m.l2swa(0.25) - 16.6).abs() < 2.0);
+//! ```
+
+mod memory;
+mod pbfg;
+mod wa;
+
+pub use memory::{MemoryModel, FW_BITS_PER_OBJ, NAIVE_NEMO_BITS_PER_OBJ, NEMO_BITS_PER_OBJ};
+pub use pbfg::PbfgCostModel;
+pub use wa::HierarchicalWaModel;
+
+/// Nemo's write amplification: the reciprocal of the expected SG fill
+/// rate (Eq. 9).
+///
+/// # Examples
+///
+/// ```
+/// let wa = nemo_analytic::nemo_wa(0.8934); // the paper's B+P+W fill rate
+/// assert!((wa - 1.12).abs() < 0.01);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `fill_rate` is not in `(0, 1]`.
+pub fn nemo_wa(fill_rate: f64) -> f64 {
+    assert!(
+        fill_rate > 0.0 && fill_rate <= 1.0,
+        "fill rate must be in (0,1]"
+    );
+    1.0 / fill_rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nemo_wa_is_reciprocal() {
+        assert!((nemo_wa(0.5) - 2.0).abs() < 1e-12);
+        assert!((nemo_wa(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fill rate")]
+    fn zero_fill_rejected() {
+        nemo_wa(0.0);
+    }
+}

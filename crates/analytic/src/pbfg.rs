@@ -1,0 +1,138 @@
+//! Appendix A: the PBFG accuracy / read-amplification trade-off model.
+//!
+//! A lookup pays (a) `N / n` page reads to fetch the PBFGs of `N` SGs
+//! with `n` set-level filters per page, plus (b) `1 + (N-1)·x` object
+//! reads where `x` is the false-positive rate (Eq. 10). Higher accuracy
+//! (lower `x`) shrinks (b) but grows the filters and therefore (a).
+
+use nemo_bloom::sizing;
+
+/// The Appendix-A cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PbfgCostModel {
+    /// SGs in the pool (`N`; paper instantiation: 350).
+    pub n_sgs: u64,
+    /// Flash page size in bytes (`w`).
+    pub page_size: u32,
+    /// Objects covered by each set-level filter.
+    pub objects_per_filter: u32,
+}
+
+impl PbfgCostModel {
+    /// The paper's evaluation instantiation: 350 SGs, 4 KB pages, 40
+    /// objects per filter.
+    pub fn paper() -> Self {
+        Self {
+            n_sgs: 350,
+            page_size: 4096,
+            objects_per_filter: 40,
+        }
+    }
+
+    /// Set-level filters that fit one page at the given FPR
+    /// (`n = w / filter_bytes`).
+    pub fn filters_per_page(&self, fpr: f64) -> u64 {
+        let bits = sizing::bits_per_key(fpr) * self.objects_per_filter as f64;
+        let bytes = (bits / 8.0).ceil().max(1.0);
+        ((self.page_size as f64 / bytes).floor() as u64).max(1)
+    }
+
+    /// Worst-case PBFG retrieval cost in page reads (`N / n`, Eq. 10's
+    /// first term).
+    pub fn index_reads(&self, fpr: f64) -> f64 {
+        (self.n_sgs as f64 / self.filters_per_page(fpr) as f64).ceil()
+    }
+
+    /// Expected object reads: `1 + (N-1)·x` (Eq. 10's second term).
+    pub fn object_reads(&self, fpr: f64) -> f64 {
+        1.0 + (self.n_sgs as f64 - 1.0) * fpr
+    }
+
+    /// Total expected flash reads per worst-case lookup.
+    pub fn total_reads(&self, fpr: f64) -> f64 {
+        self.index_reads(fpr) + self.object_reads(fpr)
+    }
+
+    /// Grid-searches the FPR minimizing total reads over
+    /// `[min_fpr, max_fpr]` (log-spaced `steps` points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is invalid or `steps < 2`.
+    pub fn optimal_fpr(&self, min_fpr: f64, max_fpr: f64, steps: u32) -> (f64, f64) {
+        assert!(min_fpr > 0.0 && max_fpr < 1.0 && min_fpr < max_fpr, "bad range");
+        assert!(steps >= 2, "need at least two steps");
+        let (ln_min, ln_max) = (min_fpr.ln(), max_fpr.ln());
+        let mut best = (min_fpr, f64::INFINITY);
+        for i in 0..steps {
+            let f = (ln_min + (ln_max - ln_min) * i as f64 / (steps - 1) as f64).exp();
+            let cost = self.total_reads(f);
+            if cost < best.1 {
+                best = (f, cost);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instantiation_at_0_1_percent() {
+        let m = PbfgCostModel::paper();
+        // Paper: 7 index pages + 1 + 0.35 object reads ≈ 8.35.
+        assert_eq!(m.index_reads(0.001), 7.0);
+        assert!((m.object_reads(0.001) - 1.349).abs() < 0.01);
+        assert!((m.total_reads(0.001) - 8.35).abs() < 0.1);
+    }
+
+    #[test]
+    fn paper_instantiation_at_0_01_percent() {
+        let m = PbfgCostModel::paper();
+        // Paper: 9 index pages + 1 + 0.03 ≈ 10.03.
+        assert!((m.index_reads(0.0001) - 9.0).abs() <= 1.0);
+        assert!((m.object_reads(0.0001) - 1.035).abs() < 0.01);
+        // The paper's point: higher accuracy *increases* total reads.
+        assert!(m.total_reads(0.0001) > m.total_reads(0.001));
+    }
+
+    #[test]
+    fn accuracy_tradeoff_has_an_interior_optimum() {
+        let m = PbfgCostModel::paper();
+        let (best_fpr, best_cost) = m.optimal_fpr(1e-5, 0.2, 200);
+        // The optimum must beat both extremes.
+        assert!(best_cost < m.total_reads(1e-5));
+        assert!(best_cost < m.total_reads(0.2));
+        assert!(best_fpr > 1e-5 && best_fpr < 0.2);
+    }
+
+    #[test]
+    fn more_sgs_cost_more_reads() {
+        let small = PbfgCostModel {
+            n_sgs: 100,
+            ..PbfgCostModel::paper()
+        };
+        let large = PbfgCostModel {
+            n_sgs: 700,
+            ..PbfgCostModel::paper()
+        };
+        assert!(large.total_reads(0.001) > small.total_reads(0.001));
+    }
+
+    #[test]
+    fn partitioning_bounds_cost() {
+        // Appendix A: splitting the device into independent instances
+        // bounds the per-instance pool size and thus the lookup cost.
+        let whole = PbfgCostModel {
+            n_sgs: 1400,
+            ..PbfgCostModel::paper()
+        };
+        let partition = PbfgCostModel {
+            n_sgs: 350,
+            ..PbfgCostModel::paper()
+        };
+        assert!(partition.total_reads(0.001) * 1.5 < whole.total_reads(0.001));
+    }
+}

@@ -1,0 +1,151 @@
+//! The hierarchical-cache write-amplification model of §3.2
+//! (Equations 1–8).
+
+/// Write-amplification model of a FairyWREN-style hierarchical cache.
+///
+/// Variables follow Table 2: `n_log` and `n_set` are flash pages in the
+/// log and set tiers; `x` is the set tier's OP fraction. The usable set
+/// count is `N'_set = (1-X)·N_set`, of which half are cold (log-fed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchicalWaModel {
+    /// Pages in the log tier.
+    pub n_log: f64,
+    /// Pages in the set tier.
+    pub n_set: f64,
+    /// OP fraction of the set tier.
+    pub op_ratio: f64,
+}
+
+impl HierarchicalWaModel {
+    /// Builds the model from device fractions: `total_pages` split into a
+    /// `log_fraction` log and the rest sets, with `op_ratio` OP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fractions are out of range.
+    pub fn from_fractions(total_pages: f64, log_fraction: f64, op_ratio: f64) -> Self {
+        assert!(total_pages > 0.0, "need pages");
+        assert!(
+            log_fraction > 0.0 && log_fraction < 1.0,
+            "log fraction in (0,1)"
+        );
+        assert!((0.0..1.0).contains(&op_ratio), "op ratio in [0,1)");
+        Self {
+            n_log: total_pages * log_fraction,
+            n_set: total_pages * (1.0 - log_fraction),
+            op_ratio,
+        }
+    }
+
+    /// Usable sets `N'_set = (1-X)·N_set` (Eq. 4).
+    pub fn usable_sets(&self) -> f64 {
+        (1.0 - self.op_ratio) * self.n_set
+    }
+
+    /// Expected log chain length `E(L_i)` for objects of `obj_size` bytes
+    /// and pages of `page_size` bytes (Eq. 5): the log holds
+    /// `(w/s)·N_log` objects spread over `½·N'_set` cold chains.
+    pub fn expected_chain_len(&self, page_size: f64, obj_size: f64) -> f64 {
+        2.0 * page_size * self.n_log / (obj_size * self.usable_sets())
+    }
+
+    /// L2SWA under passive migration (Eq. 6):
+    /// `(1-X)·N_set / (2·N_log)`.
+    pub fn l2swa_passive(&self) -> f64 {
+        self.usable_sets() / (2.0 * self.n_log)
+    }
+
+    /// L2SWA under active migration — twice the passive value
+    /// (Observation 3).
+    pub fn l2swa_active(&self) -> f64 {
+        2.0 * self.l2swa_passive()
+    }
+
+    /// Combined L2SWA given the passive fraction `p` (Eq. 8):
+    /// `(2-p)·L2SWA(P)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn l2swa(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "p in [0,1]");
+        (2.0 - p) * self.l2swa_passive()
+    }
+
+    /// Total FairyWREN WA (Eq. 1): `1/E(FR) + L2SWA`, where `fill` is the
+    /// per-page fill rate of log appends (≈1 for tiny objects).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` is not in `(0, 1]` or `p` is out of range.
+    pub fn total_wa(&self, fill: f64, p: f64) -> f64 {
+        assert!(fill > 0.0 && fill <= 1.0, "fill in (0,1]");
+        1.0 / fill + self.l2swa(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running configuration: Log 5 %, OP 5 %.
+    fn log5_op5() -> HierarchicalWaModel {
+        HierarchicalWaModel::from_fractions(1.0, 0.05, 0.05)
+    }
+
+    #[test]
+    fn paper_log5_op5_numbers() {
+        let m = log5_op5();
+        // (1-0.05)*0.95 / (2*0.05) = 9.03 — the paper's "theoretical ≈ 9".
+        assert!((m.l2swa_passive() - 9.0).abs() < 0.5, "{}", m.l2swa_passive());
+        // p = 25%: (2-0.25)*9.03 ≈ 15.8 — paper: 15.75.
+        assert!((m.l2swa(0.25) - 15.75).abs() < 1.0, "{}", m.l2swa(0.25));
+    }
+
+    #[test]
+    fn bigger_log_reduces_l2swa() {
+        let log5 = log5_op5();
+        let log20 = HierarchicalWaModel::from_fractions(1.0, 0.20, 0.05);
+        assert!(log20.l2swa_passive() < log5.l2swa_passive() / 2.0);
+    }
+
+    #[test]
+    fn more_op_reduces_l2swa_p_and_total() {
+        let op5 = log5_op5();
+        let op50 = HierarchicalWaModel::from_fractions(1.0, 0.05, 0.50);
+        assert!(op50.l2swa_passive() < op5.l2swa_passive());
+        // At OP 50%, p -> ~0.96 (Observation 4): total still lower.
+        assert!(op50.l2swa(0.96) < op5.l2swa(0.25));
+    }
+
+    #[test]
+    fn active_is_twice_passive() {
+        let m = log5_op5();
+        assert!((m.l2swa_active() - 2.0 * m.l2swa_passive()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_length_matches_l2swa_inverse() {
+        // L2SWA(P) = w / (E(L)·s) must be consistent with Eq. 5.
+        let m = log5_op5();
+        let w = 4096.0;
+        let s = 246.0;
+        let chain = m.expected_chain_len(w, s);
+        let implied = w / (chain * s);
+        assert!((implied - m.l2swa_passive()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_wa_adds_log_fill_term() {
+        let m = log5_op5();
+        let total = m.total_wa(0.95, 0.25);
+        assert!(total > m.l2swa(0.25));
+        assert!(total < m.l2swa(0.25) + 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "p in [0,1]")]
+    fn bad_p_rejected() {
+        log5_op5().l2swa(1.5);
+    }
+}

@@ -1,0 +1,41 @@
+//! Baseline flash-cache engines the paper compares Nemo against (§5.1,
+//! Table 4):
+//!
+//! * [`LogCache`] — pure log-structured cache: objects batched into pages,
+//!   appended to a FIFO ring of zones, exact in-memory index. Best-case
+//!   WA (~1.08) at the worst memory cost (>100 bits/obj).
+//! * [`SetCache`] — CacheLib-style set-associative cache: each key hashes
+//!   to one 4 KB set, inserts are read-modify-write, per-set Bloom filters
+//!   avoid flash reads on misses. Lowest memory (~4 bits/obj) at the worst
+//!   WA (~page/object ≈ 16×), run over a conventional SSD with heavy OP.
+//! * [`Kangaroo`] — hierarchical: a small log (HLog) in front of a
+//!   set-associative back end (HSet); log-to-set migration batches objects
+//!   per set, while zone GC relocates valid sets *independently*
+//!   (the paper's Case 3.1), so WA compounds multiplicatively.
+//! * [`FairyWren`] — the paper's SOTA baseline: like Kangaroo, but GC is
+//!   folded into migration (valid sets are rewritten *merged* with their
+//!   pending log objects — Case 3.2) and sets are split hot/cold, halving
+//!   the log's hash range.
+//!
+//! All four implement [`nemo_engine::CacheEngine`] and expose the
+//! instrumentation used by the motivation study (Figs. 4–6): per-set-write
+//! new-object CDFs split by passive/active migration, and the passive
+//! fraction `p`.
+
+mod fairywren;
+mod hlog;
+mod hset;
+mod kangaroo;
+mod log;
+mod set;
+
+pub use fairywren::{FairyWren, FairyWrenConfig};
+pub use hlog::HierLog;
+pub use hset::{HsetRegion, SetWriteKind};
+pub use kangaroo::{Kangaroo, KangarooConfig};
+pub use log::{LogCache, LogCacheConfig};
+pub use set::{SetCache, SetCacheConfig};
+
+/// Salt used to derive set indexes from keys, shared by all
+/// set-associative engines so experiments are comparable.
+pub(crate) const SET_SALT: u64 = 0x5E75_1D85;

@@ -1,0 +1,60 @@
+//! PBFG computational overhead (paper §5.5): the paper measures ~1 µs to
+//! probe a PBFG of 1000 set-level filters with shared hash computation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nemo_bloom::{contains_in_slice, BloomFilter, ProbeSet};
+use std::hint::black_box;
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+
+    g.bench_function("insert", |b| {
+        let mut bf = BloomFilter::for_items(40, 0.001);
+        let mut k = 0u64;
+        b.iter(|| {
+            bf.insert(black_box(k));
+            k = k.wrapping_add(1);
+        });
+    });
+
+    g.bench_function("contains_hit", |b| {
+        let mut bf = BloomFilter::for_items(40, 0.001);
+        for k in 0..40u64 {
+            bf.insert(k);
+        }
+        b.iter(|| black_box(bf.contains(black_box(7))));
+    });
+
+    // The paper's §5.5 microbench: 1000 set-level filters, one shared
+    // ProbeSet.
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("pbfg_query_1000_filters", |b| {
+        let filters: Vec<Vec<u8>> = (0..1000)
+            .map(|i| {
+                let mut bf = BloomFilter::for_items(40, 0.001);
+                for k in 0..40u64 {
+                    bf.insert(k * 1000 + i);
+                }
+                let mut buf = vec![0u8; bf.serialized_len()];
+                bf.write_bytes(&mut buf);
+                buf
+            })
+            .collect();
+        let k = BloomFilter::for_items(40, 0.001).hash_count();
+        b.iter(|| {
+            let probes = ProbeSet::for_key(black_box(424_242));
+            let mut hits = 0u32;
+            for f in &filters {
+                if contains_in_slice(f, k, &probes) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_bloom);
+criterion_main!(benches);

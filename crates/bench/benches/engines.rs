@@ -1,0 +1,54 @@
+//! Per-operation engine costs: steady-state demand-fill throughput of
+//! Nemo and each baseline on the merged Twitter-like workload.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nemo_bench::common::drive;
+use nemo_bench::RunScale;
+use nemo_engine::CacheEngine;
+use nemo_flash::Nanos;
+use std::hint::black_box;
+
+fn scale() -> RunScale {
+    RunScale {
+        flash_mb: 32,
+        ops_mult: 1.0,
+        dies: 8,
+    }
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engines");
+    g.throughput(Throughput::Elements(1));
+    g.sample_size(20);
+
+    macro_rules! engine_bench {
+        ($name:literal, $make:expr) => {{
+            // Warm to steady state once; the benchmark then measures the
+            // marginal cost of one demand-fill operation.
+            let s = scale();
+            let mut engine = $make;
+            let mut trace = s.merged_trace();
+            drive(&mut engine, &mut trace, s.ops_for_fills(0.8), u64::MAX, |_, _| {});
+            g.bench_function(concat!($name, "_demand_fill_op"), |b| {
+                b.iter(|| {
+                    let r = trace.next_request();
+                    if !engine.get(r.key, Nanos::ZERO).hit {
+                        engine.put(r.key, r.size, Nanos::ZERO);
+                    }
+                    black_box(())
+                });
+            });
+        }};
+    }
+
+    engine_bench!("nemo", scale().nemo());
+    engine_bench!("log", scale().log());
+    engine_bench!("set", scale().set());
+    engine_bench!("fairywren", scale().fairywren(5, 5));
+    engine_bench!("kangaroo", scale().kangaroo());
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

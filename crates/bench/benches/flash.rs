@@ -1,0 +1,63 @@
+//! Flash-simulator fast-path costs: appends, reads, FTL writes with GC.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nemo_flash::{
+    ConventionalSsd, Geometry, LatencyModel, Nanos, PageAddr, SimFlash, ZoneId, ZonedFlash,
+};
+use std::hint::black_box;
+
+fn bench_flash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flash");
+    let geom = Geometry::new(4096, 256, 64, 8);
+
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("append_page", |b| {
+        let mut dev = SimFlash::with_latency(geom, LatencyModel::zero());
+        let page = vec![7u8; 4096];
+        let mut zone = 0u32;
+        b.iter(|| {
+            if dev
+                .append(ZoneId(zone), black_box(&page), Nanos::ZERO)
+                .is_err()
+            {
+                zone = (zone + 1) % geom.zone_count();
+                if dev.append(ZoneId(zone), &page, Nanos::ZERO).is_err() {
+                    dev.reset_zone(ZoneId(zone), Nanos::ZERO).unwrap();
+                    dev.append(ZoneId(zone), &page, Nanos::ZERO).unwrap();
+                }
+            }
+        });
+    });
+
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("read_page", |b| {
+        let mut dev = SimFlash::with_latency(geom, LatencyModel::zero());
+        dev.append(ZoneId(0), &vec![7u8; 4096 * 64], Nanos::ZERO)
+            .unwrap();
+        let mut p = 0u32;
+        b.iter(|| {
+            let (data, _) = dev
+                .read_pages(PageAddr::new(0, p % 64), 1, Nanos::ZERO)
+                .unwrap();
+            p += 1;
+            black_box(data.len())
+        });
+    });
+
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("ftl_write_with_gc", |b| {
+        let mut ssd = ConventionalSsd::new(geom, LatencyModel::zero(), 0.25);
+        let page = vec![3u8; 4096];
+        let n = ssd.user_page_count();
+        let mut rng = nemo_util::Xoshiro256StarStar::seed_from_u64(1);
+        b.iter(|| {
+            ssd.write_page(rng.next_below(n), black_box(&page), Nanos::ZERO)
+                .unwrap();
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_flash);
+criterion_main!(benches);

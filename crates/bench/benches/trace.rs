@@ -1,0 +1,27 @@
+//! Workload-generation throughput: Zipf sampling and merged-trace draws.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nemo_trace::{TraceConfig, TraceGenerator, ZipfSampler};
+use nemo_util::Xoshiro256StarStar;
+use std::hint::black_box;
+
+fn bench_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("zipf_sample_1m_ranks", |b| {
+        let zipf = ZipfSampler::new(1_000_000, 1.23);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        b.iter(|| black_box(zipf.sample(&mut rng)));
+    });
+
+    g.bench_function("merged_trace_next", |b| {
+        let mut gen = TraceGenerator::new(TraceConfig::twitter_merged(0.0005));
+        b.iter(|| black_box(gen.next_request()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Regenerates every table and figure from the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments <id> [--flash-mb N] [--ops-mult F]
+//!
+//! ids: fig4 fig5 fig6 fig8 fig12a fig12b fig13 fig14 fig15 fig16
+//!      fig17 fig18 fig19a fig19b table5 table6 motivation
+//!      read_amplification appendix_a ablation all
+//! ```
+
+use nemo_bench::{breakdown, main_metrics, motivation, overhead, sensitivity, RunScale};
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <id> [--flash-mb N] [--ops-mult F]\n\
+         ids: fig4 fig5 fig6 fig8 fig12a fig12b fig13 fig14 fig15 fig16 fig17 fig18\n\
+         \x20     fig19a fig19b table5 table6 motivation read_amplification appendix_a\n\
+         \x20     ablation all"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let id = args[0].clone();
+    let mut scale = RunScale::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--flash-mb" => {
+                i += 1;
+                scale.flash_mb = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--ops-mult" => {
+                i += 1;
+                scale.ops_mult = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    println!(
+        "# nemo experiments: {id} (flash {} MB, ops multiplier {})",
+        scale.flash_mb, scale.ops_mult
+    );
+    let start = Instant::now();
+    match id.as_str() {
+        "fig4" => motivation::fig4(scale),
+        "fig5" => motivation::fig5(scale),
+        "fig6" => motivation::fig6(scale),
+        "motivation" => motivation::theory_vs_practice(scale),
+        "fig8" => breakdown::fig8(scale),
+        "fig12a" => main_metrics::fig12a(scale),
+        "fig12b" => main_metrics::fig12b(scale),
+        "fig13" => main_metrics::fig13(scale),
+        "fig14" => main_metrics::fig14(scale),
+        "fig15" => main_metrics::fig15(scale),
+        "fig16" => main_metrics::fig16(scale),
+        "fig17" => breakdown::fig17(scale),
+        "fig18" => breakdown::fig18(scale),
+        "ablation" => {
+            breakdown::ablation_queue_len(scale);
+            breakdown::ablation_hotness(scale);
+        }
+        "fig19a" => sensitivity::fig19a(scale),
+        "fig19b" => sensitivity::fig19b(scale),
+        "table5" => overhead::table5(scale),
+        "table6" => overhead::table6(scale),
+        "read_amplification" => overhead::read_amplification(scale),
+        "appendix_a" => overhead::appendix_a(scale),
+        "all" => {
+            motivation::all(scale);
+            breakdown::all(scale);
+            main_metrics::all(scale);
+            sensitivity::all(scale);
+            overhead::all(scale);
+        }
+        _ => usage(),
+    }
+    println!("\n[done in {:.1}s]", start.elapsed().as_secs_f64());
+}

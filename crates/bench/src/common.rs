@@ -1,0 +1,253 @@
+//! Shared plumbing for the experiment binaries.
+
+use nemo_baselines::{
+    FairyWren, FairyWrenConfig, Kangaroo, KangarooConfig, LogCache, LogCacheConfig, SetCache,
+    SetCacheConfig,
+};
+use nemo_core::{Nemo, NemoConfig};
+use nemo_engine::CacheEngine;
+use nemo_flash::{Geometry, LatencyModel, Nanos};
+use nemo_sim::standard_geometry;
+use nemo_trace::{RequestKind, TraceConfig, TraceGenerator};
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Sum of the four clusters' WSS (MB) from Table 5, times the four key
+/// spaces of the merged workload (§5.1).
+pub const MERGED_WSS_MB: f64 = 4.0 * (18_333.0 + 40_520.0 + 11_552.0 + 14_057.0);
+
+/// Experiment scale: simulated flash size and an ops multiplier.
+#[derive(Debug, Clone, Copy)]
+pub struct RunScale {
+    /// Simulated flash in MB (1 MB zones).
+    pub flash_mb: u32,
+    /// Multiplier on the default request counts.
+    pub ops_mult: f64,
+    /// Independent dies (parallel service units). WA experiments use 8;
+    /// the latency experiment uses 32 (enterprise-SSD-class parallelism)
+    /// so Nemo's parallel multi-page lookups don't saturate the device.
+    pub dies: u32,
+}
+
+impl Default for RunScale {
+    fn default() -> Self {
+        Self {
+            flash_mb: 96,
+            ops_mult: 1.0,
+            dies: 8,
+        }
+    }
+}
+
+impl RunScale {
+    /// Geometry at this scale (4 KB pages, 1 MB zones).
+    pub fn geometry(&self) -> Geometry {
+        if self.dies == 8 {
+            standard_geometry(self.flash_mb)
+        } else {
+            Geometry::new(4096, 256, self.flash_mb, self.dies)
+        }
+    }
+
+    /// The merged Twitter-like trace, scaled for "realistic cache
+    /// pressure" (§5.1): the key catalog is 2.5× the flash size, so the
+    /// *realized* working set under Zipf α ≈ 1.2 comfortably exceeds the
+    /// cache and steady-state eviction engages, as in the paper's
+    /// long-running replays.
+    pub fn merged_trace(&self) -> TraceGenerator {
+        TraceGenerator::new(self.trace_config())
+    }
+
+    /// The trace configuration behind [`Self::merged_trace`].
+    pub fn trace_config(&self) -> TraceConfig {
+        let scale = self.flash_mb as f64 * 6.0 / MERGED_WSS_MB;
+        TraceConfig::twitter_merged(scale)
+    }
+
+    /// Requests for roughly `fills` complete cache turnovers, assuming
+    /// the ~25 % steady-state miss ratio of the pressured merged trace.
+    pub fn ops_for_fills(&self, fills: f64) -> u64 {
+        let capacity_objects = self.flash_mb as f64 * 1024.0 * 1024.0 / 270.0;
+        ((capacity_objects * fills * 4.0) * self.ops_mult) as u64
+    }
+
+    /// Nemo at this scale with Table 3-proportional parameters.
+    pub fn nemo(&self) -> Nemo {
+        Nemo::new(self.nemo_config())
+    }
+
+    /// The scaled Nemo configuration (flush threshold scaled to SG size,
+    /// filters sized for actual set occupancy).
+    pub fn nemo_config(&self) -> NemoConfig {
+        let mut cfg = NemoConfig::new(self.geometry());
+        cfg.latency = LatencyModel::default();
+        // Paper: p_th 4096 on 275 712-set SGs. Keeping the same
+        // sacrifice-to-SG-size ratio gives p_th ≈ 4 for 256-set SGs
+        // (see the Fig. 18 sweep for the full trade-off curve).
+        cfg.flush_threshold = 4;
+        cfg.expected_objects_per_set = 16;
+        cfg
+    }
+
+    /// Log-structured baseline.
+    pub fn log(&self) -> LogCache {
+        LogCache::new(LogCacheConfig {
+            geometry: self.geometry(),
+            latency: LatencyModel::default(),
+        })
+    }
+
+    /// Set-associative baseline (50 % OP, Table 4).
+    pub fn set(&self) -> SetCache {
+        SetCache::new(SetCacheConfig {
+            geometry: self.geometry(),
+            latency: LatencyModel::default(),
+            op_ratio: 0.5,
+            bloom_bits_per_object: 4.0,
+        })
+    }
+
+    /// FairyWREN with the paper's shorthand (LogX-OPY percentages).
+    pub fn fairywren(&self, log_pct: u32, op_pct: u32) -> FairyWren {
+        FairyWren::new(FairyWrenConfig::log_op(self.geometry(), log_pct, op_pct))
+    }
+
+    /// Kangaroo (Table 4: 5 % log, 5 % OP).
+    pub fn kangaroo(&self) -> Kangaroo {
+        Kangaroo::new(KangarooConfig {
+            geometry: self.geometry(),
+            latency: LatencyModel::default(),
+            log_fraction: 0.05,
+            op_ratio: 0.05,
+        })
+    }
+}
+
+/// Demand-fill drive loop without latency modelling (for WA/miss-ratio
+/// experiments where timing is irrelevant). Calls `sample` every
+/// `sample_every` ops with the op count.
+pub fn drive<E: CacheEngine + ?Sized>(
+    engine: &mut E,
+    trace: &mut TraceGenerator,
+    ops: u64,
+    sample_every: u64,
+    mut sample: impl FnMut(&mut E, u64),
+) {
+    for op in 1..=ops {
+        let r = trace.next_request();
+        match r.kind {
+            RequestKind::Get => {
+                if !engine.get(r.key, Nanos::ZERO).hit {
+                    engine.put(r.key, r.size, Nanos::ZERO);
+                }
+            }
+            RequestKind::Put => {
+                engine.put(r.key, r.size, Nanos::ZERO);
+            }
+        }
+        if op % sample_every == 0 || op == ops {
+            sample(engine, op);
+        }
+    }
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Writes a CSV copy of the table under `target/experiments/<id>.csv`.
+pub fn write_csv(id: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let dir = PathBuf::from("target/experiments");
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{id}.csv"));
+    let Ok(mut f) = fs::File::create(&path) else {
+        return;
+    };
+    let _ = writeln!(f, "{}", headers.join(","));
+    for row in rows {
+        let _ = writeln!(f, "{}", row.join(","));
+    }
+    println!("   -> {}", path.display());
+}
+
+/// Formats a float with three significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_are_consistent() {
+        let s = RunScale::default();
+        let trace = s.merged_trace();
+        let wss = trace.wss_bytes() as f64 / (1024.0 * 1024.0);
+        let ratio = wss / s.flash_mb as f64;
+        assert!(
+            (5.4..6.6).contains(&ratio),
+            "catalog WSS should be ~6x flash for cache pressure: {ratio}"
+        );
+    }
+
+    #[test]
+    fn ops_scale_with_mult() {
+        let a = RunScale {
+            flash_mb: 64,
+            ops_mult: 1.0,
+            dies: 8,
+        };
+        let b = RunScale {
+            flash_mb: 64,
+            ops_mult: 2.0,
+            dies: 8,
+        };
+        assert_eq!(2 * a.ops_for_fills(1.0), b.ops_for_fills(1.0));
+    }
+
+    #[test]
+    fn drive_runs_and_samples() {
+        let s = RunScale {
+            flash_mb: 16,
+            ops_mult: 1.0,
+            dies: 8,
+        };
+        let mut engine = s.log();
+        let mut trace = s.merged_trace();
+        let mut samples = 0;
+        drive(&mut engine, &mut trace, 1000, 100, |_, _| samples += 1);
+        assert_eq!(samples, 10);
+    }
+}

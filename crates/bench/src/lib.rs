@@ -1,0 +1,23 @@
+//! Experiment regeneration for every table and figure in the paper's
+//! motivation (§3) and evaluation (§5) sections, plus Appendix A.
+//!
+//! Each `figXX`/`tableX` function runs a scaled-down simulation with
+//! paper-identical *ratios* (log : set split, OP, WSS : cache, Zipf α,
+//! object sizes) and prints the same rows/series the paper plots, along
+//! with the paper's reference values where applicable. CSV copies land in
+//! `target/experiments/`.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run --release -p nemo-bench --bin experiments -- all
+//! ```
+
+pub mod breakdown;
+pub mod common;
+pub mod main_metrics;
+pub mod motivation;
+pub mod overhead;
+pub mod sensitivity;
+
+pub use common::RunScale;

@@ -1,0 +1,182 @@
+//! §3 motivation study: Figures 4, 5, 6 and the theory-vs-practice
+//! validation of the L2SWA model (Equations 5–8).
+
+use crate::common::{drive, f2, f3, print_table, write_csv, RunScale};
+use nemo_analytic::HierarchicalWaModel;
+use nemo_engine::CacheEngine;
+use nemo_metrics::DiscreteCdf;
+
+fn cdf_row(label: &str, cdf: &DiscreteCdf) -> Vec<String> {
+    let mut row = vec![label.to_string()];
+    for v in 0..10u64 {
+        row.push(f3(cdf.cumulative(v)));
+    }
+    row.push(format!("{}", cdf.count()));
+    row
+}
+
+const CDF_HEADERS: [&str; 12] = [
+    "config", "<=0", "<=1", "<=2", "<=3", "<=4", "<=5", "<=6", "<=7", "<=8", "<=9", "writes",
+];
+
+/// Figure 4: CDF of newly written objects per set write under passive
+/// migration, early vs steady, and for Log20-OP5 / Log5-OP50.
+pub fn fig4(scale: RunScale) {
+    println!("\n### Figure 4 — FairyWREN passive migration (objects per set write)");
+    println!("paper: Log5-OP5 steady has 71% of set writes with <=3 objects, 91% <=4");
+    let mut rows = Vec::new();
+
+    // Log5-OP5: capture "early" (before the first active migration) and
+    // "steady" (after the behaviour stabilizes).
+    let mut fw = scale.fairywren(5, 5);
+    let mut trace = scale.merged_trace();
+    let ops = scale.ops_for_fills(2.0);
+    let mut early: Option<DiscreteCdf> = None;
+    drive(&mut fw, &mut trace, ops, ops / 200, |fw, _| {
+        if early.is_none() && fw.rmw_counts().1 > 0 {
+            early = Some(fw.passive_cdf().clone());
+            fw.reset_migration_cdfs();
+        }
+    });
+    if let Some(e) = &early {
+        rows.push(cdf_row("Log5-OP5(Early)", e));
+    }
+    rows.push(cdf_row("Log5-OP5(Steady)", fw.passive_cdf()));
+
+    for (log_pct, op_pct, label) in [(20, 5, "Log20-OP5"), (5, 50, "Log5-OP50")] {
+        let mut fw = scale.fairywren(log_pct, op_pct);
+        let mut trace = scale.merged_trace();
+        drive(&mut fw, &mut trace, ops, ops, |_, _| {});
+        rows.push(cdf_row(label, fw.passive_cdf()));
+    }
+    print_table("Fig. 4", &CDF_HEADERS, &rows);
+    write_csv("fig4", &CDF_HEADERS, &rows);
+}
+
+/// Figure 5: passive vs active migration CDFs (Log5-OP5, Log10-OP5).
+pub fn fig5(scale: RunScale) {
+    println!("\n### Figure 5 — passive vs active migration (objects per set write)");
+    println!("paper: Log5-OP5 passive mean 2.04, active mean 1.03 (the 2x gap)");
+    let mut rows = Vec::new();
+    let ops = scale.ops_for_fills(2.5);
+    for (log_pct, label_p, label_a) in [
+        (5u32, "Log5-OP5(Passive)", "Log5-OP5(Active)"),
+        (10, "Log10-OP5(Passive)", "Log10-OP5(Active)"),
+    ] {
+        let mut fw = scale.fairywren(log_pct, 5);
+        let mut trace = scale.merged_trace();
+        drive(&mut fw, &mut trace, ops, ops, |_, _| {});
+        rows.push(cdf_row(label_p, fw.passive_cdf()));
+        rows.push(cdf_row(label_a, fw.active_cdf()));
+        println!(
+            "   {label_p}: mean {:.2} objects/write; {label_a}: mean {:.2}",
+            fw.passive_cdf().mean(),
+            fw.active_cdf().mean()
+        );
+    }
+    print_table("Fig. 5", &CDF_HEADERS, &rows);
+    write_csv("fig5", &CDF_HEADERS, &rows);
+}
+
+/// Figure 6: the passive fraction `p` over trace progress, for OP ratios
+/// 5/20/35/50 %.
+pub fn fig6(scale: RunScale) {
+    println!("\n### Figure 6 — p (passive RMW fraction) vs operations");
+    println!("paper: p stabilizes around 25% / 63% / 84% / 96% for OP 5/20/35/50%");
+    let ops = scale.ops_for_fills(3.0);
+    let points = 16;
+    let mut headers = vec!["ops".to_string()];
+    let mut series: Vec<Vec<f64>> = Vec::new();
+    let mut op_axis = Vec::new();
+    for (i, op_pct) in [5u32, 20, 35, 50].iter().enumerate() {
+        headers.push(format!("OP{op_pct}"));
+        let mut fw = scale.fairywren(5, *op_pct);
+        let mut trace = scale.merged_trace();
+        let mut p_samples = Vec::new();
+        drive(&mut fw, &mut trace, ops, ops / points, |fw, op| {
+            p_samples.push(fw.passive_fraction());
+            if i == 0 {
+                op_axis.push(op);
+            }
+        });
+        let final_p = *p_samples.last().expect("samples");
+        println!("   OP{op_pct}: final p = {:.1}%", final_p * 100.0);
+        series.push(p_samples);
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = op_axis
+        .iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let mut row = vec![op.to_string()];
+            for s in &series {
+                row.push(f3(s.get(i).copied().unwrap_or(f64::NAN)));
+            }
+            row
+        })
+        .collect();
+    print_table("Fig. 6", &header_refs, &rows);
+    write_csv("fig6", &header_refs, &rows);
+}
+
+/// §3.2 theory vs practice: measured L2SWA components against the model.
+pub fn theory_vs_practice(scale: RunScale) {
+    println!("\n### §3.2 — theory vs practice (L2SWA model validation)");
+    let geom = scale.geometry();
+    let total_pages = geom.total_pages() as f64;
+    let ops = scale.ops_for_fills(3.0);
+
+    let mut rows = Vec::new();
+    for (log_pct, op_pct) in [(5u32, 5u32), (10, 5), (5, 20)] {
+        let mut fw = scale.fairywren(log_pct, op_pct);
+        let mut trace = scale.merged_trace();
+        drive(&mut fw, &mut trace, ops, ops, |_, _| {});
+        let model = HierarchicalWaModel::from_fractions(
+            total_pages,
+            log_pct as f64 / 100.0,
+            op_pct as f64 / 100.0,
+        );
+        let mean_obj = 270.0;
+        let page = geom.page_size() as f64;
+        // Measured L2SWA(P) = set size / mean newly-written bytes per
+        // passive set write (Eq. 3).
+        let measured_p = page / (fw.passive_cdf().mean().max(0.01) * mean_obj);
+        let p_frac = fw.passive_fraction();
+        let measured_total_l2swa = {
+            let (pa, ac) = fw.rmw_counts();
+            let writes = pa + ac;
+            let merged =
+                fw.passive_cdf().mean() * pa as f64 + fw.active_cdf().mean() * ac as f64;
+            page * writes as f64 / (merged.max(0.01) * mean_obj)
+        };
+        rows.push(vec![
+            format!("Log{log_pct}-OP{op_pct}"),
+            f2(model.l2swa_passive()),
+            f2(measured_p),
+            f2(p_frac),
+            f2(model.l2swa(p_frac)),
+            f2(measured_total_l2swa),
+            f2(fw.stats().alwa()),
+        ]);
+    }
+    let headers = [
+        "config",
+        "L2SWA(P) model",
+        "L2SWA(P) meas",
+        "p meas",
+        "L2SWA model(2-p)",
+        "L2SWA meas",
+        "ALWA meas",
+    ];
+    println!("paper (Log5-OP5): model ~9, measured 8.5; total ~15.75 model vs 14.2 measured");
+    print_table("§3.2", &headers, &rows);
+    write_csv("motivation", &headers, &rows);
+}
+
+/// Runs the full motivation suite.
+pub fn all(scale: RunScale) {
+    fig4(scale);
+    fig5(scale);
+    fig6(scale);
+    theory_vs_practice(scale);
+}

@@ -1,0 +1,31 @@
+//! Diagnostic: write-back must contribute at experiment scale.
+
+use nemo_bench::common::drive;
+use nemo_bench::RunScale;
+use nemo_engine::CacheEngine;
+
+#[test]
+fn writeback_triggers_at_experiment_scale() {
+    let scale = RunScale {
+        flash_mb: 48,
+        ops_mult: 1.0,
+        dies: 8,
+    };
+    let mut nemo = scale.nemo();
+    let mut trace = scale.merged_trace();
+    drive(&mut nemo, &mut trace, scale.ops_for_fills(2.5), u64::MAX, |_, _| {});
+    let r = nemo.report();
+    let s = nemo.stats();
+    eprintln!(
+        "pool={} evicted={} writebacks={} sacrificed={} fill={:.3} wa={:.3} hits={} gets={}",
+        nemo.pool_len(),
+        s.evicted_objects,
+        r.writeback_objects,
+        r.sacrificed_objects,
+        nemo.mean_fill_rate(),
+        s.alwa(),
+        s.hits,
+        s.gets
+    );
+    assert!(r.writeback_objects > 0, "write-back never triggered");
+}

@@ -1,0 +1,317 @@
+//! The Bloom filter implementation.
+
+use crate::sizing;
+use nemo_util::hash_u64;
+
+/// A Bloom filter over 64-bit keys with double hashing.
+///
+/// Probe positions are derived as `h1 + i·h2 (mod m)` (Kirsch–Mitzenmacher),
+/// which matches the paper's observation that "each hash function is
+/// computed once and the results are shared across all filters in the PBFG"
+/// (§5.5): callers can precompute a [`ProbeSet`] once per key and test it
+/// against many filters.
+///
+/// # Examples
+///
+/// ```
+/// use nemo_bloom::BloomFilter;
+///
+/// let mut bf = BloomFilter::for_items(100, 0.01);
+/// for k in 0..100 {
+///     bf.insert(k);
+/// }
+/// assert!((0..100).all(|k| bf.contains(k)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    m_bits: u64,
+    k: u32,
+    items: u64,
+}
+
+/// Precomputed probe pair for one key, shareable across equally-sized
+/// filters in a PBFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeSet {
+    h1: u64,
+    h2: u64,
+}
+
+impl ProbeSet {
+    /// Computes the probe pair for a key.
+    pub fn for_key(key: u64) -> Self {
+        Self {
+            h1: hash_u64(key, 0x5111_71AF),
+            h2: hash_u64(key, 0xB10F_0B57) | 1, // odd stride
+        }
+    }
+
+    #[inline]
+    fn position(&self, i: u32, m_bits: u64) -> u64 {
+        self.h1.wrapping_add(self.h2.wrapping_mul(i as u64)) % m_bits
+    }
+}
+
+impl BloomFilter {
+    /// Creates a filter sized for `items` keys at the target false-positive
+    /// rate, using the optimal bits/key and hash count from [`sizing`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0` or `fpr` is not in `(0, 1)`.
+    pub fn for_items(items: u64, fpr: f64) -> Self {
+        assert!(items > 0, "items must be positive");
+        let bpk = sizing::bits_per_key(fpr);
+        let m_bits = ((bpk * items as f64).ceil() as u64).max(64);
+        let k = sizing::optimal_hashes(bpk);
+        Self::with_geometry(m_bits, k)
+    }
+
+    /// Creates a filter with an explicit bit count and hash count.
+    ///
+    /// The bit count is rounded up to a multiple of 64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m_bits == 0` or `k == 0`.
+    pub fn with_geometry(m_bits: u64, k: u32) -> Self {
+        assert!(m_bits > 0, "m_bits must be positive");
+        assert!(k > 0, "k must be positive");
+        let words = m_bits.div_ceil(64) as usize;
+        Self {
+            bits: vec![0; words],
+            m_bits: words as u64 * 64,
+            k,
+            items: 0,
+        }
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: u64) {
+        let probes = ProbeSet::for_key(key);
+        self.insert_probes(&probes);
+    }
+
+    /// Inserts using a precomputed probe set.
+    pub fn insert_probes(&mut self, probes: &ProbeSet) {
+        for i in 0..self.k {
+            let pos = probes.position(i, self.m_bits);
+            self.bits[(pos / 64) as usize] |= 1u64 << (pos % 64);
+        }
+        self.items += 1;
+    }
+
+    /// Tests a key. False positives are possible; false negatives are not.
+    pub fn contains(&self, key: u64) -> bool {
+        self.contains_probes(&ProbeSet::for_key(key))
+    }
+
+    /// Tests a precomputed probe set.
+    #[inline]
+    pub fn contains_probes(&self, probes: &ProbeSet) -> bool {
+        (0..self.k).all(|i| {
+            let pos = probes.position(i, self.m_bits);
+            self.bits[(pos / 64) as usize] & (1u64 << (pos % 64)) != 0
+        })
+    }
+
+    /// Clears all bits (the filter is reused when its SG is evicted).
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.items = 0;
+    }
+
+    /// Number of keys inserted since creation or the last clear.
+    pub fn item_count(&self) -> u64 {
+        self.items
+    }
+
+    /// Filter size in bits (rounded up to whole words).
+    pub fn bit_len(&self) -> u64 {
+        self.m_bits
+    }
+
+    /// Number of hash probes per key.
+    pub fn hash_count(&self) -> u32 {
+        self.k
+    }
+
+    /// Size of the serialized form in bytes.
+    pub fn serialized_len(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Serializes the bit array into `out` (little-endian words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is smaller than [`Self::serialized_len`].
+    pub fn write_bytes(&self, out: &mut [u8]) {
+        assert!(out.len() >= self.serialized_len(), "output buffer too small");
+        for (i, w) in self.bits.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Reconstructs a filter from bytes produced by [`Self::write_bytes`].
+    ///
+    /// `item_count` is not stored in the serialized form and resets to 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a multiple of 8 or `k == 0`.
+    pub fn from_bytes(bytes: &[u8], k: u32) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(bytes.len() % 8 == 0, "serialized filter must be word-aligned");
+        let bits: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect();
+        let m_bits = bits.len() as u64 * 64;
+        Self { bits, m_bits, k, items: 0 }
+    }
+
+    /// Fraction of bits set — a saturation diagnostic.
+    pub fn fill_fraction(&self) -> f64 {
+        let set: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
+        set as f64 / self.m_bits as f64
+    }
+}
+
+/// Queries a serialized filter in place, without deserializing — how Nemo
+/// probes the packed PBFG pages fetched from the index pool.
+///
+/// `bytes` must be a whole serialized filter ([`BloomFilter::write_bytes`]);
+/// its length determines the bit count.
+///
+/// # Examples
+///
+/// ```
+/// use nemo_bloom::{contains_in_slice, BloomFilter, ProbeSet};
+///
+/// let mut bf = BloomFilter::for_items(40, 0.001);
+/// bf.insert(7);
+/// let mut buf = vec![0u8; bf.serialized_len()];
+/// bf.write_bytes(&mut buf);
+/// let probes = ProbeSet::for_key(7);
+/// assert!(contains_in_slice(&buf, bf.hash_count(), &probes));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bytes` is empty or not word-aligned.
+pub fn contains_in_slice(bytes: &[u8], k: u32, probes: &ProbeSet) -> bool {
+    assert!(!bytes.is_empty() && bytes.len() % 8 == 0, "bad filter slice");
+    let m_bits = bytes.len() as u64 * 8;
+    (0..k).all(|i| {
+        let pos = probes.position(i, m_bits);
+        let byte = bytes[(pos / 8) as usize];
+        byte & (1u8 << (pos % 8)) != 0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemo_util::Xoshiro256StarStar;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::for_items(500, 0.01);
+        for k in 0..500u64 {
+            bf.insert(k * 7919);
+        }
+        for k in 0..500u64 {
+            assert!(bf.contains(k * 7919));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_target() {
+        let n = 2000u64;
+        let mut bf = BloomFilter::for_items(n, 0.01);
+        for k in 0..n {
+            bf.insert(k);
+        }
+        let trials = 200_000u64;
+        let fps = (n..n + trials).filter(|&k| bf.contains(k)).count();
+        let rate = fps as f64 / trials as f64;
+        assert!(rate < 0.02, "FPR {rate} too far above 1% target");
+        assert!(rate > 0.001, "FPR {rate} suspiciously low — sizing bug?");
+    }
+
+    #[test]
+    fn very_low_fpr_filter() {
+        let n = 40u64;
+        let mut bf = BloomFilter::for_items(n, 0.001);
+        for k in 0..n {
+            bf.insert(k);
+        }
+        let trials = 500_000u64;
+        let fps = (n..n + trials).filter(|&k| bf.contains(k)).count();
+        let rate = fps as f64 / trials as f64;
+        assert!(rate < 0.003, "FPR {rate} too far above 0.1% target");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut bf = BloomFilter::for_items(10, 0.01);
+        bf.insert(1);
+        assert!(bf.contains(1));
+        bf.clear();
+        assert!(!bf.contains(1));
+        assert_eq!(bf.item_count(), 0);
+        assert_eq!(bf.fill_fraction(), 0.0);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut bf = BloomFilter::for_items(40, 0.001);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let keys: Vec<u64> = (0..40).map(|_| rng.next_u64()).collect();
+        for &k in &keys {
+            bf.insert(k);
+        }
+        let mut buf = vec![0u8; bf.serialized_len()];
+        bf.write_bytes(&mut buf);
+        let back = BloomFilter::from_bytes(&buf, bf.hash_count());
+        for &k in &keys {
+            assert!(back.contains(k));
+        }
+        assert_eq!(back.bit_len(), bf.bit_len());
+    }
+
+    #[test]
+    fn probe_sharing_matches_direct_queries() {
+        let mut filters: Vec<BloomFilter> =
+            (0..8).map(|_| BloomFilter::for_items(40, 0.001)).collect();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        for (i, f) in filters.iter_mut().enumerate() {
+            for _ in 0..40 {
+                f.insert(rng.next_u64() ^ (i as u64) << 56);
+            }
+        }
+        for _ in 0..1000 {
+            let key = rng.next_u64();
+            let probes = ProbeSet::for_key(key);
+            for f in &filters {
+                assert_eq!(f.contains(key), f.contains_probes(&probes));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_filter_size() {
+        // 40 objects at 0.1%: ceil(40*14.4)=576 bits -> 9 words -> 72 B.
+        let bf = BloomFilter::for_items(40, 0.001);
+        assert_eq!(bf.serialized_len(), 72);
+        assert_eq!(bf.hash_count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "items must be positive")]
+    fn zero_items_panics() {
+        BloomFilter::for_items(0, 0.01);
+    }
+}

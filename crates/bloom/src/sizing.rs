@@ -1,0 +1,88 @@
+//! Standard Bloom-filter sizing formulas.
+//!
+//! For a target false-positive rate `p`, the optimal filter uses
+//! `m/n = -ln(p) / ln(2)^2 ≈ 1.44 · log2(1/p)` bits per key with
+//! `k = (m/n) · ln(2)` hash functions. The paper quotes exactly these
+//! numbers: 14.4 bits/obj at 0.1 % and 9.6 bits/obj at 1 % (§1, §4.3).
+
+/// Optimal bits per key for a target false-positive rate.
+///
+/// # Examples
+///
+/// ```
+/// let b = nemo_bloom::sizing::bits_per_key(0.001);
+/// assert!((b - 14.4).abs() < 0.1);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `fpr` is not in `(0, 1)`.
+pub fn bits_per_key(fpr: f64) -> f64 {
+    assert!(fpr > 0.0 && fpr < 1.0, "fpr must be in (0,1)");
+    -fpr.ln() / (std::f64::consts::LN_2 * std::f64::consts::LN_2)
+}
+
+/// Optimal number of hash functions for a bits-per-key budget.
+///
+/// # Panics
+///
+/// Panics if `bits_per_key` is not positive.
+pub fn optimal_hashes(bits_per_key: f64) -> u32 {
+    assert!(bits_per_key > 0.0, "bits_per_key must be positive");
+    (bits_per_key * std::f64::consts::LN_2).round().max(1.0) as u32
+}
+
+/// Expected false-positive rate of a filter with `m` bits, `k` hashes and
+/// `n` inserted keys: `(1 - e^{-kn/m})^k`.
+pub fn expected_fpr(m_bits: u64, k: u32, n_keys: u64) -> f64 {
+    if m_bits == 0 {
+        return 1.0;
+    }
+    let exponent = -(k as f64) * (n_keys as f64) / (m_bits as f64);
+    (1.0 - exponent.exp()).powi(k as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quoted_sizes() {
+        assert!((bits_per_key(0.001) - 14.4).abs() < 0.05, "0.1% -> 14.4 b");
+        assert!((bits_per_key(0.01) - 9.6).abs() < 0.05, "1% -> 9.6 b");
+    }
+
+    #[test]
+    fn hash_counts() {
+        assert_eq!(optimal_hashes(14.4), 10);
+        assert_eq!(optimal_hashes(9.6), 7);
+        assert_eq!(optimal_hashes(0.5), 1);
+    }
+
+    #[test]
+    fn expected_fpr_matches_target_at_optimal_sizing() {
+        let n = 1000u64;
+        for &target in &[0.01, 0.001] {
+            let m = (bits_per_key(target) * n as f64).ceil() as u64;
+            let k = optimal_hashes(bits_per_key(target));
+            let p = expected_fpr(m, k, n);
+            assert!(
+                p < target * 1.3,
+                "target {target}: predicted {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn fpr_monotone_in_load() {
+        let a = expected_fpr(1000, 7, 50);
+        let b = expected_fpr(1000, 7, 200);
+        assert!(a < b);
+    }
+
+    #[test]
+    #[should_panic(expected = "fpr must be in (0,1)")]
+    fn bad_fpr_panics() {
+        bits_per_key(0.0);
+    }
+}

@@ -1,0 +1,618 @@
+//! The PBFG approximate index (paper §4.3, challenge C2).
+//!
+//! Every flushed SG contributes one Bloom filter per set. Filters sharing
+//! an intra-SG set offset form a *set-level PBFG*; the PBFGs of up to 50
+//! SGs form an *index group*, laid out on flash so one PBFG is exactly one
+//! page (Fig. 10's "packed" layout). The full index lives in an on-flash
+//! index pool; an in-memory FIFO cache keeps the configured fraction of
+//! PBFG pages resident, and the youngest (still-building) group's filters
+//! stay in memory until the group is sealed.
+
+use nemo_bloom::{contains_in_slice, BloomFilter, ProbeSet};
+use nemo_flash::{Nanos, PageAddr, SimFlash, ZoneId, ZoneState, ZonedFlash};
+use std::collections::{HashMap, VecDeque};
+
+/// A candidate location returned by a PBFG query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SgCandidate {
+    /// Flush sequence number (higher = newer).
+    pub seq: u64,
+    /// Zone holding the SG's data.
+    pub zone: u32,
+}
+
+/// Outcome of a candidate query, including its I/O cost.
+#[derive(Debug, Clone)]
+pub struct CandidateQuery {
+    /// Candidate SGs, newest first.
+    pub candidates: Vec<SgCandidate>,
+    /// PBFG pages fetched from flash to answer the query.
+    pub flash_reads: u32,
+    /// Bytes read from flash.
+    pub bytes_read: u64,
+    /// Completion time of the index fetches.
+    pub done_at: Nanos,
+}
+
+/// Index-cache and pool counters (Fig. 19b, §5.5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// PBFG queries answered from the in-memory cache or the building
+    /// group.
+    pub cache_hits: u64,
+    /// PBFG queries that had to fetch a page from the index pool.
+    pub cache_misses: u64,
+    /// Pages written to the on-flash index pool.
+    pub pool_pages_written: u64,
+}
+
+impl IndexStats {
+    /// Fraction of PBFG accesses served from flash (the paper's "PBFG
+    /// miss ratio", Fig. 19b).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_misses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BufferedSlot {
+    seq: u64,
+    zone: u32,
+    filters: Vec<BloomFilter>,
+}
+
+#[derive(Debug)]
+struct PersistedGroup {
+    id: u64,
+    /// First page of the group in the index pool; page `s` of the group
+    /// (the PBFG for set offset `s`) lives at `base.page + s`.
+    base: PageAddr,
+    /// Slot -> live SG, `None` once evicted.
+    slots: Vec<Option<SgCandidate>>,
+    live: u32,
+}
+
+#[derive(Debug, Default)]
+struct IndexCache {
+    capacity: usize,
+    map: HashMap<(u64, u32), Vec<u8>>,
+    fifo: VecDeque<(u64, u32)>,
+}
+
+impl IndexCache {
+    fn contains(&self, group: u64, set: u32) -> bool {
+        self.map.contains_key(&(group, set))
+    }
+
+    fn get(&self, group: u64, set: u32) -> Option<&Vec<u8>> {
+        self.map.get(&(group, set))
+    }
+
+    fn insert(&mut self, group: u64, set: u32, page: Vec<u8>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert((group, set), page).is_none() {
+            self.fifo.push_back((group, set));
+        }
+        while self.map.len() > self.capacity {
+            match self.fifo.pop_front() {
+                Some(key) => {
+                    self.map.remove(&key);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn purge_group(&mut self, group: u64) {
+        let keys: Vec<(u64, u32)> = self
+            .map
+            .keys()
+            .filter(|&&(g, _)| g == group)
+            .copied()
+            .collect();
+        for k in keys {
+            self.map.remove(&k);
+        }
+        // Stale fifo entries are skipped lazily during eviction.
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.map.values().map(|p| p.len() as u64).sum()
+    }
+}
+
+/// The complete PBFG index: building group, persisted groups, on-flash
+/// pool and the FIFO PBFG cache.
+#[derive(Debug)]
+pub struct PbfgIndex {
+    filter_bytes: u32,
+    hashes: u32,
+    sgs_per_group: u32,
+    sets_per_sg: u32,
+    page_size: u32,
+    building: Vec<Option<BufferedSlot>>,
+    next_group_id: u64,
+    groups: VecDeque<PersistedGroup>,
+    sg_group: HashMap<u64, u64>,
+    cache: IndexCache,
+    pool_zones: Vec<u32>,
+    pool_open: usize,
+    /// zone -> group ids with pages there (for ring recycling).
+    zone_groups: HashMap<u32, Vec<u64>>,
+    retired: HashMap<u64, bool>,
+    stats: IndexStats,
+}
+
+impl PbfgIndex {
+    /// Creates an index over the given pool zones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or a group does not fit the ring.
+    pub fn new(
+        pool_zones: Vec<u32>,
+        sets_per_sg: u32,
+        page_size: u32,
+        filter_bytes: u32,
+        hashes: u32,
+        sgs_per_group: u32,
+    ) -> Self {
+        assert!(!pool_zones.is_empty(), "index pool needs zones");
+        assert!(sets_per_sg > 0 && page_size > 0 && filter_bytes > 0 && hashes > 0);
+        assert!(sgs_per_group > 0, "group must cover at least one SG");
+        assert!(
+            sgs_per_group * filter_bytes <= page_size,
+            "a PBFG must fit in one page"
+        );
+        Self {
+            filter_bytes,
+            hashes,
+            sgs_per_group,
+            sets_per_sg,
+            page_size,
+            building: Vec::new(),
+            next_group_id: 0,
+            groups: VecDeque::new(),
+            sg_group: HashMap::new(),
+            cache: IndexCache::default(),
+            pool_zones,
+            pool_open: 0,
+            zone_groups: HashMap::new(),
+            retired: HashMap::new(),
+            stats: IndexStats::default(),
+        }
+    }
+
+    /// Index counters.
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    /// Pages of persisted, live index groups.
+    pub fn persisted_pages(&self) -> u64 {
+        self.groups.len() as u64 * self.sets_per_sg as u64
+    }
+
+    /// Sets the PBFG cache capacity in pages.
+    pub fn set_cache_capacity(&mut self, pages: usize) {
+        self.cache.capacity = pages;
+        while self.cache.map.len() > pages {
+            match self.cache.fifo.pop_front() {
+                Some(key) => {
+                    self.cache.map.remove(&key);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Whether the PBFG covering `(seq, set)` is currently in memory —
+    /// the recency signal of the hybrid hotness tracker (§4.4).
+    pub fn is_recently_active(&self, seq: u64, set: u32) -> bool {
+        match self.sg_group.get(&seq) {
+            Some(&g) => self.cache.contains(g, set),
+            // Still in the building group: filters are in memory.
+            None => self
+                .building
+                .iter()
+                .flatten()
+                .any(|b| b.seq == seq),
+        }
+    }
+
+    /// Adds a flushed SG's filters; seals and persists the group when it
+    /// reaches `sgs_per_group`. Returns flash bytes written (0 until a
+    /// group seals) and the completion time.
+    pub fn add_sg(
+        &mut self,
+        dev: &mut SimFlash,
+        seq: u64,
+        zone: u32,
+        filters: Vec<BloomFilter>,
+        now: Nanos,
+    ) -> (u64, Nanos) {
+        assert_eq!(
+            filters.len(),
+            self.sets_per_sg as usize,
+            "one filter per set"
+        );
+        self.building.push(Some(BufferedSlot { seq, zone, filters }));
+        if self.building.len() as u32 >= self.sgs_per_group {
+            self.persist_building(dev, now)
+        } else {
+            (0, now)
+        }
+    }
+
+    /// Serializes the building group into packed PBFG pages and appends
+    /// them to the index pool.
+    fn persist_building(&mut self, dev: &mut SimFlash, now: Nanos) -> (u64, Nanos) {
+        let group_id = self.next_group_id;
+        self.next_group_id += 1;
+        let psz = self.page_size as usize;
+        let fb = self.filter_bytes as usize;
+        let mut bytes = vec![0u8; self.sets_per_sg as usize * psz];
+        let mut slots: Vec<Option<SgCandidate>> = Vec::new();
+        let mut live = 0;
+        for (slot_idx, slot) in self.building.iter().enumerate() {
+            match slot {
+                Some(b) => {
+                    for set in 0..self.sets_per_sg as usize {
+                        let off = set * psz + slot_idx * fb;
+                        b.filters[set].write_bytes(&mut bytes[off..off + fb]);
+                    }
+                    slots.push(Some(SgCandidate {
+                        seq: b.seq,
+                        zone: b.zone,
+                    }));
+                    self.sg_group.insert(b.seq, group_id);
+                    live += 1;
+                }
+                None => slots.push(None),
+            }
+        }
+        self.building.clear();
+        let zone = self.pool_zone_with_room(dev, now);
+        let (base, done) = dev
+            .append(ZoneId(zone), &bytes, now)
+            .expect("index pool append");
+        self.stats.pool_pages_written += self.sets_per_sg as u64;
+        self.zone_groups.entry(zone).or_default().push(group_id);
+        self.retired.insert(group_id, live == 0);
+        self.groups.push_back(PersistedGroup {
+            id: group_id,
+            base,
+            slots,
+            live,
+        });
+        (bytes.len() as u64, done)
+    }
+
+    /// Finds (recycling if needed) a pool zone with room for one group.
+    fn pool_zone_with_room(&mut self, dev: &mut SimFlash, now: Nanos) -> u32 {
+        let ppz = dev.geometry().pages_per_zone();
+        for _ in 0..=self.pool_zones.len() {
+            let zone = self.pool_zones[self.pool_open];
+            let room = ppz - dev.write_pointer(ZoneId(zone));
+            if room >= self.sets_per_sg {
+                return zone;
+            }
+            // Advance the ring; recycle the next zone if all its groups
+            // have retired.
+            self.pool_open = (self.pool_open + 1) % self.pool_zones.len();
+            let next = self.pool_zones[self.pool_open];
+            if dev.zone_state(ZoneId(next)) != ZoneState::Empty {
+                let groups = self.zone_groups.remove(&next).unwrap_or_default();
+                assert!(
+                    groups.iter().all(|g| self.retired.get(g).copied().unwrap_or(true)),
+                    "index pool undersized: recycling a zone with live groups"
+                );
+                for g in groups {
+                    self.retired.remove(&g);
+                }
+                dev.reset_zone(ZoneId(next), now).expect("index zone reset");
+            }
+        }
+        unreachable!("index pool ring exhausted");
+    }
+
+    /// Marks an SG dead after its data SG was evicted; retires its group
+    /// when the last member dies.
+    pub fn on_evict(&mut self, seq: u64) {
+        if let Some(group_id) = self.sg_group.remove(&seq) {
+            if let Some(g) = self.groups.iter_mut().find(|g| g.id == group_id) {
+                for slot in g.slots.iter_mut() {
+                    if slot.is_some_and(|c| c.seq == seq) {
+                        *slot = None;
+                        g.live -= 1;
+                    }
+                }
+                if g.live == 0 {
+                    let id = g.id;
+                    self.groups.retain(|g| g.id != id);
+                    self.cache.purge_group(id);
+                    if let Some(r) = self.retired.get_mut(&id) {
+                        *r = true;
+                    }
+                }
+            }
+            return;
+        }
+        // Rare: evicting an SG whose group is still building.
+        for slot in self.building.iter_mut() {
+            if slot.as_ref().is_some_and(|b| b.seq == seq) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Queries every live PBFG for `key` at set offset `set`, fetching
+    /// uncached PBFG pages from the index pool.
+    pub fn candidates(
+        &mut self,
+        dev: &mut SimFlash,
+        set: u32,
+        key: u64,
+        now: Nanos,
+    ) -> CandidateQuery {
+        let probes = ProbeSet::for_key(key);
+        let mut out = Vec::new();
+        // Building group: filters are in memory — one in-memory PBFG
+        // access for the whole group.
+        let mut any_building = false;
+        for b in self.building.iter().flatten() {
+            any_building = true;
+            if b.filters[set as usize].contains_probes(&probes) {
+                out.push(SgCandidate {
+                    seq: b.seq,
+                    zone: b.zone,
+                });
+            }
+        }
+        if any_building {
+            self.stats.cache_hits += 1;
+        }
+        let mut flash_reads = 0u32;
+        let mut bytes_read = 0u64;
+        let mut done = now;
+        let fb = self.filter_bytes as usize;
+        for gi in 0..self.groups.len() {
+            let (gid, base, addr) = {
+                let g = &self.groups[gi];
+                (
+                    g.id,
+                    g.base,
+                    PageAddr::new(g.base.zone, g.base.page + set),
+                )
+            };
+            let _ = base;
+            let fetched: Option<Vec<u8>> = if self.cache.contains(gid, set) {
+                self.stats.cache_hits += 1;
+                None
+            } else {
+                self.stats.cache_misses += 1;
+                let (mut page, t) = dev
+                    .read_pages(addr, 1, now)
+                    .expect("index pool page read");
+                flash_reads += 1;
+                bytes_read += page.len() as u64;
+                done = done.max(t);
+                // Keep only the filter region in memory; the page tail is
+                // padding when groups are smaller than the packing limit.
+                page.truncate(self.sgs_per_group as usize * fb);
+                Some(page)
+            };
+            let g = &self.groups[gi];
+            let page: &[u8] = match &fetched {
+                Some(p) => p,
+                None => self.cache.get(gid, set).expect("checked above"),
+            };
+            for (slot_idx, slot) in g.slots.iter().enumerate() {
+                let Some(cand) = slot else { continue };
+                let off = slot_idx * fb;
+                if contains_in_slice(&page[off..off + fb], self.hashes, &probes) {
+                    out.push(*cand);
+                }
+            }
+            if let Some(p) = fetched {
+                self.cache.insert(gid, set, p);
+            }
+        }
+        out.sort_by(|a, b| b.seq.cmp(&a.seq));
+        CandidateQuery {
+            candidates: out,
+            flash_reads,
+            bytes_read,
+            done_at: done,
+        }
+    }
+
+    /// Resident bytes of the PBFG cache.
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache.resident_bytes()
+    }
+
+    /// Modelled bytes of the building group's in-memory filters.
+    pub fn buffer_bytes(&self) -> u64 {
+        self.building.iter().flatten().count() as u64
+            * self.sets_per_sg as u64
+            * self.filter_bytes as u64
+    }
+
+    /// Number of live persisted groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemo_flash::{Geometry, LatencyModel};
+
+    const SETS: u32 = 8;
+
+    fn dev() -> SimFlash {
+        // 16 zones x 8 pages; zones 0..4 are the index pool.
+        SimFlash::with_latency(Geometry::new(512, 8, 16, 2), LatencyModel::zero())
+    }
+
+    fn index() -> PbfgIndex {
+        // 64-byte filters, 4 per 512 B page -> groups of 3 SGs.
+        PbfgIndex::new(vec![0, 1, 2, 3], SETS, 512, 64, 5, 3)
+    }
+
+    fn filters_with_keys(keys: &[u64]) -> Vec<BloomFilter> {
+        let mut fs: Vec<BloomFilter> =
+            (0..SETS).map(|_| BloomFilter::with_geometry(512, 5)).collect();
+        for &k in keys {
+            let set = (k % SETS as u64) as usize;
+            fs[set].insert(k);
+        }
+        fs
+    }
+
+    #[test]
+    fn building_group_answers_from_memory() {
+        let mut d = dev();
+        let mut idx = index();
+        idx.add_sg(&mut d, 1, 10, filters_with_keys(&[8, 16]), Nanos::ZERO);
+        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        assert_eq!(q.candidates, vec![SgCandidate { seq: 1, zone: 10 }]);
+        assert_eq!(q.flash_reads, 0);
+    }
+
+    #[test]
+    fn group_persists_after_filling() {
+        let mut d = dev();
+        let mut idx = index();
+        let mut wrote = 0;
+        for seq in 0..3u64 {
+            let (b, _) = idx.add_sg(
+                &mut d,
+                seq,
+                10 + seq as u32,
+                filters_with_keys(&[seq * SETS as u64]),
+                Nanos::ZERO,
+            );
+            wrote += b;
+        }
+        assert_eq!(wrote, SETS as u64 * 512, "one page per set offset");
+        assert_eq!(idx.group_count(), 1);
+        assert_eq!(idx.persisted_pages(), SETS as u64);
+    }
+
+    #[test]
+    fn persisted_group_found_via_flash_fetch() {
+        let mut d = dev();
+        let mut idx = index();
+        idx.set_cache_capacity(64);
+        for seq in 0..3u64 {
+            idx.add_sg(
+                &mut d,
+                seq,
+                10 + seq as u32,
+                filters_with_keys(&[seq + 8]), // keys 8,9,10 -> sets 0,1,2
+                Nanos::ZERO,
+            );
+        }
+        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        assert!(q
+            .candidates
+            .contains(&SgCandidate { seq: 0, zone: 10 }));
+        assert_eq!(q.flash_reads, 1, "first access fetches the PBFG page");
+        // Second access: cached.
+        let q2 = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        assert_eq!(q2.flash_reads, 0);
+        assert!(idx.stats().cache_hits > 0);
+    }
+
+    #[test]
+    fn zero_capacity_cache_always_fetches() {
+        let mut d = dev();
+        let mut idx = index();
+        idx.set_cache_capacity(0);
+        for seq in 0..3u64 {
+            idx.add_sg(&mut d, seq, 10, filters_with_keys(&[1]), Nanos::ZERO);
+        }
+        let q1 = idx.candidates(&mut d, 1, 1, Nanos::ZERO);
+        let q2 = idx.candidates(&mut d, 1, 1, Nanos::ZERO);
+        assert_eq!(q1.flash_reads, 1);
+        assert_eq!(q2.flash_reads, 1, "nothing can be cached");
+        assert!((idx.stats().miss_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_kills_candidates_and_retires_groups() {
+        let mut d = dev();
+        let mut idx = index();
+        idx.set_cache_capacity(64);
+        for seq in 0..3u64 {
+            idx.add_sg(&mut d, seq, 10 + seq as u32, filters_with_keys(&[8]), Nanos::ZERO);
+        }
+        for seq in 0..3u64 {
+            idx.on_evict(seq);
+        }
+        assert_eq!(idx.group_count(), 0, "group retires with its SGs");
+        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        assert!(q.candidates.is_empty());
+    }
+
+    #[test]
+    fn candidates_sorted_newest_first() {
+        let mut d = dev();
+        let mut idx = index();
+        // Key 8 in every SG of the building group.
+        for seq in [4u64, 9, 7] {
+            idx.add_sg(&mut d, seq, seq as u32, filters_with_keys(&[8]), Nanos::ZERO);
+        }
+        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        let seqs: Vec<u64> = q.candidates.iter().map(|c| c.seq).collect();
+        assert_eq!(seqs, vec![9, 7, 4]);
+    }
+
+    #[test]
+    fn pool_ring_recycles_retired_zones() {
+        let mut d = dev();
+        let mut idx = index();
+        idx.set_cache_capacity(16);
+        // Each group takes one full zone (8 pages); the pool has 4 zones.
+        // Push 8 groups, evicting old SGs as we go.
+        let mut seq = 0u64;
+        for _ in 0..8 {
+            for _ in 0..3 {
+                idx.add_sg(&mut d, seq, 10, filters_with_keys(&[1]), Nanos::ZERO);
+                seq += 1;
+            }
+            // Retire everything except the newest group.
+            for s in 0..seq.saturating_sub(3) {
+                idx.on_evict(s);
+            }
+        }
+        assert!(idx.group_count() <= 2);
+    }
+
+    #[test]
+    fn recently_active_reflects_cache_and_buffer() {
+        let mut d = dev();
+        let mut idx = index();
+        idx.set_cache_capacity(64);
+        idx.add_sg(&mut d, 0, 10, filters_with_keys(&[8]), Nanos::ZERO);
+        // Building: always "recently active".
+        assert!(idx.is_recently_active(0, 0));
+        for seq in 1..3u64 {
+            idx.add_sg(&mut d, seq, 10, filters_with_keys(&[8]), Nanos::ZERO);
+        }
+        // Persisted but not yet cached.
+        assert!(!idx.is_recently_active(0, 0));
+        idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        assert!(idx.is_recently_active(0, 0), "fetch populates the cache");
+    }
+}

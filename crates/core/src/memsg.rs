@@ -1,0 +1,386 @@
+//! In-memory Set-Groups: the mutable aggregation stage of Nemo's write
+//! path (paper §4.1–4.2).
+
+use nemo_bloom::BloomFilter;
+use nemo_engine::codec::PAGE_HEADER;
+
+/// One set's staging buffer inside an in-memory SG.
+///
+/// Capacity mirrors the on-flash page exactly (entries plus the 2-byte
+/// page header), so a full `SetBuffer` serializes to a 100 %-filled page.
+#[derive(Debug, Clone)]
+pub struct SetBuffer {
+    entries: Vec<(u64, u32)>,
+    used: usize,
+    capacity: usize,
+}
+
+impl SetBuffer {
+    /// Creates an empty buffer for a page of `page_size` bytes.
+    pub fn new(page_size: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            used: PAGE_HEADER,
+            capacity: page_size,
+        }
+    }
+
+    /// Whether an object of `size` bytes fits.
+    pub fn has_room(&self, size: u32) -> bool {
+        self.used + size as usize <= self.capacity
+    }
+
+    /// Inserts or replaces `key`. Returns `false` (and changes nothing) if
+    /// it does not fit.
+    pub fn insert(&mut self, key: u64, size: u32) -> bool {
+        let freed = match self.entries.iter().position(|&(k, _)| k == key) {
+            Some(pos) => self.entries[pos].1 as usize,
+            None => 0,
+        };
+        if self.used - freed + size as usize > self.capacity {
+            return false;
+        }
+        if let Some(pos) = self.entries.iter().position(|&(k, _)| k == key) {
+            self.entries.remove(pos);
+            self.used -= freed;
+        }
+        self.entries.push((key, size));
+        self.used += size as usize;
+        true
+    }
+
+    /// Removes `key` if present, returning its size.
+    pub fn remove(&mut self, key: u64) -> Option<u32> {
+        let pos = self.entries.iter().position(|&(k, _)| k == key)?;
+        let (_, size) = self.entries.remove(pos);
+        self.used -= size as usize;
+        Some(size)
+    }
+
+    /// Evicts the oldest entry (FIFO), returning it.
+    pub fn evict_oldest(&mut self) -> Option<(u64, u32)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let (k, s) = self.entries.remove(0);
+        self.used -= s as usize;
+        Some((k, s))
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.iter().any(|&(k, _)| k == key)
+    }
+
+    /// Entries in insertion order.
+    pub fn entries(&self) -> &[(u64, u32)] {
+        &self.entries
+    }
+
+    /// Bytes used (page header included).
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Fill fraction of the backing page.
+    pub fn fill_rate(&self) -> f64 {
+        self.used as f64 / self.capacity as f64
+    }
+
+    /// Number of buffered objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A mutable in-memory Set-Group.
+///
+/// Usable standalone for the hash-skew study (Fig. 8): insert objects
+/// until any set fills, then inspect [`MemSg::set_fill_rates`].
+///
+/// # Examples
+///
+/// ```
+/// use nemo_core::MemSg;
+///
+/// let mut sg = MemSg::new(16, 4096, 0.001, 40);
+/// let set = MemSg::set_index_of(12345, 16);
+/// assert!(sg.insert(12345, 250));
+/// assert!(sg.set(set).contains(12345));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemSg {
+    sets: Vec<SetBuffer>,
+    filters: Vec<BloomFilter>,
+    objects: u64,
+    bytes: u64,
+}
+
+impl MemSg {
+    /// Creates an SG with `sets_per_sg` sets of `page_size` bytes each.
+    /// Filters are sized for `expected_objects_per_set` at `bloom_fpr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        sets_per_sg: u32,
+        page_size: u32,
+        bloom_fpr: f64,
+        expected_objects_per_set: u32,
+    ) -> Self {
+        assert!(sets_per_sg > 0, "sets_per_sg must be positive");
+        assert!(expected_objects_per_set > 0, "expected objects per set");
+        Self {
+            sets: (0..sets_per_sg)
+                .map(|_| SetBuffer::new(page_size as usize))
+                .collect(),
+            filters: (0..sets_per_sg)
+                .map(|_| BloomFilter::for_items(expected_objects_per_set as u64, bloom_fpr))
+                .collect(),
+            objects: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Creates an SG without Bloom filters, for standalone fill-rate
+    /// studies (Fig. 8) where only set occupancy matters. Large SGs (up to
+    /// the paper's 4 GB) stay cheap this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets_per_sg` is zero.
+    pub fn for_fill_study(sets_per_sg: u32, page_size: u32) -> Self {
+        assert!(sets_per_sg > 0, "sets_per_sg must be positive");
+        Self {
+            sets: (0..sets_per_sg)
+                .map(|_| SetBuffer::new(page_size as usize))
+                .collect(),
+            filters: Vec::new(),
+            objects: 0,
+            bytes: 0,
+        }
+    }
+
+    /// The intra-SG set offset for a key (derived from the hashed key,
+    /// paper §4.1).
+    pub fn set_index_of(key: u64, sets_per_sg: u32) -> u32 {
+        (nemo_util::hash_u64(key, 0x5E7_1D) % sets_per_sg as u64) as u32
+    }
+
+    /// Number of sets.
+    pub fn set_count(&self) -> u32 {
+        self.sets.len() as u32
+    }
+
+    /// Inserts `key` into its hashed set; returns `false` if that set has
+    /// no room.
+    pub fn insert(&mut self, key: u64, size: u32) -> bool {
+        let idx = Self::set_index_of(key, self.set_count());
+        self.insert_at(idx, key, size)
+    }
+
+    /// Inserts into an explicit set offset (used by write-back, where the
+    /// offset is identical across SGs because the hash space is shared).
+    pub fn insert_at(&mut self, set: u32, key: u64, size: u32) -> bool {
+        let buf = &mut self.sets[set as usize];
+        let replaced = buf.contains(key);
+        let old_size = if replaced {
+            buf.entries()
+                .iter()
+                .find(|&&(k, _)| k == key)
+                .map(|&(_, s)| s as u64)
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        if !buf.insert(key, size) {
+            return false;
+        }
+        if replaced {
+            self.bytes -= old_size;
+        } else {
+            self.objects += 1;
+            if !self.filters.is_empty() {
+                self.filters[set as usize].insert(key);
+            }
+        }
+        self.bytes += size as u64;
+        true
+    }
+
+    /// Removes `key` from set `set` if present.
+    pub fn remove_at(&mut self, set: u32, key: u64) -> Option<u32> {
+        let size = self.sets[set as usize].remove(key)?;
+        self.objects -= 1;
+        self.bytes -= size as u64;
+        Some(size)
+    }
+
+    /// Evicts the oldest object from set `set` (probabilistic-flushing
+    /// sacrifice), returning it.
+    pub fn sacrifice_at(&mut self, set: u32) -> Option<(u64, u32)> {
+        let (k, s) = self.sets[set as usize].evict_oldest()?;
+        self.objects -= 1;
+        self.bytes -= s as u64;
+        Some((k, s))
+    }
+
+    /// Immutable access to one set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn set(&self, set: u32) -> &SetBuffer {
+        &self.sets[set as usize]
+    }
+
+    /// The per-set Bloom filters (moved into the index group at flush).
+    pub fn take_filters(&mut self) -> Vec<BloomFilter> {
+        std::mem::take(&mut self.filters)
+    }
+
+    /// Live objects in the SG.
+    pub fn object_count(&self) -> u64 {
+        self.objects
+    }
+
+    /// Live object bytes (page headers excluded).
+    pub fn byte_count(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Aggregate fill rate: used bytes over total page capacity — the
+    /// `E(FR_SG)` whose reciprocal is Nemo's WA (Eq. 9).
+    pub fn fill_rate(&self) -> f64 {
+        let used: usize = self.sets.iter().map(|s| s.used()).sum();
+        let cap: usize = self.sets.iter().map(|s| s.capacity).sum();
+        used as f64 / cap as f64
+    }
+
+    /// Per-set fill rates (for the Fig. 8 skew CDFs).
+    pub fn set_fill_rates(&self) -> Vec<f64> {
+        self.sets.iter().map(|s| s.fill_rate()).collect()
+    }
+
+    /// Whether any set is completely unable to take a 1-byte object —
+    /// proxy for "some set is full".
+    pub fn any_set_full(&self, typical_size: u32) -> bool {
+        self.sets.iter().any(|s| !s.has_room(typical_size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemo_trace::SyntheticInsertTrace;
+
+    #[test]
+    fn insert_respects_capacity() {
+        let mut buf = SetBuffer::new(1000);
+        assert!(buf.insert(1, 400));
+        assert!(buf.insert(2, 400));
+        assert!(!buf.insert(3, 400), "998+400 > 1000");
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.used(), 2 + 800);
+    }
+
+    #[test]
+    fn replace_same_key_frees_old_bytes() {
+        let mut buf = SetBuffer::new(1000);
+        assert!(buf.insert(1, 900));
+        assert!(buf.insert(1, 950), "replacement should fit");
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.used(), 2 + 950);
+    }
+
+    #[test]
+    fn evict_oldest_is_fifo() {
+        let mut buf = SetBuffer::new(1000);
+        buf.insert(1, 100);
+        buf.insert(2, 100);
+        assert_eq!(buf.evict_oldest(), Some((1, 100)));
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn sg_insert_and_bookkeeping() {
+        let mut sg = MemSg::new(8, 512, 0.01, 10);
+        assert!(sg.insert(10, 100));
+        assert!(sg.insert(11, 100));
+        assert_eq!(sg.object_count(), 2);
+        assert_eq!(sg.byte_count(), 200);
+        // Replacement does not change the object count.
+        assert!(sg.insert(10, 120));
+        assert_eq!(sg.object_count(), 2);
+        assert_eq!(sg.byte_count(), 220);
+    }
+
+    #[test]
+    fn sacrifice_updates_counts() {
+        let mut sg = MemSg::new(4, 512, 0.01, 10);
+        let set = MemSg::set_index_of(5, 4);
+        sg.insert(5, 100);
+        let (k, s) = sg.sacrifice_at(set).expect("entry to evict");
+        assert_eq!((k, s), (5, 100));
+        assert_eq!(sg.object_count(), 0);
+        assert_eq!(sg.byte_count(), 0);
+    }
+
+    #[test]
+    fn fill_rate_reaches_one_when_all_sets_full() {
+        let mut sg = MemSg::new(2, 514, 0.01, 10);
+        // Each set takes exactly 512 B of objects (2 B header + 512 = 514).
+        for set in 0..2 {
+            // Find keys hashing to `set`.
+            let mut found = 0;
+            for k in 0..10_000u64 {
+                if MemSg::set_index_of(k, 2) == set && found < 4 {
+                    sg.insert_at(set, k, 128);
+                    found += 1;
+                }
+            }
+            assert_eq!(found, 4);
+        }
+        assert!((sg.fill_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_term_skew_exists_like_fig8() {
+        // Insert unique objects until the first set fills; the mean fill
+        // of the other sets must be far below 100% (the paper's C1).
+        let mut sg = MemSg::new(256, 4096, 0.001, 40);
+        let mut trace = SyntheticInsertTrace::paper_synthetic(77);
+        loop {
+            let r = trace.next().expect("infinite trace");
+            if !sg.insert(r.key, r.size) {
+                break;
+            }
+        }
+        let rates = sg.set_fill_rates();
+        let mean: f64 = rates.iter().sum::<f64>() / rates.len() as f64;
+        assert!(
+            mean < 0.5,
+            "when the first set fills, most sets should be far from full \
+             (paper Fig. 8): mean fill {mean}"
+        );
+    }
+
+    #[test]
+    fn filters_track_inserted_keys() {
+        let mut sg = MemSg::new(16, 4096, 0.001, 40);
+        for k in 0..200u64 {
+            sg.insert(k, 100);
+        }
+        let filters = sg.take_filters();
+        for k in 0..200u64 {
+            let set = MemSg::set_index_of(k, 16);
+            assert!(filters[set as usize].contains(k), "no false negatives");
+        }
+    }
+}

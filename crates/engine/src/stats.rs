@@ -1,0 +1,188 @@
+//! Shared counters and memory accounting.
+
+use nemo_flash::DeviceStats;
+
+/// Counters common to all engines.
+///
+/// Conventions (paper §5.2):
+/// * `logical_bytes` — bytes of objects newly written by the user,
+///   including objects sacrificed by Nemo's probabilistic flushing;
+///   re-copied bytes (write-back, migration, GC) are *not* logical.
+/// * `flash_bytes_written` — application-level bytes sent to the device.
+/// * `nand_bytes_written` — bytes programmed on NAND. Equal to
+///   `flash_bytes_written` on zoned devices (DLWA = 1); larger on the
+///   conventional device behind the set-associative baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Lookup operations.
+    pub gets: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Insert operations (user puts + miss fills).
+    pub puts: u64,
+    /// User bytes admitted (ALWA denominator).
+    pub logical_bytes: u64,
+    /// Application-level bytes written to flash.
+    pub flash_bytes_written: u64,
+    /// NAND bytes programmed (includes device GC).
+    pub nand_bytes_written: u64,
+    /// Bytes read from flash (objects + index + write-back reads).
+    pub flash_bytes_read: u64,
+    /// Objects evicted (dropped from the cache).
+    pub evicted_objects: u64,
+    /// Objects currently resident on flash (approximate for approximate
+    /// indexes).
+    pub objects_on_flash: u64,
+    /// Raw device counters.
+    pub device: DeviceStats,
+}
+
+impl EngineStats {
+    /// Application-level write amplification.
+    pub fn alwa(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            1.0
+        } else {
+            self.flash_bytes_written as f64 / self.logical_bytes as f64
+        }
+    }
+
+    /// Total write amplification including device-level GC.
+    pub fn total_wa(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            1.0
+        } else {
+            self.nand_bytes_written as f64 / self.logical_bytes as f64
+        }
+    }
+
+    /// Fraction of gets that missed.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.gets == 0 {
+            0.0
+        } else {
+            1.0 - self.hits as f64 / self.gets as f64
+        }
+    }
+
+    /// Flash bytes read per get (read amplification proxy, §5.5).
+    pub fn read_bytes_per_get(&self) -> f64 {
+        if self.gets == 0 {
+            0.0
+        } else {
+            self.flash_bytes_read as f64 / self.gets as f64
+        }
+    }
+}
+
+/// One metadata memory component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryComponent {
+    /// Component label (e.g. "index cache", "hotness bitmap").
+    pub name: String,
+    /// Resident bytes.
+    pub bytes: u64,
+}
+
+/// Metadata memory report, convertible to the paper's bits/object metric
+/// (Table 6).
+///
+/// # Examples
+///
+/// ```
+/// use nemo_engine::MemoryBreakdown;
+/// let mut m = MemoryBreakdown::new(1000);
+/// m.push("index", 1000);  // 8 bits/obj
+/// m.push("hotness", 125); // 1 bit/obj
+/// assert!((m.bits_per_object() - 9.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MemoryBreakdown {
+    /// Components in display order.
+    pub components: Vec<MemoryComponent>,
+    /// Objects covered by the metadata (on-flash object count).
+    pub objects: u64,
+}
+
+impl MemoryBreakdown {
+    /// Creates an empty breakdown for `objects` resident objects.
+    pub fn new(objects: u64) -> Self {
+        Self {
+            components: Vec::new(),
+            objects,
+        }
+    }
+
+    /// Adds a component.
+    pub fn push(&mut self, name: &str, bytes: u64) {
+        self.components.push(MemoryComponent {
+            name: name.to_string(),
+            bytes,
+        });
+    }
+
+    /// Total metadata bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.components.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Metadata bits per on-flash object (Table 6's unit).
+    pub fn bits_per_object(&self) -> f64 {
+        if self.objects == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 * 8.0 / self.objects as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wa_ratios() {
+        let s = EngineStats {
+            logical_bytes: 100,
+            flash_bytes_written: 156,
+            nand_bytes_written: 312,
+            ..Default::default()
+        };
+        assert!((s.alwa() - 1.56).abs() < 1e-9);
+        assert!((s.total_wa() - 3.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = EngineStats::default();
+        assert_eq!(s.alwa(), 1.0);
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.read_bytes_per_get(), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let s = EngineStats {
+            gets: 10,
+            hits: 7,
+            ..Default::default()
+        };
+        assert!((s.miss_ratio() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let mut m = MemoryBreakdown::new(200_000);
+        m.push("bloom filters", 180_000); // 7.2 bits/obj
+        m.push("hotness", 7_500); // 0.3
+        m.push("index group buffer", 20_000); // 0.8
+        assert_eq!(m.total_bytes(), 207_500);
+        assert!((m.bits_per_object() - 8.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_objects_breakdown() {
+        let m = MemoryBreakdown::new(0);
+        assert_eq!(m.bits_per_object(), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! The engine trait.
+
+use crate::stats::{EngineStats, MemoryBreakdown};
+use nemo_flash::Nanos;
+
+/// Result of a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetOutcome {
+    /// Whether the object was found.
+    pub hit: bool,
+    /// Virtual completion time of the lookup (≥ the issue time).
+    pub done_at: Nanos,
+    /// Flash pages read to serve this lookup (object + index + false
+    /// positives) — the per-request read amplification.
+    pub flash_reads: u32,
+}
+
+impl GetOutcome {
+    /// A miss served entirely from memory (no flash touched).
+    pub fn memory_miss(now: Nanos) -> Self {
+        Self {
+            hit: false,
+            done_at: now,
+            flash_reads: 0,
+        }
+    }
+
+    /// A hit served entirely from memory.
+    pub fn memory_hit(now: Nanos) -> Self {
+        Self {
+            hit: true,
+            done_at: now,
+            flash_reads: 0,
+        }
+    }
+}
+
+/// A flash cache engine: Nemo or one of the baselines.
+///
+/// Engines own their simulated device. Operations carry a virtual
+/// timestamp `now` and report their completion time so the harness can
+/// build latency distributions without wall-clock noise.
+///
+/// The trait is object-safe: the harness stores engines as
+/// `Box<dyn CacheEngine>` to compare systems uniformly.
+pub trait CacheEngine {
+    /// Short engine name ("nemo", "log", "set", "kangaroo", "fairywren").
+    fn name(&self) -> &'static str;
+
+    /// Looks up `key` at virtual time `now`.
+    fn get(&mut self, key: u64, now: Nanos) -> GetOutcome;
+
+    /// Inserts (or updates) an object of `size` bytes; returns the
+    /// completion time of the foreground portion of the write.
+    fn put(&mut self, key: u64, size: u32, now: Nanos) -> Nanos;
+
+    /// Common counters.
+    fn stats(&self) -> EngineStats;
+
+    /// Metadata memory accounting (Table 6).
+    fn memory(&self) -> MemoryBreakdown;
+
+    /// Forces in-memory buffers to flash (used by tests and at the end of
+    /// replay; engines without buffers may ignore it).
+    fn drain(&mut self, _now: Nanos) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_constructors() {
+        let t = Nanos::from_micros(5);
+        let hit = GetOutcome::memory_hit(t);
+        assert!(hit.hit);
+        assert_eq!(hit.done_at, t);
+        assert_eq!(hit.flash_reads, 0);
+        let miss = GetOutcome::memory_miss(t);
+        assert!(!miss.hit);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        // Compile-time check.
+        fn _take(_: &dyn CacheEngine) {}
+    }
+}

@@ -1,0 +1,116 @@
+//! Error type for device operations.
+
+use crate::geometry::{PageAddr, ZoneId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the simulated flash devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlashError {
+    /// The zone index is outside the device.
+    BadZone(ZoneId),
+    /// The page address is outside the device.
+    BadAddress(PageAddr),
+    /// An append would exceed the zone capacity.
+    ZoneOverflow {
+        /// Target zone.
+        zone: ZoneId,
+        /// Pages remaining in the zone.
+        remaining: u32,
+        /// Pages requested.
+        requested: u32,
+    },
+    /// A read touched pages beyond the zone's write pointer.
+    ReadBeyondWritePointer {
+        /// Offending address.
+        addr: PageAddr,
+        /// Current write pointer of the zone.
+        write_pointer: u32,
+    },
+    /// Data length is not a positive multiple of the page size.
+    UnalignedLength {
+        /// Provided length in bytes.
+        len: usize,
+        /// Device page size.
+        page_size: u32,
+    },
+    /// A write targeted a zone in the `Full` state.
+    ZoneNotWritable(ZoneId),
+    /// The logical page number is outside the exposed (post-OP) capacity.
+    BadLogicalPage(u64),
+    /// Garbage collection could not reclaim space (device over-filled).
+    GcStalled,
+    /// Backing-file I/O failed (file-backed devices only).
+    Io(String),
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::BadZone(z) => write!(f, "zone {} does not exist", z.0),
+            FlashError::BadAddress(a) => write!(f, "address {a} is outside the device"),
+            FlashError::ZoneOverflow {
+                zone,
+                remaining,
+                requested,
+            } => write!(
+                f,
+                "append of {requested} pages exceeds zone {} capacity ({remaining} pages left)",
+                zone.0
+            ),
+            FlashError::ReadBeyondWritePointer {
+                addr,
+                write_pointer,
+            } => write!(
+                f,
+                "read at {addr} is beyond the write pointer ({write_pointer})"
+            ),
+            FlashError::UnalignedLength { len, page_size } => write!(
+                f,
+                "data length {len} is not a positive multiple of the page size {page_size}"
+            ),
+            FlashError::ZoneNotWritable(z) => {
+                write!(f, "zone {} is full and must be reset before writing", z.0)
+            }
+            FlashError::BadLogicalPage(lpn) => {
+                write!(f, "logical page {lpn} is beyond the exposed capacity")
+            }
+            FlashError::GcStalled => {
+                write!(f, "garbage collection stalled: no reclaimable space")
+            }
+            FlashError::Io(msg) => write!(f, "backing-file i/o error: {msg}"),
+        }
+    }
+}
+
+impl Error for FlashError {}
+
+impl From<std::io::Error> for FlashError {
+    fn from(err: std::io::Error) -> Self {
+        FlashError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = FlashError::ZoneOverflow {
+            zone: ZoneId(3),
+            remaining: 1,
+            requested: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("zone 3"));
+        assert!(s.contains("2 pages"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error + Send + Sync> = Box::new(FlashError::GcStalled);
+        assert!(e.to_string().contains("stalled"));
+    }
+}

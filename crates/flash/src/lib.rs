@@ -1,0 +1,56 @@
+//! Flash-device simulators for the Nemo reproduction.
+//!
+//! The paper evaluates on a Western Digital ZN540 ZNS SSD. This crate
+//! provides the substitute substrate: a zoned flash simulator that enforces
+//! the same host-visible constraints —
+//!
+//! * zones are append-only (a write pointer per zone),
+//! * a zone must be reset (erased) before its pages can be rewritten,
+//! * I/O happens at page (4 KB) granularity,
+//! * pages are striped over a fixed number of dies; a die services one
+//!   operation at a time, so background writes delay foreground reads
+//!   (the mechanism behind the paper's tail-latency results, Fig. 15),
+//!
+//! — and accounts every host/NAND byte so application-level and
+//! device-level write amplification can be measured exactly.
+//!
+//! Two devices are provided:
+//!
+//! * [`SimFlash`]: the zoned device (ZNS-style). Host placement decisions are
+//!   explicit, so device-level WA is 1.0 by construction, exactly like the
+//!   log-structured devices the paper targets. Data can live in memory or in
+//!   a backing file ([`SimFlash::file_backed`]).
+//! * [`ConventionalSsd`]: a block device built on top of [`SimFlash`] with a
+//!   page-mapped FTL, greedy garbage collection and configurable
+//!   over-provisioning. Used by the set-associative baseline, which the
+//!   paper runs with 50 % OP, and for DLWA studies.
+//!
+//! # Examples
+//!
+//! ```
+//! use nemo_flash::{Geometry, Nanos, SimFlash, ZoneId, ZonedFlash};
+//!
+//! let geom = Geometry::new(4096, 64, 8, 4);
+//! let mut dev = SimFlash::new(geom);
+//! let page = vec![0xAB; 4096];
+//! let (addr, done) = dev.append(ZoneId(0), &page, Nanos::ZERO)?;
+//! let (data, _) = dev.read_pages(addr, 1, done)?;
+//! assert_eq!(data, page);
+//! # Ok::<(), nemo_flash::FlashError>(())
+//! ```
+
+mod conventional;
+mod dies;
+mod error;
+mod geometry;
+mod stats;
+mod time;
+mod zoned;
+
+pub use conventional::{ConventionalSsd, FtlStats};
+pub use dies::{DieTimeline, LatencyModel};
+pub use error::FlashError;
+pub use geometry::{Geometry, PageAddr, ZoneId};
+pub use stats::DeviceStats;
+pub use time::Nanos;
+pub use zoned::{SimFlash, ZoneState, ZonedFlash};

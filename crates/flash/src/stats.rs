@@ -1,0 +1,77 @@
+//! Device I/O accounting.
+
+use crate::time::Nanos;
+
+/// Cumulative I/O counters for a device.
+///
+/// All write-amplification numbers in the reproduction are derived from
+/// these counters: application-level WA compares an engine's logical bytes
+/// against `bytes_written` here, and device-level WA compares host writes
+/// against NAND writes (see [`crate::FtlStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceStats {
+    /// Pages written (appended) by the host.
+    pub pages_written: u64,
+    /// Bytes written by the host.
+    pub bytes_written: u64,
+    /// Pages read.
+    pub pages_read: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Zone resets (erases).
+    pub zone_resets: u64,
+    /// Number of append operations (each may cover many pages).
+    pub append_ops: u64,
+    /// Number of read operations.
+    pub read_ops: u64,
+    /// Total device-busy time accumulated over all dies.
+    pub busy_time: Nanos,
+}
+
+impl DeviceStats {
+    /// Counter-wise difference `self - earlier`, for windowed reporting.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` has larger counters.
+    pub fn delta(&self, earlier: &DeviceStats) -> DeviceStats {
+        DeviceStats {
+            pages_written: self.pages_written - earlier.pages_written,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            pages_read: self.pages_read - earlier.pages_read,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            zone_resets: self.zone_resets - earlier.zone_resets,
+            append_ops: self.append_ops - earlier.append_ops,
+            read_ops: self.read_ops - earlier.read_ops,
+            busy_time: self.busy_time.saturating_sub(earlier.busy_time),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_counterwise() {
+        let a = DeviceStats {
+            pages_written: 10,
+            bytes_written: 40960,
+            pages_read: 3,
+            bytes_read: 12288,
+            zone_resets: 1,
+            append_ops: 2,
+            read_ops: 3,
+            busy_time: Nanos(500),
+        };
+        let b = DeviceStats {
+            pages_written: 4,
+            bytes_written: 16384,
+            ..Default::default()
+        };
+        let d = a.delta(&b);
+        assert_eq!(d.pages_written, 6);
+        assert_eq!(d.bytes_written, 24576);
+        assert_eq!(d.zone_resets, 1);
+    }
+}

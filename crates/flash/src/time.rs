@@ -1,0 +1,142 @@
+//! Virtual time used throughout the simulators.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or span of) virtual time, in nanoseconds.
+///
+/// The simulators never read wall-clock time; the replay harness advances a
+/// virtual clock and passes it into every device operation, which returns
+/// the operation's completion time under the device's latency model.
+///
+/// # Examples
+///
+/// ```
+/// use nemo_flash::Nanos;
+/// let t = Nanos::from_micros(70) + Nanos::from_micros(14);
+/// assert_eq!(t.as_micros(), 84);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// Time zero.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Whole microseconds in this value.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds in this value.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub const fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, rhs: Nanos) -> Nanos {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Nanos::from_micros(5).0, 5_000);
+        assert_eq!(Nanos::from_millis(2).as_micros(), 2_000);
+        assert_eq!(Nanos::from_secs(1).as_millis(), 1_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos(100);
+        let b = Nanos(40);
+        assert_eq!(a + b, Nanos(140));
+        assert_eq!(a - b, Nanos(60));
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        assert_eq!(a.max(b), a);
+        let total: Nanos = [a, b, Nanos(1)].into_iter().sum();
+        assert_eq!(total, Nanos(141));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Nanos(500)), "500ns");
+        assert_eq!(format!("{}", Nanos::from_micros(70)), "70.000us");
+        assert_eq!(format!("{}", Nanos::from_millis(2)), "2.000ms");
+        assert_eq!(format!("{}", Nanos::from_secs(3)), "3.000s");
+    }
+}

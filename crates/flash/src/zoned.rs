@@ -1,0 +1,567 @@
+//! The zoned (ZNS-style) flash device simulator.
+
+use crate::dies::{DieTimeline, LatencyModel};
+use crate::error::FlashError;
+use crate::geometry::{Geometry, PageAddr, ZoneId};
+use crate::stats::DeviceStats;
+use crate::time::Nanos;
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+
+/// Host-visible state of a zone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZoneState {
+    /// Never written since the last reset.
+    Empty,
+    /// Partially written; the write pointer is inside the zone.
+    Open,
+    /// Fully written (or explicitly finished); must be reset before reuse.
+    Full,
+}
+
+/// The host-facing interface of a zoned flash device.
+///
+/// [`SimFlash`] is the in-repo implementation; the trait exists so
+/// downstream users can plug in a real ZNS device (e.g. via `libzbd`
+/// bindings) without touching engine code.
+pub trait ZonedFlash {
+    /// Device geometry.
+    fn geometry(&self) -> Geometry;
+    /// Current state of a zone.
+    fn zone_state(&self, zone: ZoneId) -> ZoneState;
+    /// Write pointer (next page offset) of a zone.
+    fn write_pointer(&self, zone: ZoneId) -> u32;
+    /// Appends page-aligned data at a zone's write pointer.
+    ///
+    /// Returns the address of the first page written and the completion
+    /// time under the latency model.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the zone does not exist, is full, would overflow, or the
+    /// data length is not a positive multiple of the page size.
+    fn append(
+        &mut self,
+        zone: ZoneId,
+        data: &[u8],
+        now: Nanos,
+    ) -> Result<(PageAddr, Nanos), FlashError>;
+    /// Reads `pages` consecutive pages starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range leaves the zone or crosses the write pointer.
+    fn read_pages(
+        &mut self,
+        addr: PageAddr,
+        pages: u32,
+        now: Nanos,
+    ) -> Result<(Vec<u8>, Nanos), FlashError>;
+    /// Resets (erases) a zone, returning the completion time.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the zone does not exist.
+    fn reset_zone(&mut self, zone: ZoneId, now: Nanos) -> Result<Nanos, FlashError>;
+    /// Cumulative I/O statistics.
+    fn stats(&self) -> DeviceStats;
+}
+
+#[derive(Debug)]
+struct Zone {
+    write_ptr: u32,
+    finished: bool,
+    resets: u64,
+}
+
+#[derive(Debug)]
+enum Backend {
+    /// Page data in memory; zone buffers allocated on first write.
+    Mem { zones: Vec<Option<Box<[u8]>>> },
+    /// Page data in a sparse backing file (exercises a real I/O path).
+    File { file: File },
+}
+
+/// In-memory (or file-backed) zoned flash device.
+///
+/// Enforces ZNS semantics: appends advance a per-zone write pointer, full
+/// zones reject writes until reset, reads past the write pointer fail.
+/// Every page operation is scheduled on the die that owns the page
+/// ([`Geometry::die_of`]); concurrent pages on distinct dies overlap while
+/// pages on one die serialize, which is how background flushes and GC
+/// inflate foreground read tail latency (paper Fig. 15).
+///
+/// # Examples
+///
+/// ```
+/// use nemo_flash::{Geometry, Nanos, SimFlash, ZoneId, ZoneState, ZonedFlash};
+///
+/// let mut dev = SimFlash::new(Geometry::new(4096, 4, 2, 2));
+/// let buf = vec![7u8; 4096 * 4];
+/// dev.append(ZoneId(0), &buf, Nanos::ZERO)?;
+/// assert_eq!(dev.zone_state(ZoneId(0)), ZoneState::Full);
+/// dev.reset_zone(ZoneId(0), Nanos::ZERO)?;
+/// assert_eq!(dev.zone_state(ZoneId(0)), ZoneState::Empty);
+/// # Ok::<(), nemo_flash::FlashError>(())
+/// ```
+#[derive(Debug)]
+pub struct SimFlash {
+    geom: Geometry,
+    lat: LatencyModel,
+    dies: DieTimeline,
+    zones: Vec<Zone>,
+    backend: Backend,
+    stats: DeviceStats,
+}
+
+impl SimFlash {
+    /// Creates an in-memory device with the default latency model.
+    pub fn new(geom: Geometry) -> Self {
+        Self::with_latency(geom, LatencyModel::default())
+    }
+
+    /// Creates an in-memory device with a custom latency model.
+    pub fn with_latency(geom: Geometry, lat: LatencyModel) -> Self {
+        let zones = (0..geom.zone_count())
+            .map(|_| Zone {
+                write_ptr: 0,
+                finished: false,
+                resets: 0,
+            })
+            .collect();
+        let mem = (0..geom.zone_count()).map(|_| None).collect();
+        Self {
+            geom,
+            lat,
+            dies: DieTimeline::new(geom.dies()),
+            zones,
+            backend: Backend::Mem { zones: mem },
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// Creates a device whose page data lives in a sparse file at `path`.
+    ///
+    /// Zone state stays in memory (as it would in a host ZNS driver); only
+    /// page payloads hit the file. Useful to run experiments larger than
+    /// RAM and to exercise a real I/O path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be created or sized.
+    pub fn file_backed(
+        geom: Geometry,
+        lat: LatencyModel,
+        path: &Path,
+    ) -> Result<Self, FlashError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.set_len(geom.total_bytes())?;
+        let zones = (0..geom.zone_count())
+            .map(|_| Zone {
+                write_ptr: 0,
+                finished: false,
+                resets: 0,
+            })
+            .collect();
+        Ok(Self {
+            geom,
+            lat,
+            dies: DieTimeline::new(geom.dies()),
+            zones,
+            backend: Backend::File { file },
+            stats: DeviceStats::default(),
+        })
+    }
+
+    /// Reads a scattered set of single pages "in parallel".
+    ///
+    /// Each page is scheduled on its own die; the returned completion time
+    /// is the maximum over all pages, modelling the parallel candidate-SG
+    /// reads Nemo issues after a PBFG query.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first invalid address.
+    pub fn read_scattered(
+        &mut self,
+        addrs: &[PageAddr],
+        now: Nanos,
+    ) -> Result<(Vec<Vec<u8>>, Nanos), FlashError> {
+        let mut out = Vec::with_capacity(addrs.len());
+        let mut done = now;
+        for &addr in addrs {
+            let (data, t) = self.read_pages(addr, 1, now)?;
+            out.push(data);
+            done = done.max(t);
+        }
+        Ok((out, done))
+    }
+
+    /// Explicitly transitions a zone to `Full` (ZNS "finish zone").
+    ///
+    /// # Errors
+    ///
+    /// Fails if the zone does not exist.
+    pub fn finish_zone(&mut self, zone: ZoneId) -> Result<(), FlashError> {
+        let z = self
+            .zones
+            .get_mut(zone.0 as usize)
+            .ok_or(FlashError::BadZone(zone))?;
+        z.finished = true;
+        Ok(())
+    }
+
+    /// Number of times each zone has been reset — a wear indicator.
+    pub fn reset_count(&self, zone: ZoneId) -> u64 {
+        self.zones[zone.0 as usize].resets
+    }
+
+    /// The latency model in effect.
+    pub fn latency_model(&self) -> LatencyModel {
+        self.lat
+    }
+
+    fn check_zone(&self, zone: ZoneId) -> Result<(), FlashError> {
+        if zone.0 >= self.geom.zone_count() {
+            return Err(FlashError::BadZone(zone));
+        }
+        Ok(())
+    }
+
+    fn store(&mut self, addr: PageAddr, data: &[u8]) -> Result<(), FlashError> {
+        let psz = self.geom.page_size() as usize;
+        match &mut self.backend {
+            Backend::Mem { zones } => {
+                let buf = zones[addr.zone as usize].get_or_insert_with(|| {
+                    vec![0u8; self.geom.zone_bytes() as usize].into_boxed_slice()
+                });
+                let off = addr.page as usize * psz;
+                buf[off..off + psz].copy_from_slice(data);
+            }
+            Backend::File { file } => {
+                use std::os::unix::fs::FileExt;
+                let off = self.geom.flat_index(addr) * psz as u64;
+                file.write_all_at(data, off)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn load(&self, addr: PageAddr, out: &mut [u8]) -> Result<(), FlashError> {
+        let psz = self.geom.page_size() as usize;
+        match &self.backend {
+            Backend::Mem { zones } => match &zones[addr.zone as usize] {
+                Some(buf) => {
+                    let off = addr.page as usize * psz;
+                    out.copy_from_slice(&buf[off..off + psz]);
+                }
+                None => out.fill(0),
+            },
+            Backend::File { file } => {
+                use std::os::unix::fs::FileExt;
+                let off = self.geom.flat_index(addr) * psz as u64;
+                file.read_exact_at(out, off)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ZonedFlash for SimFlash {
+    fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    fn zone_state(&self, zone: ZoneId) -> ZoneState {
+        let z = &self.zones[zone.0 as usize];
+        if z.finished || z.write_ptr == self.geom.pages_per_zone() {
+            ZoneState::Full
+        } else if z.write_ptr == 0 {
+            ZoneState::Empty
+        } else {
+            ZoneState::Open
+        }
+    }
+
+    fn write_pointer(&self, zone: ZoneId) -> u32 {
+        self.zones[zone.0 as usize].write_ptr
+    }
+
+    fn append(
+        &mut self,
+        zone: ZoneId,
+        data: &[u8],
+        now: Nanos,
+    ) -> Result<(PageAddr, Nanos), FlashError> {
+        self.check_zone(zone)?;
+        let psz = self.geom.page_size() as usize;
+        if data.is_empty() || data.len() % psz != 0 {
+            return Err(FlashError::UnalignedLength {
+                len: data.len(),
+                page_size: self.geom.page_size(),
+            });
+        }
+        let pages = (data.len() / psz) as u32;
+        let ppz = self.geom.pages_per_zone();
+        {
+            let z = &self.zones[zone.0 as usize];
+            if z.finished || z.write_ptr == ppz {
+                return Err(FlashError::ZoneNotWritable(zone));
+            }
+            if z.write_ptr + pages > ppz {
+                return Err(FlashError::ZoneOverflow {
+                    zone,
+                    remaining: ppz - z.write_ptr,
+                    requested: pages,
+                });
+            }
+        }
+        let start_page = self.zones[zone.0 as usize].write_ptr;
+        let mut done = now;
+        for i in 0..pages {
+            let addr = PageAddr::new(zone.0, start_page + i);
+            self.store(addr, &data[i as usize * psz..(i as usize + 1) * psz])?;
+            let die = self.geom.die_of(addr);
+            let t = self.dies.service(die, now, self.lat.page_append);
+            done = done.max(t);
+        }
+        let z = &mut self.zones[zone.0 as usize];
+        z.write_ptr += pages;
+        self.stats.pages_written += pages as u64;
+        self.stats.bytes_written += data.len() as u64;
+        self.stats.append_ops += 1;
+        self.stats.busy_time = self.dies.total_busy();
+        Ok((PageAddr::new(zone.0, start_page), done))
+    }
+
+    fn read_pages(
+        &mut self,
+        addr: PageAddr,
+        pages: u32,
+        now: Nanos,
+    ) -> Result<(Vec<u8>, Nanos), FlashError> {
+        if !self.geom.contains(addr) || pages == 0 {
+            return Err(FlashError::BadAddress(addr));
+        }
+        if addr.page + pages > self.geom.pages_per_zone() {
+            return Err(FlashError::BadAddress(PageAddr::new(
+                addr.zone,
+                addr.page + pages - 1,
+            )));
+        }
+        let wp = self.zones[addr.zone as usize].write_ptr;
+        if addr.page + pages > wp {
+            return Err(FlashError::ReadBeyondWritePointer {
+                addr,
+                write_pointer: wp,
+            });
+        }
+        let psz = self.geom.page_size() as usize;
+        let mut out = vec![0u8; pages as usize * psz];
+        let mut done = now;
+        for i in 0..pages {
+            let a = PageAddr::new(addr.zone, addr.page + i);
+            self.load(a, &mut out[i as usize * psz..(i as usize + 1) * psz])?;
+            let die = self.geom.die_of(a);
+            let t = self.dies.service(die, now, self.lat.page_read);
+            done = done.max(t);
+        }
+        self.stats.pages_read += pages as u64;
+        self.stats.bytes_read += out.len() as u64;
+        self.stats.read_ops += 1;
+        self.stats.busy_time = self.dies.total_busy();
+        Ok((out, done))
+    }
+
+    fn reset_zone(&mut self, zone: ZoneId, now: Nanos) -> Result<Nanos, FlashError> {
+        self.check_zone(zone)?;
+        let z = &mut self.zones[zone.0 as usize];
+        z.write_ptr = 0;
+        z.finished = false;
+        z.resets += 1;
+        if let Backend::Mem { zones } = &mut self.backend {
+            zones[zone.0 as usize] = None;
+        }
+        self.stats.zone_resets += 1;
+        // An erase occupies the zone's first die; modelling one die keeps
+        // resets from unrealistically freezing the whole device.
+        let die = self.geom.die_of(PageAddr::new(zone.0, 0));
+        let done = self.dies.service(die, now, self.lat.zone_reset);
+        self.stats.busy_time = self.dies.total_busy();
+        Ok(done)
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SimFlash {
+        SimFlash::with_latency(Geometry::new(512, 4, 3, 2), LatencyModel::default())
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let mut dev = small();
+        let data: Vec<u8> = (0..512).map(|i| (i % 251) as u8).collect();
+        let (addr, _) = dev.append(ZoneId(1), &data, Nanos::ZERO).unwrap();
+        assert_eq!(addr, PageAddr::new(1, 0));
+        let (back, _) = dev.read_pages(addr, 1, Nanos::ZERO).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn multi_page_append_advances_pointer() {
+        let mut dev = small();
+        let data = vec![9u8; 512 * 3];
+        let (addr, _) = dev.append(ZoneId(0), &data, Nanos::ZERO).unwrap();
+        assert_eq!(addr.page, 0);
+        assert_eq!(dev.write_pointer(ZoneId(0)), 3);
+        assert_eq!(dev.zone_state(ZoneId(0)), ZoneState::Open);
+    }
+
+    #[test]
+    fn zone_fills_and_rejects_further_appends() {
+        let mut dev = small();
+        dev.append(ZoneId(0), &vec![1u8; 512 * 4], Nanos::ZERO).unwrap();
+        assert_eq!(dev.zone_state(ZoneId(0)), ZoneState::Full);
+        let err = dev.append(ZoneId(0), &vec![1u8; 512], Nanos::ZERO).unwrap_err();
+        assert_eq!(err, FlashError::ZoneNotWritable(ZoneId(0)));
+    }
+
+    #[test]
+    fn overflow_append_rejected_atomically() {
+        let mut dev = small();
+        dev.append(ZoneId(0), &vec![1u8; 512 * 3], Nanos::ZERO).unwrap();
+        let err = dev
+            .append(ZoneId(0), &vec![1u8; 512 * 2], Nanos::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, FlashError::ZoneOverflow { remaining: 1, .. }));
+        // Pointer unchanged.
+        assert_eq!(dev.write_pointer(ZoneId(0)), 3);
+    }
+
+    #[test]
+    fn read_beyond_write_pointer_fails() {
+        let mut dev = small();
+        dev.append(ZoneId(0), &vec![1u8; 512], Nanos::ZERO).unwrap();
+        let err = dev
+            .read_pages(PageAddr::new(0, 1), 1, Nanos::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, FlashError::ReadBeyondWritePointer { .. }));
+    }
+
+    #[test]
+    fn unaligned_append_rejected() {
+        let mut dev = small();
+        let err = dev.append(ZoneId(0), &vec![1u8; 100], Nanos::ZERO).unwrap_err();
+        assert!(matches!(err, FlashError::UnalignedLength { .. }));
+        let err = dev.append(ZoneId(0), &[], Nanos::ZERO).unwrap_err();
+        assert!(matches!(err, FlashError::UnalignedLength { .. }));
+    }
+
+    #[test]
+    fn reset_clears_zone_and_counts() {
+        let mut dev = small();
+        dev.append(ZoneId(2), &vec![5u8; 512 * 4], Nanos::ZERO).unwrap();
+        dev.reset_zone(ZoneId(2), Nanos::ZERO).unwrap();
+        assert_eq!(dev.zone_state(ZoneId(2)), ZoneState::Empty);
+        assert_eq!(dev.write_pointer(ZoneId(2)), 0);
+        assert_eq!(dev.reset_count(ZoneId(2)), 1);
+        assert_eq!(dev.stats().zone_resets, 1);
+        // Can write again after reset.
+        dev.append(ZoneId(2), &vec![6u8; 512], Nanos::ZERO).unwrap();
+    }
+
+    #[test]
+    fn finish_zone_makes_full() {
+        let mut dev = small();
+        dev.append(ZoneId(0), &vec![1u8; 512], Nanos::ZERO).unwrap();
+        dev.finish_zone(ZoneId(0)).unwrap();
+        assert_eq!(dev.zone_state(ZoneId(0)), ZoneState::Full);
+        assert!(dev.append(ZoneId(0), &vec![1u8; 512], Nanos::ZERO).is_err());
+    }
+
+    #[test]
+    fn stats_account_bytes() {
+        let mut dev = small();
+        dev.append(ZoneId(0), &vec![1u8; 512 * 2], Nanos::ZERO).unwrap();
+        dev.read_pages(PageAddr::new(0, 0), 2, Nanos::ZERO).unwrap();
+        let s = dev.stats();
+        assert_eq!(s.pages_written, 2);
+        assert_eq!(s.bytes_written, 1024);
+        assert_eq!(s.pages_read, 2);
+        assert_eq!(s.bytes_read, 1024);
+        assert_eq!(s.append_ops, 1);
+        assert_eq!(s.read_ops, 1);
+    }
+
+    #[test]
+    fn writes_delay_reads_on_same_die() {
+        // One die: the read must wait for the append to finish.
+        let geom = Geometry::new(512, 4, 1, 1);
+        let lat = LatencyModel {
+            page_read: Nanos::from_micros(70),
+            page_append: Nanos::from_micros(14),
+            zone_reset: Nanos::from_millis(2),
+        };
+        let mut dev = SimFlash::with_latency(geom, lat);
+        let (_, wdone) = dev.append(ZoneId(0), &vec![1u8; 512], Nanos::ZERO).unwrap();
+        assert_eq!(wdone, Nanos::from_micros(14));
+        let (_, rdone) = dev
+            .read_pages(PageAddr::new(0, 0), 1, Nanos::ZERO)
+            .unwrap();
+        assert_eq!(rdone, Nanos::from_micros(84), "read queued behind write");
+    }
+
+    #[test]
+    fn scattered_reads_parallelize_across_dies() {
+        let geom = Geometry::new(512, 4, 2, 4);
+        let mut dev = SimFlash::with_latency(geom, LatencyModel::default());
+        dev.append(ZoneId(0), &vec![1u8; 512 * 4], Nanos::ZERO).unwrap();
+        let addrs = [PageAddr::new(0, 0), PageAddr::new(0, 1), PageAddr::new(0, 2)];
+        let (bufs, done) = dev.read_scattered(&addrs, Nanos::from_millis(1)).unwrap();
+        assert_eq!(bufs.len(), 3);
+        // All three pages live on distinct dies -> one read latency total.
+        assert_eq!(
+            done,
+            Nanos::from_millis(1) + Nanos::from_micros(70),
+            "scattered reads should overlap"
+        );
+    }
+
+    #[test]
+    fn file_backed_roundtrip() {
+        let dir = std::env::temp_dir().join("nemo_flash_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dev.img");
+        let geom = Geometry::new(512, 4, 2, 2);
+        let mut dev =
+            SimFlash::file_backed(geom, LatencyModel::zero(), &path).unwrap();
+        let data: Vec<u8> = (0..512u32).map(|i| (i * 7 % 256) as u8).collect();
+        let (addr, _) = dev.append(ZoneId(1), &data, Nanos::ZERO).unwrap();
+        let (back, _) = dev.read_pages(addr, 1, Nanos::ZERO).unwrap();
+        assert_eq!(back, data);
+        drop(dev);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_zone_errors() {
+        let mut dev = small();
+        assert!(dev.append(ZoneId(99), &vec![0u8; 512], Nanos::ZERO).is_err());
+        assert!(dev.reset_zone(ZoneId(99), Nanos::ZERO).is_err());
+        assert!(dev
+            .read_pages(PageAddr::new(99, 0), 1, Nanos::ZERO)
+            .is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! Empirical cumulative distribution functions.
+
+/// CDF over small non-negative integers with an overflow bucket, matching
+/// the paper's "number of objects written to a set: 0..9, 10+" axes
+/// (Figs. 4 and 5).
+///
+/// # Examples
+///
+/// ```
+/// use nemo_metrics::DiscreteCdf;
+/// let mut cdf = DiscreteCdf::new(10);
+/// for v in [1u64, 2, 2, 3, 50] {
+///     cdf.record(v);
+/// }
+/// assert_eq!(cdf.count(), 5);
+/// assert!((cdf.cumulative(3) - 0.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiscreteCdf {
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: u128,
+}
+
+impl DiscreteCdf {
+    /// Creates a CDF with exact buckets `0..cap` and one `cap+` bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: u64) -> Self {
+        assert!(cap > 0, "cap must be positive");
+        Self {
+            counts: vec![0; cap as usize],
+            overflow: 0,
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records a value.
+    pub fn record(&mut self, value: u64) {
+        if (value as usize) < self.counts.len() {
+            self.counts[value as usize] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+        self.sum += value as u128;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of values `<= v` (values in the overflow bucket count as
+    /// greater than any exact bucket).
+    pub fn cumulative(&self, v: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let upto: u64 = self
+            .counts
+            .iter()
+            .take((v + 1).min(self.counts.len() as u64) as usize)
+            .sum();
+        upto as f64 / self.total as f64
+    }
+
+    /// The full CDF as `(value, cumulative_fraction)` rows, overflow last.
+    pub fn rows(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::with_capacity(self.counts.len() + 1);
+        let mut acc = 0u64;
+        for (v, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            out.push((v.to_string(), acc as f64 / self.total.max(1) as f64));
+        }
+        acc += self.overflow;
+        out.push((
+            format!("{}+", self.counts.len()),
+            acc as f64 / self.total.max(1) as f64,
+        ));
+        out
+    }
+}
+
+/// CDF over real-valued samples (e.g. per-SG fill rates in Fig. 8/17),
+/// stored exactly and sorted on demand.
+///
+/// # Examples
+///
+/// ```
+/// use nemo_metrics::SampleCdf;
+/// let mut cdf = SampleCdf::new();
+/// for v in [0.1, 0.2, 0.3, 0.4, 0.5] {
+///     cdf.record(v);
+/// }
+/// assert!((cdf.quantile(0.5) - 0.3).abs() < 1e-9);
+/// assert!((cdf.mean() - 0.3).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SampleCdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl SampleCdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean of samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDF is empty or `q` is out of range.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        assert!(!self.samples.is_empty(), "empty CDF");
+        self.ensure_sorted();
+        let idx = ((q * (self.samples.len() - 1) as f64).round()) as usize;
+        self.samples[idx]
+    }
+
+    /// Fraction of samples `<= v`.
+    pub fn cumulative(&mut self, v: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.partition_point(|&s| s <= v);
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// Evenly spaced `(value, cumulative)` rows for plotting.
+    pub fn rows(&mut self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two points");
+        if self.samples.is_empty() {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        (0..points)
+            .map(|i| {
+                let q = i as f64 / (points - 1) as f64;
+                let idx = ((q * (self.samples.len() - 1) as f64).round()) as usize;
+                (self.samples[idx], q)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_buckets_and_overflow() {
+        let mut c = DiscreteCdf::new(4);
+        for v in [0u64, 1, 1, 3, 9, 100] {
+            c.record(v);
+        }
+        assert_eq!(c.count(), 6);
+        assert!((c.cumulative(0) - 1.0 / 6.0).abs() < 1e-9);
+        assert!((c.cumulative(1) - 0.5).abs() < 1e-9);
+        assert!((c.cumulative(3) - 4.0 / 6.0).abs() < 1e-9);
+        // Values beyond the cap don't appear in any exact bucket.
+        assert!((c.cumulative(1000) - 4.0 / 6.0).abs() < 1e-9);
+        let rows = c.rows();
+        assert_eq!(rows.last().expect("rows").0, "4+");
+        assert!((rows.last().expect("rows").1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discrete_mean_counts_overflow_exactly() {
+        let mut c = DiscreteCdf::new(2);
+        c.record(0);
+        c.record(10);
+        assert!((c.mean() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_quantiles() {
+        let mut c = SampleCdf::new();
+        for i in 0..101 {
+            c.record(i as f64);
+        }
+        assert!((c.quantile(0.0) - 0.0).abs() < 1e-9);
+        assert!((c.quantile(0.5) - 50.0).abs() < 1e-9);
+        assert!((c.quantile(1.0) - 100.0).abs() < 1e-9);
+        assert!((c.cumulative(49.5) - 0.495).abs() < 0.01);
+    }
+
+    #[test]
+    fn sample_rows_are_monotone() {
+        let mut c = SampleCdf::new();
+        for i in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            c.record(i);
+        }
+        let rows = c.rows(5);
+        for w in rows.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty CDF")]
+    fn empty_quantile_panics() {
+        SampleCdf::new().quantile(0.5);
+    }
+}

@@ -1,0 +1,259 @@
+//! Log-bucketed histogram for latency values, HDR-style.
+
+/// A histogram over `u64` values (nanoseconds by convention) with
+/// logarithmic buckets and 128 sub-buckets per octave (~0.8 % relative
+/// error), suitable for extracting p50 through p9999 from hundreds of
+/// millions of samples in constant memory.
+///
+/// # Examples
+///
+/// ```
+/// use nemo_metrics::LatencyHistogram;
+/// let mut h = LatencyHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.percentile(0.5);
+/// assert!((495..=510).contains(&p50), "p50 was {p50}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    // Values < 128 get exact buckets; larger values get 128 log sub-buckets
+    // per power of two. 57 octaves cover the full u64 range.
+    buckets: Vec<u64>,
+    count: u64,
+    max: u64,
+    min: u64,
+    sum: u128,
+}
+
+const LINEAR_BITS: u32 = 7; // 128 exact buckets
+const SUB_BUCKETS: u64 = 1 << LINEAR_BITS;
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; (SUB_BUCKETS as usize) * 58],
+            count: 0,
+            max: 0,
+            min: u64::MAX,
+            sum: 0,
+        }
+    }
+
+    #[inline]
+    fn index_of(value: u64) -> usize {
+        if value < SUB_BUCKETS {
+            value as usize
+        } else {
+            let msb = 63 - value.leading_zeros();
+            let shift = msb - LINEAR_BITS;
+            let octave = (shift + 1) as usize;
+            let sub = ((value >> shift) - SUB_BUCKETS) as usize;
+            octave * SUB_BUCKETS as usize + sub
+        }
+    }
+
+    /// Lower bound of the bucket at `index` (the reported percentile value).
+    fn value_of(index: usize) -> u64 {
+        let octave = index / SUB_BUCKETS as usize;
+        let sub = (index % SUB_BUCKETS as usize) as u64;
+        if octave == 0 {
+            sub
+        } else {
+            let shift = (octave - 1) as u32;
+            (SUB_BUCKETS + sub) << shift
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (exact).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest recorded sample (exact), or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of all samples, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (bucket lower bound, ≤0.8 % error).
+    ///
+    /// Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::value_of(i);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        self.buckets.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+        self.min = u64::MAX;
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 5, 127] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(1.0), 127);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 127);
+    }
+
+    #[test]
+    fn large_values_within_one_percent() {
+        let mut h = LatencyHistogram::new();
+        let v = 1_234_567u64;
+        h.record(v);
+        let got = h.percentile(0.5);
+        let err = (got as f64 - v as f64).abs() / v as f64;
+        assert!(err < 0.01, "relative error {err}");
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let mut h = LatencyHistogram::new();
+        let mut rng = 0x12345u64;
+        for _ in 0..100_000 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(rng >> 40);
+        }
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        let p9999 = h.percentile(0.9999);
+        assert!(p50 <= p99 && p99 <= p9999);
+        assert!(p9999 <= h.max());
+    }
+
+    #[test]
+    fn uniform_distribution_percentiles() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..10_000u64 {
+            h.record(v * 1000); // 0 .. 10ms uniformly
+        }
+        let p50 = h.percentile(0.5) as f64;
+        assert!((p50 - 5_000_000.0).abs() / 5_000_000.0 < 0.02, "p50 {p50}");
+        let p99 = h.percentile(0.99) as f64;
+        assert!((p99 - 9_900_000.0).abs() / 9_900_000.0 < 0.02, "p99 {p99}");
+    }
+
+    #[test]
+    fn mean_and_count() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(100);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.percentile(0.01), 100);
+        assert!(a.percentile(1.0) >= 990_000);
+    }
+
+    #[test]
+    fn reset_empties() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn index_value_roundtrip_bounds() {
+        for v in [0u64, 1, 127, 128, 129, 255, 256, 1 << 20, u32::MAX as u64, 1 << 50] {
+            let idx = LatencyHistogram::index_of(v);
+            let lo = LatencyHistogram::value_of(idx);
+            assert!(lo <= v, "bucket lower bound {lo} > value {v}");
+            let rel = (v - lo) as f64 / (v.max(1)) as f64;
+            assert!(rel <= 1.0 / 128.0 + 1e-12, "value {v} error {rel}");
+        }
+    }
+}

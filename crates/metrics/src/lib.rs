@@ -1,0 +1,27 @@
+//! Measurement utilities for the Nemo reproduction: latency histograms
+//! with high-percentile extraction (p50/p99/p9999, Fig. 15), empirical
+//! CDFs (Figs. 4, 5, 8), windowed time series (Figs. 13, 14, 16) and
+//! write-amplification accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use nemo_metrics::LatencyHistogram;
+//!
+//! let mut h = LatencyHistogram::new();
+//! for us in [80u64, 90, 100, 5000] {
+//!     h.record(us * 1_000);
+//! }
+//! assert!(h.percentile(0.50) >= 80_000);
+//! assert!(h.percentile(0.9999) >= 4_000_000);
+//! ```
+
+mod cdf;
+mod histogram;
+mod series;
+mod wa;
+
+pub use cdf::{DiscreteCdf, SampleCdf};
+pub use histogram::LatencyHistogram;
+pub use series::TimeSeries;
+pub use wa::WaAccount;

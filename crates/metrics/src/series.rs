@@ -1,0 +1,122 @@
+//! Fixed-window time series for rate plots.
+
+/// Aggregates `(time, value)` observations into fixed-width windows, used
+/// for "flash writes per minute" (Fig. 13) and the WA / miss-ratio trends
+/// (Figs. 14, 16).
+///
+/// # Examples
+///
+/// ```
+/// use nemo_metrics::TimeSeries;
+/// let mut ts = TimeSeries::new(60.0); // 60-second windows
+/// ts.record(10.0, 100.0);
+/// ts.record(70.0, 50.0);
+/// let rows = ts.rows();
+/// assert_eq!(rows.len(), 2);
+/// assert_eq!(rows[0], (0, 100.0));
+/// assert_eq!(rows[1], (1, 50.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    window: f64,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given window width (same unit as `t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is not positive.
+    pub fn new(window: f64) -> Self {
+        assert!(window > 0.0, "window must be positive");
+        Self {
+            window,
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Adds `value` to the window containing time `t`.
+    pub fn record(&mut self, t: f64, value: f64) {
+        let idx = (t / self.window).floor().max(0.0) as usize;
+        if idx >= self.sums.len() {
+            self.sums.resize(idx + 1, 0.0);
+            self.counts.resize(idx + 1, 0);
+        }
+        self.sums[idx] += value;
+        self.counts[idx] += 1;
+    }
+
+    /// Per-window sums as `(window_index, sum)` rows.
+    pub fn rows(&self) -> Vec<(usize, f64)> {
+        self.sums.iter().copied().enumerate().collect()
+    }
+
+    /// Per-window means as `(window_index, mean)` rows (empty windows = 0).
+    pub fn mean_rows(&self) -> Vec<(usize, f64)> {
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .enumerate()
+            .collect()
+    }
+
+    /// Window width.
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// Number of windows spanned so far.
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_correct_windows() {
+        let mut ts = TimeSeries::new(10.0);
+        ts.record(0.0, 1.0);
+        ts.record(9.99, 2.0);
+        ts.record(10.0, 4.0);
+        ts.record(35.0, 8.0);
+        let rows = ts.rows();
+        assert_eq!(rows[0].1, 3.0);
+        assert_eq!(rows[1].1, 4.0);
+        assert_eq!(rows[2].1, 0.0);
+        assert_eq!(rows[3].1, 8.0);
+        assert_eq!(ts.len(), 4);
+    }
+
+    #[test]
+    fn mean_rows_divide_by_count() {
+        let mut ts = TimeSeries::new(1.0);
+        ts.record(0.5, 10.0);
+        ts.record(0.6, 20.0);
+        assert_eq!(ts.mean_rows()[0].1, 15.0);
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new(5.0);
+        assert!(ts.is_empty());
+        assert!(ts.rows().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        TimeSeries::new(0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Write-amplification accounting.
+
+/// Tracks logical (user) bytes versus physical (flash) bytes and reports
+/// write amplification.
+///
+/// The paper's convention (§5.2): logical bytes are the objects *newly
+/// written by the user* — including objects sacrificed by probabilistic
+/// flushing — while objects re-copied by write-back, migration or GC count
+/// only as physical bytes.
+///
+/// # Examples
+///
+/// ```
+/// use nemo_metrics::WaAccount;
+/// let mut wa = WaAccount::default();
+/// wa.add_logical(1000);
+/// wa.add_physical(1560);
+/// assert!((wa.amplification() - 1.56).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaAccount {
+    logical: u64,
+    physical: u64,
+}
+
+impl WaAccount {
+    /// Adds user-written bytes.
+    pub fn add_logical(&mut self, bytes: u64) {
+        self.logical += bytes;
+    }
+
+    /// Adds flash-written bytes.
+    pub fn add_physical(&mut self, bytes: u64) {
+        self.physical += bytes;
+    }
+
+    /// Logical bytes so far.
+    pub fn logical(&self) -> u64 {
+        self.logical
+    }
+
+    /// Physical bytes so far.
+    pub fn physical(&self) -> u64 {
+        self.physical
+    }
+
+    /// physical / logical; 1.0 before anything is written.
+    pub fn amplification(&self) -> f64 {
+        if self.logical == 0 {
+            1.0
+        } else {
+            self.physical as f64 / self.logical as f64
+        }
+    }
+
+    /// Amplification over a window: `(self - earlier)` as a rate.
+    pub fn window_amplification(&self, earlier: &WaAccount) -> f64 {
+        let dl = self.logical - earlier.logical;
+        let dp = self.physical - earlier.physical;
+        if dl == 0 {
+            1.0
+        } else {
+            dp as f64 / dl as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ratio() {
+        let mut wa = WaAccount::default();
+        wa.add_logical(100);
+        wa.add_physical(300);
+        assert_eq!(wa.amplification(), 3.0);
+    }
+
+    #[test]
+    fn empty_is_unity() {
+        assert_eq!(WaAccount::default().amplification(), 1.0);
+    }
+
+    #[test]
+    fn window_ratio() {
+        let mut wa = WaAccount::default();
+        wa.add_logical(100);
+        wa.add_physical(100);
+        let snap = wa;
+        wa.add_logical(50);
+        wa.add_physical(200);
+        assert_eq!(wa.window_amplification(&snap), 4.0);
+        assert!((wa.amplification() - 2.0).abs() < 1e-9);
+    }
+}

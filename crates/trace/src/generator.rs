@@ -1,0 +1,328 @@
+//! The merged-trace generator and the synthetic insert stream.
+
+use crate::profile::{ClusterProfile, TwitterCluster};
+use crate::size::SizeModel;
+use crate::zipf::ZipfSampler;
+use nemo_util::{hash_u64, mix2, Xoshiro256StarStar};
+
+/// Kind of cache request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Read; on a miss the replay harness inserts the object (cache fill).
+    Get,
+    /// Direct write (object update).
+    Put,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// 64-bit object key (already hashed/scrambled).
+    pub key: u64,
+    /// Total object size in bytes (key + value, header included).
+    pub size: u32,
+    /// Operation.
+    pub kind: RequestKind,
+}
+
+/// Configuration of the merged workload (paper §5.1).
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Cluster profiles to interleave.
+    pub clusters: Vec<ClusterProfile>,
+    /// Request share of each cluster (normalized internally).
+    pub weights: Vec<f64>,
+    /// Disjoint key spaces each cluster is replicated across (paper: 4).
+    pub key_spaces: u32,
+    /// WSS scaling factor relative to Table 5 (1.0 = paper scale).
+    pub scale: f64,
+    /// Fraction of requests that are direct writes.
+    pub write_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// The paper's merged workload: all four Twitter clusters, equal
+    /// request shares, four disjoint key spaces, 2 % direct writes.
+    pub fn twitter_merged(scale: f64) -> Self {
+        Self {
+            clusters: TwitterCluster::ALL
+                .iter()
+                .map(|&c| ClusterProfile::twitter(c))
+                .collect(),
+            weights: vec![1.0; 4],
+            key_spaces: 4,
+            scale,
+            write_fraction: 0.02,
+            seed: NEMO_SEED,
+        }
+    }
+
+    /// A single-cluster workload (used by Fig. 19a's per-cluster analysis).
+    pub fn single_cluster(cluster: TwitterCluster, scale: f64) -> Self {
+        Self {
+            clusters: vec![ClusterProfile::twitter(cluster)],
+            weights: vec![1.0],
+            key_spaces: 1,
+            scale,
+            write_fraction: 0.02,
+            seed: NEMO_SEED,
+        }
+    }
+}
+
+/// Infinite stream of requests drawn from the merged configuration.
+///
+/// Every `(cluster, key space)` pair owns a disjoint 64-bit key region:
+/// Zipf ranks are scrambled through a per-region hash salt, so popular
+/// objects of different regions never collide — the paper's "four disjoint
+/// key spaces".
+///
+/// # Examples
+///
+/// ```
+/// use nemo_trace::{TraceConfig, TraceGenerator};
+/// let mut g = TraceGenerator::new(TraceConfig::twitter_merged(0.005));
+/// let total = g.total_objects();
+/// assert!(total > 0);
+/// let _reqs: Vec<_> = (&mut g).take(100).collect();
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    streams: Vec<Stream>,
+    cumulative_weights: Vec<f64>,
+    write_fraction: f64,
+    rng: Xoshiro256StarStar,
+}
+
+#[derive(Debug, Clone)]
+struct Stream {
+    zipf: ZipfSampler,
+    size_model: SizeModel,
+    salt: u64,
+}
+
+impl TraceGenerator {
+    /// Builds the generator (precomputes per-region Zipf samplers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (no clusters, weight
+    /// count mismatch, non-positive scale).
+    pub fn new(cfg: TraceConfig) -> Self {
+        assert!(!cfg.clusters.is_empty(), "need at least one cluster");
+        assert_eq!(
+            cfg.clusters.len(),
+            cfg.weights.len(),
+            "one weight per cluster"
+        );
+        assert!(cfg.scale > 0.0, "scale must be positive");
+        assert!(cfg.key_spaces > 0, "need at least one key space");
+        assert!(
+            (0.0..=1.0).contains(&cfg.write_fraction),
+            "write_fraction in [0,1]"
+        );
+        let mut streams = Vec::new();
+        let mut cumulative_weights = Vec::new();
+        let mut acc = 0.0;
+        for (ci, (cluster, &w)) in cfg.clusters.iter().zip(&cfg.weights).enumerate() {
+            assert!(w > 0.0, "weights must be positive");
+            let objects = cluster.object_count(cfg.scale);
+            for space in 0..cfg.key_spaces {
+                streams.push(Stream {
+                    zipf: ZipfSampler::new(objects, cluster.zipf_alpha),
+                    size_model: cluster.size_model,
+                    salt: mix2(cfg.seed ^ (ci as u64), space as u64 + 1),
+                });
+                // Each key space gets an equal slice of the cluster weight.
+                acc += w / cfg.key_spaces as f64;
+                cumulative_weights.push(acc);
+            }
+        }
+        // Normalize.
+        for cw in &mut cumulative_weights {
+            *cw /= acc;
+        }
+        Self {
+            streams,
+            cumulative_weights,
+            write_fraction: cfg.write_fraction,
+            rng: Xoshiro256StarStar::seed_from_u64(cfg.seed),
+        }
+    }
+
+    /// Total distinct objects across all regions (the merged WSS in
+    /// objects).
+    pub fn total_objects(&self) -> u64 {
+        self.streams.iter().map(|s| s.zipf.n()).sum()
+    }
+
+    /// Mean object size across streams (weighted equally).
+    pub fn mean_object_size(&self) -> f64 {
+        self.streams
+            .iter()
+            .map(|s| s.size_model.mean())
+            .sum::<f64>()
+            / self.streams.len() as f64
+    }
+
+    /// Total working-set bytes at the configured scale.
+    pub fn wss_bytes(&self) -> u64 {
+        self.streams
+            .iter()
+            .map(|s| (s.zipf.n() as f64 * s.size_model.mean()) as u64)
+            .sum()
+    }
+
+    /// Draws the next request.
+    pub fn next_request(&mut self) -> Request {
+        let p = self.rng.next_f64();
+        let idx = self
+            .cumulative_weights
+            .partition_point(|&cw| cw < p)
+            .min(self.streams.len() - 1);
+        let stream = &self.streams[idx];
+        let rank = stream.zipf.sample(&mut self.rng);
+        let key = hash_u64(rank, stream.salt);
+        let size = stream.size_model.size_for_key(key);
+        let kind = if self.rng.chance(self.write_fraction) {
+            RequestKind::Put
+        } else {
+            RequestKind::Get
+        };
+        Request { key, size, kind }
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        Some(self.next_request())
+    }
+}
+
+/// Insert-only stream of brand-new objects, used by the hash-skew study
+/// (Fig. 8): every key is unique, sizes follow the given model.
+#[derive(Debug, Clone)]
+pub struct SyntheticInsertTrace {
+    size_model: SizeModel,
+    next_key: u64,
+    salt: u64,
+}
+
+impl SyntheticInsertTrace {
+    /// Creates a stream with the paper's synthetic size model
+    /// (N(250, 200) clamped).
+    pub fn paper_synthetic(seed: u64) -> Self {
+        Self::new(SizeModel::paper_synthetic(), seed)
+    }
+
+    /// Creates a stream with an explicit size model.
+    pub fn new(size_model: SizeModel, seed: u64) -> Self {
+        Self {
+            size_model,
+            next_key: 0,
+            salt: seed,
+        }
+    }
+}
+
+impl Iterator for SyntheticInsertTrace {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        let key = hash_u64(self.next_key, self.salt);
+        self.next_key += 1;
+        let size = self.size_model.size_for_key(key);
+        Some(Request {
+            key,
+            size,
+            kind: RequestKind::Put,
+        })
+    }
+}
+
+/// Default trace seed; the hex spells "NEMO".
+const NEMO_SEED: u64 = 0x4E45_4D4F;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = TraceConfig::twitter_merged(0.001);
+        let a: Vec<Request> = TraceGenerator::new(cfg.clone()).take(1000).collect();
+        let b: Vec<Request> = TraceGenerator::new(cfg).take(1000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn key_spaces_are_disjoint_in_practice() {
+        let mut g = TraceGenerator::new(TraceConfig::twitter_merged(0.001));
+        let keys: std::collections::HashSet<u64> = (&mut g).take(50_000).map(|r| r.key).collect();
+        // With 16 regions of zipfian keys, the hot keys of each region must
+        // differ; a gross salting bug would collapse them together.
+        assert!(keys.len() > 5_000, "suspiciously few distinct keys: {}", keys.len());
+    }
+
+    #[test]
+    fn write_fraction_respected() {
+        let mut cfg = TraceConfig::twitter_merged(0.001);
+        cfg.write_fraction = 0.25;
+        let g = TraceGenerator::new(cfg);
+        let n = 40_000;
+        let writes = g
+            .take(n)
+            .filter(|r| r.kind == RequestKind::Put)
+            .count();
+        let frac = writes as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "write fraction {frac}");
+    }
+
+    #[test]
+    fn sizes_are_stable_per_key() {
+        let mut g = TraceGenerator::new(TraceConfig::twitter_merged(0.001));
+        let mut sizes = std::collections::HashMap::new();
+        for r in (&mut g).take(100_000) {
+            if let Some(&s) = sizes.get(&r.key) {
+                assert_eq!(s, r.size, "key {} changed size", r.key);
+            } else {
+                sizes.insert(r.key, r.size);
+            }
+        }
+    }
+
+    #[test]
+    fn wss_scales() {
+        let small = TraceGenerator::new(TraceConfig::twitter_merged(0.001)).wss_bytes();
+        let large = TraceGenerator::new(TraceConfig::twitter_merged(0.002)).wss_bytes();
+        let ratio = large as f64 / small as f64;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn synthetic_trace_keys_are_unique() {
+        let t = SyntheticInsertTrace::paper_synthetic(1);
+        let keys: Vec<u64> = t.take(10_000).map(|r| r.key).collect();
+        let set: std::collections::HashSet<_> = keys.iter().collect();
+        assert_eq!(set.len(), keys.len());
+    }
+
+    #[test]
+    fn synthetic_sizes_follow_model() {
+        let t = SyntheticInsertTrace::paper_synthetic(2);
+        let sizes: Vec<f64> = t.take(20_000).map(|r| r.size as f64).collect();
+        let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+        // Clamping at 24 pulls the mean slightly above 250.
+        assert!((245.0..290.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn single_cluster_config() {
+        let g = TraceGenerator::new(TraceConfig::single_cluster(TwitterCluster::C34, 0.001));
+        assert!(g.total_objects() > 0);
+    }
+}

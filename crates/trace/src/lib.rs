@@ -1,0 +1,35 @@
+//! Workload generation for the Nemo reproduction.
+//!
+//! The paper replays four production Twitter cache traces (clusters 14, 29,
+//! 34 and 52; Table 5), scaled across four disjoint key spaces and
+//! proportionally interleaved (§5.1). Production traces are not
+//! redistributable, so this crate synthesizes statistically equivalent
+//! streams from the published characteristics:
+//!
+//! * per-cluster Zipfian popularity with the published α
+//!   ([`ZipfSampler`], rejection-inversion sampling),
+//! * per-cluster key/value sizes (mean from Table 5, including the paper's
+//!   2×/3× down-scaling of clusters 14/29),
+//! * working-set sizes proportional to Table 5, scaled by a single factor
+//!   so experiments run at laptop scale with paper-identical *ratios*.
+//!
+//! # Examples
+//!
+//! ```
+//! use nemo_trace::{TraceConfig, TraceGenerator};
+//!
+//! let cfg = TraceConfig::twitter_merged(0.01); // 1% of paper WSS
+//! let mut gen = TraceGenerator::new(cfg);
+//! let req = gen.next_request();
+//! assert!(req.size >= 24);
+//! ```
+
+mod generator;
+mod profile;
+mod size;
+mod zipf;
+
+pub use generator::{Request, RequestKind, SyntheticInsertTrace, TraceConfig, TraceGenerator};
+pub use profile::{ClusterProfile, TwitterCluster};
+pub use size::SizeModel;
+pub use zipf::ZipfSampler;

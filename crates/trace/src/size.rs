@@ -1,0 +1,117 @@
+//! Object-size models.
+//!
+//! Sizes are a deterministic function of the key, so an object keeps its
+//! size across repeated accesses without any per-key state — the same
+//! property a real trace has.
+
+use nemo_util::{hash_u64, Xoshiro256StarStar};
+
+/// Smallest admissible object: the 12-byte on-flash entry header plus a
+/// little payload. Trace generators clamp to this.
+pub const MIN_OBJECT_SIZE: u32 = 24;
+
+/// How object sizes are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeModel {
+    /// All objects the same size.
+    Fixed(u32),
+    /// Truncated normal (the paper's synthetic workload: mean 250 B,
+    /// std 200 B, Fig. 8).
+    Normal {
+        /// Mean size in bytes.
+        mean: f64,
+        /// Standard deviation in bytes.
+        std_dev: f64,
+        /// Lower clamp.
+        min: u32,
+        /// Upper clamp.
+        max: u32,
+    },
+}
+
+impl SizeModel {
+    /// The paper's synthetic distribution: N(250, 200) clamped.
+    pub fn paper_synthetic() -> Self {
+        SizeModel::Normal {
+            mean: 250.0,
+            std_dev: 200.0,
+            min: MIN_OBJECT_SIZE,
+            max: 2000,
+        }
+    }
+
+    /// Deterministic size for a key: the same key always gets the same
+    /// size within one model.
+    pub fn size_for_key(&self, key: u64) -> u32 {
+        match *self {
+            SizeModel::Fixed(s) => s.max(MIN_OBJECT_SIZE),
+            SizeModel::Normal {
+                mean,
+                std_dev,
+                min,
+                max,
+            } => {
+                // Seed a tiny RNG from the key for a stable draw.
+                let mut rng = Xoshiro256StarStar::seed_from_u64(hash_u64(key, 0x512E));
+                let v = rng.next_normal(mean, std_dev);
+                (v.round() as i64).clamp(min as i64, max as i64) as u32
+            }
+        }
+    }
+
+    /// Expected size under the model (clamping bias ignored — adequate for
+    /// capacity planning).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            SizeModel::Fixed(s) => s as f64,
+            SizeModel::Normal { mean, .. } => mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_stable_per_key() {
+        let m = SizeModel::paper_synthetic();
+        for key in 0..100u64 {
+            assert_eq!(m.size_for_key(key), m.size_for_key(key));
+        }
+    }
+
+    #[test]
+    fn normal_sizes_match_moments() {
+        let m = SizeModel::Normal {
+            mean: 250.0,
+            std_dev: 100.0,
+            min: 1,
+            max: 10_000,
+        };
+        let n = 50_000u64;
+        let sizes: Vec<f64> = (0..n).map(|k| m.size_for_key(k) as f64).collect();
+        let mean = sizes.iter().sum::<f64>() / n as f64;
+        assert!((mean - 250.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn clamps_apply() {
+        let m = SizeModel::Normal {
+            mean: 250.0,
+            std_dev: 200.0,
+            min: 100,
+            max: 300,
+        };
+        for k in 0..10_000u64 {
+            let s = m.size_for_key(k);
+            assert!((100..=300).contains(&s));
+        }
+    }
+
+    #[test]
+    fn fixed_respects_floor() {
+        assert_eq!(SizeModel::Fixed(8).size_for_key(1), MIN_OBJECT_SIZE);
+        assert_eq!(SizeModel::Fixed(100).size_for_key(1), 100);
+    }
+}

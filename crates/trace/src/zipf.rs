@@ -1,0 +1,243 @@
+//! Zipfian rank sampling by rejection inversion (Hörmann & Derflinger,
+//! "Rejection-inversion to generate variates from monotone discrete
+//! distributions", 1996) — the same algorithm used by Apache Commons Math
+//! and `rand_distr`. O(1) per sample for any α > 0 and any `n`.
+
+use nemo_util::Xoshiro256StarStar;
+
+/// Samples ranks `1..=n` with `P(k) ∝ k^{-α}`.
+///
+/// # Examples
+///
+/// ```
+/// use nemo_trace::ZipfSampler;
+/// use nemo_util::Xoshiro256StarStar;
+///
+/// let zipf = ZipfSampler::new(1000, 1.0);
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+/// let r = zipf.sample(&mut rng);
+/// assert!((1..=1000).contains(&r));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    n: u64,
+    exponent: f64,
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    s: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over ranks `1..=n` with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha <= 0`.
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "n must be positive");
+        assert!(alpha > 0.0, "alpha must be positive");
+        let h_integral_x1 = h_integral(1.5, alpha) - 1.0;
+        let h_integral_n = h_integral(n as f64 + 0.5, alpha);
+        let s = 2.0 - h_integral_inverse(h_integral(2.5, alpha) - h(2.0, alpha), alpha);
+        Self {
+            n,
+            exponent: alpha,
+            h_integral_x1,
+            h_integral_n,
+            s,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent α.
+    pub fn alpha(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> u64 {
+        loop {
+            // u uniformly in (h_integral_n, h_integral_x1].
+            let p = rng.next_f64();
+            let u = self.h_integral_n + p * (self.h_integral_x1 - self.h_integral_n);
+            let x = h_integral_inverse(u, self.exponent);
+            let k64 = x.round().clamp(1.0, self.n as f64);
+            let k = k64 as u64;
+            if k64 - x <= self.s
+                || u >= h_integral(k64 + 0.5, self.exponent) - h(k64, self.exponent)
+            {
+                return k;
+            }
+        }
+    }
+
+    /// Theoretical probability of rank `k` (normalized by the generalized
+    /// harmonic number) — used by tests and the Fig. 19a analysis.
+    pub fn probability(&self, k: u64) -> f64 {
+        assert!(k >= 1 && k <= self.n, "rank out of range");
+        let h: f64 = harmonic(self.n, self.exponent);
+        (k as f64).powf(-self.exponent) / h
+    }
+}
+
+/// Generalized harmonic number `H_{n,α}` (exact for small n, integral
+/// approximation with boundary correction for large n).
+pub(crate) fn harmonic(n: u64, alpha: f64) -> f64 {
+    if n <= 100_000 {
+        (1..=n).map(|k| (k as f64).powf(-alpha)).sum()
+    } else {
+        let head: f64 = (1..=100_000u64).map(|k| (k as f64).powf(-alpha)).sum();
+        // Euler–Maclaurin tail from 100_000 to n.
+        let a = 100_000f64;
+        let b = n as f64;
+        let tail = if (alpha - 1.0).abs() < 1e-12 {
+            (b / a).ln()
+        } else {
+            (b.powf(1.0 - alpha) - a.powf(1.0 - alpha)) / (1.0 - alpha)
+        };
+        head + tail + 0.5 * (b.powf(-alpha) - a.powf(-alpha))
+    }
+}
+
+/// `h(x) = x^{-α}`.
+fn h(x: f64, alpha: f64) -> f64 {
+    (-alpha * x.ln()).exp()
+}
+
+/// `H(x) = (x^{1-α} - 1) / (1-α)`, continuous at α = 1 (→ ln x).
+fn h_integral(x: f64, alpha: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - alpha) * log_x) * log_x
+}
+
+/// Inverse of `H`.
+fn h_integral_inverse(x: f64, alpha: f64) -> f64 {
+    let mut t = x * (1.0 - alpha);
+    if t < -1.0 {
+        // Numerical guard (as in Commons Math): t may slip below the
+        // domain boundary through rounding.
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// `ln(1+t)/t`, stable near zero.
+fn helper1(t: f64) -> f64 {
+    if t.abs() > 1e-8 {
+        t.ln_1p() / t
+    } else {
+        1.0 - t / 2.0 + t * t / 3.0
+    }
+}
+
+/// `(e^t - 1)/t`, stable near zero.
+fn helper2(t: f64) -> f64 {
+    if t.abs() > 1e-8 {
+        t.exp_m1() / t
+    } else {
+        1.0 + t / 2.0 + t * t / 6.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frequencies(n: u64, alpha: f64, draws: u64) -> Vec<f64> {
+        let zipf = ZipfSampler::new(n, alpha);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            counts[(zipf.sample(&mut rng) - 1) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = ZipfSampler::new(10, 1.3);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let k = zipf.sample(&mut rng);
+            assert!((1..=10).contains(&k));
+        }
+    }
+
+    #[test]
+    fn top_rank_frequency_matches_theory_alpha_1() {
+        let n = 1000;
+        let freq = frequencies(n, 1.0, 400_000);
+        let zipf = ZipfSampler::new(n, 1.0);
+        let expect = zipf.probability(1);
+        assert!(
+            (freq[0] - expect).abs() / expect < 0.05,
+            "rank-1 freq {} vs theory {expect}",
+            freq[0]
+        );
+    }
+
+    #[test]
+    fn top_rank_frequency_matches_theory_alpha_1_3() {
+        // α ≈ the Twitter clusters (1.14–1.30).
+        let n = 10_000;
+        let freq = frequencies(n, 1.3, 400_000);
+        let zipf = ZipfSampler::new(n, 1.3);
+        for rank in [1usize, 2, 10] {
+            let expect = zipf.probability(rank as u64);
+            assert!(
+                (freq[rank - 1] - expect).abs() / expect < 0.1,
+                "rank {rank}: {} vs {expect}",
+                freq[rank - 1]
+            );
+        }
+    }
+
+    #[test]
+    fn frequencies_decrease_with_rank() {
+        let freq = frequencies(100, 1.2, 200_000);
+        assert!(freq[0] > freq[4]);
+        assert!(freq[4] > freq[40]);
+    }
+
+    #[test]
+    fn alpha_below_one_works() {
+        let n = 1000;
+        let freq = frequencies(n, 0.5, 200_000);
+        let zipf = ZipfSampler::new(n, 0.5);
+        let expect = zipf.probability(1);
+        assert!(
+            (freq[0] - expect).abs() / expect < 0.15,
+            "{} vs {expect}",
+            freq[0]
+        );
+    }
+
+    #[test]
+    fn pareto_80_20_shape_near_alpha_1() {
+        // α = 1 over a large catalog: top 20% of ranks should absorb a
+        // clear majority of requests (the paper's "classic 80/20" framing).
+        let n = 10_000u64;
+        let freq = frequencies(n, 1.0, 1_000_000);
+        let top20: f64 = freq[..(n as usize / 5)].iter().sum();
+        assert!(top20 > 0.7, "top-20% share {top20}");
+    }
+
+    #[test]
+    fn harmonic_large_n_is_continuous() {
+        // The switch to the integral approximation must not jump.
+        let below = harmonic(100_000, 1.2);
+        let above = harmonic(100_001, 1.2);
+        assert!(above > below);
+        assert!((above - below) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn zero_alpha_panics() {
+        ZipfSampler::new(10, 0.0);
+    }
+}

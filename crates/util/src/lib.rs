@@ -1,0 +1,25 @@
+//! Deterministic utilities shared by every crate in the Nemo reproduction.
+//!
+//! The simulation results in this workspace must be bit-for-bit reproducible
+//! across runs and immune to version churn in external RNG crates, so the
+//! engines and the flash simulator use the small, well-known generators
+//! implemented here ([`SplitMix64`], [`Xoshiro256StarStar`]) and the
+//! MurmurHash3 finalizer ([`hash::fmix64`]) instead of pulling `rand` into
+//! library code. `rand`/`proptest` remain dev-dependencies for fuzzing.
+//!
+//! # Examples
+//!
+//! ```
+//! use nemo_util::rng::Xoshiro256StarStar;
+//!
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+//! let a = rng.next_u64();
+//! let mut rng2 = Xoshiro256StarStar::seed_from_u64(42);
+//! assert_eq!(a, rng2.next_u64()); // fully deterministic
+//! ```
+
+pub mod hash;
+pub mod rng;
+
+pub use hash::{fmix64, hash_u64, mix2};
+pub use rng::{SplitMix64, Xoshiro256StarStar};

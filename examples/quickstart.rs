@@ -1,0 +1,49 @@
+//! Quickstart: create a Nemo cache on a simulated ZNS device, insert and
+//! look up tiny objects, and print the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use nemo_repro::core::{Nemo, NemoConfig};
+use nemo_repro::engine::CacheEngine;
+use nemo_repro::flash::{Geometry, Nanos};
+
+fn main() {
+    // A 64 MB simulated zoned device: 4 KB pages, 1 MB zones (= one
+    // Set-Group each), 8 dies.
+    let mut cfg = NemoConfig::new(Geometry::new(4096, 256, 64, 8));
+    cfg.flush_threshold = 4; // paper's p_th, scaled to 256-set SGs
+    cfg.expected_objects_per_set = 16;
+    let mut cache = Nemo::new(cfg);
+
+    // Insert a million tiny objects (~250 B each) and read some back.
+    let mut now = Nanos::ZERO;
+    for key in 0..1_000_000u64 {
+        now += Nanos::from_micros(5);
+        cache.put(key, 200 + (key % 100) as u32, now);
+    }
+    let mut hits = 0;
+    for key in 999_000..1_000_000u64 {
+        now += Nanos::from_micros(5);
+        if cache.get(key, now).hit {
+            hits += 1;
+        }
+    }
+
+    let stats = cache.stats();
+    let report = cache.report();
+    println!("recent-object hit ratio : {}/1000", hits);
+    println!("application-level WA    : {:.3}", stats.alwa());
+    println!("mean SG fill rate       : {:.1}%", cache.mean_fill_rate() * 100.0);
+    println!("flash SGs in pool       : {}", cache.pool_len());
+    println!(
+        "metadata memory         : {:.2} bits/object",
+        cache.memory().bits_per_object()
+    );
+    println!(
+        "PBFG cache miss ratio   : {:.2}%",
+        report.index.miss_ratio() * 100.0
+    );
+    assert!(stats.alwa() < 2.0, "Nemo's WA should be near 1/fill-rate");
+}

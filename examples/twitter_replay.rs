@@ -1,0 +1,59 @@
+//! Replays the merged Twitter-like workload (paper §5.1, Table 5) against
+//! Nemo and FairyWREN side by side, printing the paper's headline
+//! comparison: write amplification, miss ratio, read latency.
+//!
+//! ```text
+//! cargo run --release --example twitter_replay [flash_mb] [ops]
+//! ```
+
+use nemo_repro::baselines::{FairyWren, FairyWrenConfig};
+use nemo_repro::core::{Nemo, NemoConfig};
+use nemo_repro::engine::CacheEngine;
+use nemo_repro::sim::{standard_geometry, Replay, ReplayConfig};
+use nemo_repro::trace::{TraceConfig, TraceGenerator};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let flash_mb: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(48);
+    let ops: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1_500_000);
+    let geometry = standard_geometry(flash_mb);
+    // Catalog ~6x flash so steady-state eviction engages.
+    let trace_cfg = TraceConfig::twitter_merged(flash_mb as f64 * 6.0 / 337_848.0);
+    let replay = Replay::new(ReplayConfig {
+        ops,
+        arrival_rate: 40_000.0,
+        sample_every: (ops / 10).max(1),
+        warmup_ops: ops / 4,
+    });
+
+    println!("replaying {ops} ops of the merged Twitter-like trace on {flash_mb} MB flash\n");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>12}",
+        "system", "WA", "miss %", "p50 us", "p99 us", "bits/obj"
+    );
+
+    let mut nemo_cfg = NemoConfig::new(geometry);
+    nemo_cfg.flush_threshold = 4;
+    nemo_cfg.expected_objects_per_set = 16;
+    let mut nemo = Nemo::new(nemo_cfg);
+    let mut trace = TraceGenerator::new(trace_cfg.clone());
+    let r = replay.run(&mut nemo, &mut trace);
+    print_row("nemo", &r, nemo.memory().bits_per_object());
+
+    let mut fw = FairyWren::new(FairyWrenConfig::log_op(geometry, 5, 5));
+    let mut trace = TraceGenerator::new(trace_cfg);
+    let r = replay.run(&mut fw, &mut trace);
+    print_row("fairywren", &r, fw.memory().bits_per_object());
+}
+
+fn print_row(name: &str, r: &nemo_repro::sim::ReplayResult, bits: f64) {
+    println!(
+        "{:<10} {:>8.2} {:>10.2} {:>10.1} {:>10.1} {:>12.2}",
+        name,
+        r.stats.alwa(),
+        r.stats.miss_ratio() * 100.0,
+        r.latency.percentile(0.50) as f64 / 1000.0,
+        r.latency.percentile(0.99) as f64 / 1000.0,
+        bits
+    );
+}

@@ -1,0 +1,76 @@
+//! Device-compatibility study (paper §6): how Nemo maps Set-Groups onto
+//! different zoned hardware, and what the PBFG cost model (Appendix A)
+//! says about scaling flash capacity and partitioning.
+//!
+//! ```text
+//! cargo run --release --example zns_sizing
+//! ```
+
+use nemo_repro::analytic::PbfgCostModel;
+use nemo_repro::bloom::{sizing, PackedLayout};
+
+struct Device {
+    name: &'static str,
+    zone_mb: u64,
+    capacity_gb: u64,
+}
+
+fn main() {
+    // The devices discussed in §6.
+    let devices = [
+        Device { name: "WD ZN540 (large zones)", zone_mb: 1077, capacity_gb: 14_000 },
+        Device { name: "Samsung PM1731a (small zones)", zone_mb: 96, capacity_gb: 2_000 },
+        Device { name: "Samsung FDP (8 GB reclaim units)", zone_mb: 8_192, capacity_gb: 4_000 },
+    ];
+    let page = 4096u64;
+    let fpr = 0.001;
+    let objs_per_set = 16u64;
+    let filter_bytes = {
+        let bits = (sizing::bits_per_key(fpr) * objs_per_set as f64).ceil() as u64;
+        bits.div_ceil(64) * 8
+    };
+    let layout = PackedLayout::new(page as u32, filter_bytes as u32);
+
+    println!("set size: {page} B | BF: {filter_bytes} B at {:.1}% FPR | {} filters/page\n",
+        fpr * 100.0, layout.filters_per_page());
+    println!(
+        "{:<34} {:>10} {:>12} {:>10} {:>14}",
+        "device", "SG (MB)", "sets/SG", "SGs", "worst reads"
+    );
+    for d in &devices {
+        // §6: SG = one erase unit on large-zone devices; multiple small
+        // zones are grouped to form one SG on small-zone devices.
+        let sg_mb = d.zone_mb.max(1024);
+        let sets_per_sg = sg_mb * 1024 * 1024 / page;
+        let sgs = d.capacity_gb * 1024 / sg_mb;
+        let model = PbfgCostModel {
+            n_sgs: sgs,
+            page_size: page as u32,
+            objects_per_filter: objs_per_set as u32,
+        };
+        println!(
+            "{:<34} {:>10} {:>12} {:>10} {:>14.1}",
+            d.name,
+            sg_mb,
+            sets_per_sg,
+            sgs,
+            model.total_reads(fpr)
+        );
+    }
+
+    // Appendix A's remedy for big devices: partition into independent
+    // cache instances to bound the per-lookup cost.
+    println!("\npartitioning a 14 TB device (Appendix A):");
+    for parts in [1u64, 4, 16, 64] {
+        let model = PbfgCostModel {
+            n_sgs: 14_000 * 1024 / 1077 / parts,
+            page_size: 4096,
+            objects_per_filter: 16,
+        };
+        println!(
+            "  {parts:>3} partitions -> {:>6} SGs each, worst-case reads {:>6.1}",
+            model.n_sgs,
+            model.total_reads(fpr)
+        );
+    }
+}
