@@ -60,7 +60,10 @@ impl PbfgCostModel {
     ///
     /// Panics if the range is invalid or `steps < 2`.
     pub fn optimal_fpr(&self, min_fpr: f64, max_fpr: f64, steps: u32) -> (f64, f64) {
-        assert!(min_fpr > 0.0 && max_fpr < 1.0 && min_fpr < max_fpr, "bad range");
+        assert!(
+            min_fpr > 0.0 && max_fpr < 1.0 && min_fpr < max_fpr,
+            "bad range"
+        );
         assert!(steps >= 2, "need at least two steps");
         let (ln_min, ln_max) = (min_fpr.ln(), max_fpr.ln());
         let mut best = (min_fpr, f64::INFINITY);

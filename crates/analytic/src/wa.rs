@@ -97,7 +97,11 @@ mod tests {
     fn paper_log5_op5_numbers() {
         let m = log5_op5();
         // (1-0.05)*0.95 / (2*0.05) = 9.03 — the paper's "theoretical ≈ 9".
-        assert!((m.l2swa_passive() - 9.0).abs() < 0.5, "{}", m.l2swa_passive());
+        assert!(
+            (m.l2swa_passive() - 9.0).abs() < 0.5,
+            "{}",
+            m.l2swa_passive()
+        );
         // p = 25%: (2-0.25)*9.03 ≈ 15.8 — paper: 15.75.
         assert!((m.l2swa(0.25) - 15.75).abs() < 1.0, "{}", m.l2swa(0.25));
     }

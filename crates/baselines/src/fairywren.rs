@@ -140,8 +140,7 @@ impl FairyWren {
         // One hotness bit per expected resident object.
         let capacity_objects = (set_pages * cfg.geometry.page_size() as u64) / 250;
         let hot_bits = vec![0u64; (capacity_objects as usize).div_ceil(64).max(1)];
-        let cooling_period_bytes =
-            (cfg.geometry.total_bytes() as f64 * 0.10) as u64;
+        let cooling_period_bytes = (cfg.geometry.total_bytes() as f64 * 0.10) as u64;
         Self {
             log: HierLog::new(log_ids, cfg.geometry.page_size() as usize),
             dev,
@@ -424,8 +423,7 @@ impl CacheEngine for FairyWren {
             return match obj.addr {
                 None => GetOutcome::memory_hit(now),
                 Some(addr) => {
-                    let (bytes, done) =
-                        self.dev.read_pages(addr, 1, now).expect("log page read");
+                    let (bytes, done) = self.dev.read_pages(addr, 1, now).expect("log page read");
                     self.stats.flash_bytes_read += bytes.len() as u64;
                     GetOutcome {
                         hit: true,
@@ -500,10 +498,7 @@ impl CacheEngine for FairyWren {
         m.push("log index (48 b/obj model)", self.log.modeled_index_bytes());
         m.push(
             "per-set bloom filters",
-            self.filters
-                .iter()
-                .map(|f| f.serialized_len() as u64)
-                .sum(),
+            self.filters.iter().map(|f| f.serialized_len() as u64).sum(),
         );
         m.push("set mapping table", self.hset.modeled_mapping_bytes());
         m.push("hotness bitmap", self.hot_bits.len() as u64 * 8);
@@ -585,8 +580,14 @@ mod tests {
         let mut fw = small();
         churn(&mut fw, 120_000);
         let wa = fw.stats().alwa();
-        assert!(wa > 3.0, "FW WA should be clearly above log-structured: {wa}");
-        assert!(wa < 60.0, "FW WA should stay below Kangaroo-like blowup: {wa}");
+        assert!(
+            wa > 3.0,
+            "FW WA should be clearly above log-structured: {wa}"
+        );
+        assert!(
+            wa < 60.0,
+            "FW WA should stay below Kangaroo-like blowup: {wa}"
+        );
     }
 
     #[test]
@@ -605,8 +606,7 @@ mod tests {
         let mut fw = small();
         // A small popular working set that we keep touching.
         let hot_keys: Vec<u64> = (0..200u64).map(|k| k.wrapping_mul(0x9E37)).collect();
-        let mut gen =
-            TraceGenerator::new(TraceConfig::twitter_merged(0.0004));
+        let mut gen = TraceGenerator::new(TraceConfig::twitter_merged(0.0004));
         for i in 0..150_000usize {
             let r = gen.next_request();
             if !fw.get(r.key, Nanos::ZERO).hit {

@@ -198,10 +198,7 @@ impl HierLog {
             let Some(chain) = self.per_set.get_mut(&set) else {
                 continue; // drained while buffered
             };
-            if let Some(obj) = chain
-                .iter_mut()
-                .find(|o| o.key == key && o.addr.is_none())
-            {
+            if let Some(obj) = chain.iter_mut().find(|o| o.key == key && o.addr.is_none()) {
                 obj.addr = Some(addr);
                 zone_set.insert(set);
             }
@@ -242,9 +239,11 @@ impl HierLog {
     /// Panics (in debug builds) if live objects still point into the zone.
     pub fn release_zone(&mut self, dev: &mut SimFlash, zone: u32, now: Nanos) -> Nanos {
         debug_assert!(
-            !self.per_set.values().flatten().any(|o| o
-                .addr
-                .is_some_and(|a| a.zone == zone)),
+            !self
+                .per_set
+                .values()
+                .flatten()
+                .any(|o| o.addr.is_some_and(|a| a.zone == zone)),
             "releasing a log zone with live objects"
         );
         self.zone_sets.remove(&zone);

@@ -78,9 +78,9 @@ impl HsetRegion {
     /// Whether a GC pass should run now (keeps one spare zone beyond the
     /// open frontier).
     pub fn needs_gc(&self, dev: &SimFlash) -> bool {
-        let frontier_room = self.open.is_some_and(|z| {
-            dev.write_pointer(ZoneId(z)) < dev.geometry().pages_per_zone()
-        });
+        let frontier_room = self
+            .open
+            .is_some_and(|z| dev.write_pointer(ZoneId(z)) < dev.geometry().pages_per_zone());
         let free_needed = if frontier_room { 1 } else { 2 };
         self.free.len() < free_needed
     }
@@ -110,17 +110,11 @@ impl HsetRegion {
         let geom = dev.geometry();
         if let Some(old) = self.set_loc[set as usize] {
             self.page_set.remove(&geom.flat_index(old));
-            *self
-                .zone_valid
-                .get_mut(&old.zone)
-                .expect("tracked zone") -= 1;
+            *self.zone_valid.get_mut(&old.zone).expect("tracked zone") -= 1;
         }
         self.set_loc[set as usize] = Some(addr);
         self.page_set.insert(geom.flat_index(addr), set);
-        *self
-            .zone_valid
-            .get_mut(&addr.zone)
-            .expect("tracked zone") += 1;
+        *self.zone_valid.get_mut(&addr.zone).expect("tracked zone") += 1;
         (addr, done)
     }
 

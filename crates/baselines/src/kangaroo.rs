@@ -142,10 +142,7 @@ impl Kangaroo {
             );
             for set in self.hset.sets_in_zone(&self.dev, victim) {
                 let addr = self.hset.location(set).expect("valid set");
-                let (bytes, _) = self
-                    .dev
-                    .read_pages(addr, 1, now)
-                    .expect("valid set read");
+                let (bytes, _) = self.dev.read_pages(addr, 1, now).expect("valid set read");
                 self.stats.flash_bytes_read += bytes.len() as u64;
                 self.hset.append_set(&mut self.dev, set, &bytes, now);
                 self.stats.flash_bytes_written += bytes.len() as u64;
@@ -234,8 +231,7 @@ impl CacheEngine for Kangaroo {
             return match obj.addr {
                 None => GetOutcome::memory_hit(now),
                 Some(addr) => {
-                    let (bytes, done) =
-                        self.dev.read_pages(addr, 1, now).expect("log page read");
+                    let (bytes, done) = self.dev.read_pages(addr, 1, now).expect("log page read");
                     self.stats.flash_bytes_read += bytes.len() as u64;
                     GetOutcome {
                         hit: true,
@@ -297,10 +293,7 @@ impl CacheEngine for Kangaroo {
         m.push("log index (48 b/obj model)", self.log.modeled_index_bytes());
         m.push(
             "per-set bloom filters",
-            self.filters
-                .iter()
-                .map(|f| f.serialized_len() as u64)
-                .sum(),
+            self.filters.iter().map(|f| f.serialized_len() as u64).sum(),
         );
         m.push("set mapping table", self.hset.modeled_mapping_bytes());
         m
@@ -377,10 +370,7 @@ mod tests {
         }
         let mean = kg.migration_cdf().mean();
         // Large hash range => few new objects per set write (Observation 1).
-        assert!(
-            mean < 8.0,
-            "expected a low per-set batch size, got {mean}"
-        );
+        assert!(mean < 8.0, "expected a low per-set batch size, got {mean}");
     }
 
     #[test]

@@ -77,8 +77,7 @@ impl SetCache {
         let n_sets = dev.user_page_count();
         assert!(n_sets > 0, "no sets available");
         // Expected objects per set drives the filter size.
-        let objs_per_set =
-            (cfg.geometry.page_size() as f64 / 250.0).ceil().max(1.0) as u64;
+        let objs_per_set = (cfg.geometry.page_size() as f64 / 250.0).ceil().max(1.0) as u64;
         let m_bits = ((cfg.bloom_bits_per_object * objs_per_set as f64).ceil() as u64).max(64);
         let k = 2;
         let filters = (0..n_sets)
@@ -187,8 +186,7 @@ impl CacheEngine for SetCache {
     fn stats(&self) -> EngineStats {
         let mut s = self.stats;
         let ftl = self.dev.ftl_stats();
-        s.nand_bytes_written =
-            ftl.nand_pages_written * self.dev.geometry().page_size() as u64;
+        s.nand_bytes_written = ftl.nand_pages_written * self.dev.geometry().page_size() as u64;
         s.objects_on_flash = self.objects;
         s.device = self.dev.device_stats();
         s
@@ -196,11 +194,7 @@ impl CacheEngine for SetCache {
 
     fn memory(&self) -> MemoryBreakdown {
         let mut m = MemoryBreakdown::new(self.objects.max(1));
-        let bloom_bytes: u64 = self
-            .filters
-            .iter()
-            .map(|f| f.serialized_len() as u64)
-            .sum();
+        let bloom_bytes: u64 = self.filters.iter().map(|f| f.serialized_len() as u64).sum();
         m.push("per-set bloom filters", bloom_bytes);
         m
     }
@@ -301,7 +295,7 @@ mod tests {
             "NAND writes include GC traffic"
         );
         let dlwa = c.device().ftl_stats().dlwa();
-        assert!(dlwa >= 1.0 && dlwa < 2.0, "50% OP keeps DLWA low: {dlwa}");
+        assert!((1.0..2.0).contains(&dlwa), "50% OP keeps DLWA low: {dlwa}");
     }
 
     #[test]

@@ -28,7 +28,13 @@ fn bench_engines(c: &mut Criterion) {
             let s = scale();
             let mut engine = $make;
             let mut trace = s.merged_trace();
-            drive(&mut engine, &mut trace, s.ops_for_fills(0.8), u64::MAX, |_, _| {});
+            drive(
+                &mut engine,
+                &mut trace,
+                s.ops_for_fills(0.8),
+                u64::MAX,
+                |_, _| {},
+            );
             g.bench_function(concat!($name, "_demand_fill_op"), |b| {
                 b.iter(|| {
                     let r = trace.next_request();

@@ -13,7 +13,9 @@ use nemo_trace::{SizeModel, SyntheticInsertTrace, TraceGenerator};
 /// Twitter-like workloads.
 pub fn fig8(_scale: RunScale) {
     println!("\n### Figure 8 — short-term hashed-key skew (fill rate when the first set fills)");
-    println!("paper: with 4 KB sets the remaining sets are mostly <25% full; 8 KB rarely exceeds 40%");
+    println!(
+        "paper: with 4 KB sets the remaining sets are mostly <25% full; 8 KB rarely exceeds 40%"
+    );
     let mut rows = Vec::new();
     for (workload, label) in [("synthetic", "synth"), ("twitter", "twitter")] {
         for set_kb in [4u32, 8] {
@@ -104,7 +106,9 @@ pub fn fig17(scale: RunScale) {
 /// first two SGs and the resulting WA, versus sacrificed objects.
 pub fn fig18(scale: RunScale) {
     println!("\n### Figure 18 — probabilistic flushing sweep (p_th)");
-    println!("paper: more sacrifices -> more new objects per SG and lower WA, with diminishing returns");
+    println!(
+        "paper: more sacrifices -> more new objects per SG and lower WA, with diminishing returns"
+    );
     let ops = scale.ops_for_fills(2.0);
     let mut rows = Vec::new();
     for p_th in [1u32, 4, 16, 64, 256, 1024, 4096] {

@@ -168,7 +168,10 @@ pub fn fig14(scale: RunScale) {
                 }
             },
         );
-        println!("   {label}: final WA {:.2}", samples.last().copied().unwrap_or(1.0));
+        println!(
+            "   {label}: final WA {:.2}",
+            samples.last().copied().unwrap_or(1.0)
+        );
         series.push(samples);
     }
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
@@ -226,9 +229,7 @@ pub fn fig15(scale: RunScale) {
     print_table("Fig. 15 (aggregate)", &headers, &summary);
     write_csv("fig15_summary", &headers, &summary);
     let n = windows.iter().map(|w| w.len()).min().unwrap_or(0);
-    for i in 0..n {
-        let a = &windows[0][i];
-        let b = &windows[1][i];
+    for (a, b) in windows[0][..n].iter().zip(&windows[1][..n]) {
         rows.push(vec![
             a.ops.to_string(),
             f2(a.p50 as f64 / 1000.0),

@@ -145,8 +145,7 @@ pub fn theory_vs_practice(scale: RunScale) {
         let measured_total_l2swa = {
             let (pa, ac) = fw.rmw_counts();
             let writes = pa + ac;
-            let merged =
-                fw.passive_cdf().mean() * pa as f64 + fw.active_cdf().mean() * ac as f64;
+            let merged = fw.passive_cdf().mean() * pa as f64 + fw.active_cdf().mean() * ac as f64;
             page * writes as f64 / (merged.max(0.01) * mean_obj)
         };
         rows.push(vec![

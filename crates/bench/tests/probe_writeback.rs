@@ -13,7 +13,13 @@ fn writeback_triggers_at_experiment_scale() {
     };
     let mut nemo = scale.nemo();
     let mut trace = scale.merged_trace();
-    drive(&mut nemo, &mut trace, scale.ops_for_fills(2.5), u64::MAX, |_, _| {});
+    drive(
+        &mut nemo,
+        &mut trace,
+        scale.ops_for_fills(2.5),
+        u64::MAX,
+        |_, _| {},
+    );
     let r = nemo.report();
     let s = nemo.stats();
     eprintln!(

@@ -148,7 +148,10 @@ impl BloomFilter {
     ///
     /// Panics if `out` is smaller than [`Self::serialized_len`].
     pub fn write_bytes(&self, out: &mut [u8]) {
-        assert!(out.len() >= self.serialized_len(), "output buffer too small");
+        assert!(
+            out.len() >= self.serialized_len(),
+            "output buffer too small"
+        );
         for (i, w) in self.bits.iter().enumerate() {
             out[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
         }
@@ -163,13 +166,21 @@ impl BloomFilter {
     /// Panics if `bytes` is not a multiple of 8 or `k == 0`.
     pub fn from_bytes(bytes: &[u8], k: u32) -> Self {
         assert!(k > 0, "k must be positive");
-        assert!(bytes.len() % 8 == 0, "serialized filter must be word-aligned");
+        assert!(
+            bytes.len() % 8 == 0,
+            "serialized filter must be word-aligned"
+        );
         let bits: Vec<u64> = bytes
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
             .collect();
         let m_bits = bits.len() as u64 * 64;
-        Self { bits, m_bits, k, items: 0 }
+        Self {
+            bits,
+            m_bits,
+            k,
+            items: 0,
+        }
     }
 
     /// Fraction of bits set — a saturation diagnostic.
@@ -202,7 +213,10 @@ impl BloomFilter {
 ///
 /// Panics if `bytes` is empty or not word-aligned.
 pub fn contains_in_slice(bytes: &[u8], k: u32, probes: &ProbeSet) -> bool {
-    assert!(!bytes.is_empty() && bytes.len() % 8 == 0, "bad filter slice");
+    assert!(
+        !bytes.is_empty() && bytes.len() % 8 == 0,
+        "bad filter slice"
+    );
     let m_bits = bytes.len() as u64 * 8;
     (0..k).all(|i| {
         let pos = probes.position(i, m_bits);
@@ -313,5 +327,53 @@ mod tests {
     #[should_panic(expected = "items must be positive")]
     fn zero_items_panics() {
         BloomFilter::for_items(0, 0.01);
+    }
+
+    #[test]
+    fn measured_fpr_within_sizing_bound() {
+        // The observed false-positive rate must track the analytic
+        // prediction for the filter's actual geometry (sizing::expected_fpr),
+        // not just the nominal target — this pins the filter and the sizing
+        // model to each other.
+        for &(n, target) in &[(100u64, 0.01f64), (1000, 0.01), (40, 0.001)] {
+            let mut bf = BloomFilter::for_items(n, target);
+            for k in 0..n {
+                bf.insert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            }
+            let predicted = crate::sizing::expected_fpr(bf.bit_len(), bf.hash_count(), n);
+            let trials = 400_000u64;
+            let fps = (0..trials)
+                .filter(|&t| bf.contains(t.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xDEAD))
+                .count();
+            let measured = fps as f64 / trials as f64;
+            // Sampling noise and word-rounding both push the measured rate
+            // around the prediction; 2.5x + epsilon bounds it comfortably.
+            assert!(
+                measured <= predicted * 2.5 + 5e-4,
+                "n={n}: measured {measured:.5} vs predicted {predicted:.5}"
+            );
+        }
+    }
+
+    #[test]
+    fn slice_queries_match_filter_queries() {
+        // contains_in_slice is the PBFG probe path; it must agree bit-for-
+        // bit with BloomFilter::contains on the same serialized state.
+        let mut bf = BloomFilter::for_items(64, 0.01);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(21);
+        for _ in 0..64 {
+            bf.insert(rng.next_u64());
+        }
+        let mut buf = vec![0u8; bf.serialized_len()];
+        bf.write_bytes(&mut buf);
+        for _ in 0..5000 {
+            let key = rng.next_u64();
+            let probes = ProbeSet::for_key(key);
+            assert_eq!(
+                bf.contains(key),
+                contains_in_slice(&buf, bf.hash_count(), &probes),
+                "slice and filter disagree on {key:#x}"
+            );
+        }
     }
 }

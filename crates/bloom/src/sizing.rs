@@ -66,10 +66,7 @@ mod tests {
             let m = (bits_per_key(target) * n as f64).ceil() as u64;
             let k = optimal_hashes(bits_per_key(target));
             let p = expected_fpr(m, k, n);
-            assert!(
-                p < target * 1.3,
-                "target {target}: predicted {p}"
-            );
+            assert!(p < target * 1.3, "target {target}: predicted {p}");
         }
     }
 

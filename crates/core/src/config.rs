@@ -93,8 +93,7 @@ impl NemoConfig {
     /// Serialized bytes of one set-level Bloom filter.
     pub fn filter_bytes(&self) -> u32 {
         let bpk = sizing::bits_per_key(self.bloom_fpr);
-        let m_bits =
-            ((bpk * self.expected_objects_per_set as f64).ceil() as u64).max(64);
+        let m_bits = ((bpk * self.expected_objects_per_set as f64).ceil() as u64).max(64);
         (m_bits.div_ceil(64) * 8) as u32
     }
 
@@ -107,8 +106,8 @@ impl NemoConfig {
     /// in one flash page, capped at 50 as in the paper (Table 3: 50 : 1),
     /// or the explicit [`Self::index_group_sgs`] override.
     pub fn sgs_per_index_group(&self) -> u32 {
-        let packing = PackedLayout::new(self.geometry.page_size(), self.filter_bytes())
-            .filters_per_page();
+        let packing =
+            PackedLayout::new(self.geometry.page_size(), self.filter_bytes()).filters_per_page();
         if self.index_group_sgs == 0 {
             packing.min(50)
         } else {
@@ -123,8 +122,7 @@ impl NemoConfig {
     /// slack.
     pub fn index_zones(&self) -> u32 {
         let data_zone_guess = self.geometry.zone_count();
-        let max_groups =
-            data_zone_guess.div_ceil(self.sgs_per_index_group()) + 2;
+        let max_groups = data_zone_guess.div_ceil(self.sgs_per_index_group()) + 2;
         let pages = max_groups as u64 * self.sets_per_sg() as u64;
         (pages.div_ceil(self.geometry.pages_per_zone() as u64) as u32 + 1)
             .min(self.geometry.zone_count() / 4)

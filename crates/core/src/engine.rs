@@ -88,8 +88,7 @@ impl Nemo {
         cfg.validate();
         let dev = SimFlash::with_latency(cfg.geometry, cfg.latency);
         let index_zones: Vec<u32> = (0..cfg.index_zones()).collect();
-        let data_zones: VecDeque<u32> =
-            (cfg.index_zones()..cfg.geometry.zone_count()).collect();
+        let data_zones: VecDeque<u32> = (cfg.index_zones()..cfg.geometry.zone_count()).collect();
         let pool_capacity = data_zones.len();
         let index = PbfgIndex::new(
             index_zones,
@@ -103,8 +102,7 @@ impl Nemo {
         let queue: VecDeque<MemSg> = (0..cfg.effective_queue_len())
             .map(|_| Self::fresh_sg(&cfg))
             .collect();
-        let cooling_threshold =
-            (cfg.geometry.total_bytes() as f64 * cfg.cooling_period) as u64;
+        let cooling_threshold = (cfg.geometry.total_bytes() as f64 * cfg.cooling_period) as u64;
         Self {
             dev,
             queue,
@@ -233,8 +231,8 @@ impl Nemo {
         self.index.set_cache_capacity(cap);
 
         // SGs entering the oldest `hotness_window` fraction get bitmaps.
-        let window =
-            ((self.pool.len() as f64 * self.cfg.hotness_window).ceil() as usize).min(self.pool.len());
+        let window = ((self.pool.len() as f64 * self.cfg.hotness_window).ceil() as usize)
+            .min(self.pool.len());
         for sg in self.pool.iter().take(window) {
             self.tracker.track(sg.seq);
         }
@@ -299,10 +297,10 @@ impl Nemo {
     /// Tries to insert into the buffered SGs, front to rear.
     fn try_insert(&mut self, set: u32, key: u64, size: u32) -> bool {
         for sg in self.queue.iter_mut() {
-            if sg.set(set).has_room(size) || sg.set(set).contains(key) {
-                if sg.insert_at(set, key, size) {
-                    return true;
-                }
+            if (sg.set(set).has_room(size) || sg.set(set).contains(key))
+                && sg.insert_at(set, key, size)
+            {
+                return true;
             }
         }
         false
@@ -416,14 +414,12 @@ impl CacheEngine for Nemo {
     }
 
     fn memory(&self) -> MemoryBreakdown {
-        let objects = self
-            .pool
-            .iter()
-            .map(|sg| sg.objects)
-            .sum::<u64>()
-            .max(1);
+        let objects = self.pool.iter().map(|sg| sg.objects).sum::<u64>().max(1);
         let mut m = MemoryBreakdown::new(objects);
-        m.push("PBFG cache (cached set-level filters)", self.index.cache_bytes());
+        m.push(
+            "PBFG cache (cached set-level filters)",
+            self.index.cache_bytes(),
+        );
         m.push("index group buffer", self.index.buffer_bytes());
         m.push("hotness bitmaps", self.tracker.memory_bytes());
         m.push(
@@ -578,10 +574,7 @@ mod tests {
             n.report().writeback_objects > 0,
             "write-back should trigger under churn"
         );
-        let alive = hot
-            .iter()
-            .filter(|&&k| n.get(k, Nanos::ZERO).hit)
-            .count();
+        let alive = hot.iter().filter(|&&k| n.get(k, Nanos::ZERO).hit).count();
         assert!(alive > 50, "hot objects should stay cached: {alive}/100");
     }
 

@@ -53,7 +53,7 @@ impl HotnessTracker {
     }
 
     fn slot_mask(&self, key: u64) -> u64 {
-        1u64 << (hash_u64(key, 0x807B_17) % self.slots_per_set as u64)
+        1u64 << (hash_u64(key, 0x0080_7B17) % self.slots_per_set as u64)
     }
 
     /// Starts tracking an SG (idempotent). Called when the SG enters the
@@ -93,9 +93,7 @@ impl HotnessTracker {
     /// Raw mask of a set (0 if untracked) — used to skip write-back reads
     /// for sets with no hot objects.
     pub fn set_mask(&self, seq: u64, set: u32) -> u64 {
-        self.maps
-            .get(&seq)
-            .map_or(0, |words| words[set as usize])
+        self.maps.get(&seq).map_or(0, |words| words[set as usize])
     }
 
     /// Cooling pass: clears the bits of every `(seq, set)` for which

@@ -219,11 +219,7 @@ impl PbfgIndex {
         match self.sg_group.get(&seq) {
             Some(&g) => self.cache.contains(g, set),
             // Still in the building group: filters are in memory.
-            None => self
-                .building
-                .iter()
-                .flatten()
-                .any(|b| b.seq == seq),
+            None => self.building.iter().flatten().any(|b| b.seq == seq),
         }
     }
 
@@ -243,7 +239,8 @@ impl PbfgIndex {
             self.sets_per_sg as usize,
             "one filter per set"
         );
-        self.building.push(Some(BufferedSlot { seq, zone, filters }));
+        self.building
+            .push(Some(BufferedSlot { seq, zone, filters }));
         if self.building.len() as u32 >= self.sgs_per_group {
             self.persist_building(dev, now)
         } else {
@@ -311,7 +308,9 @@ impl PbfgIndex {
             if dev.zone_state(ZoneId(next)) != ZoneState::Empty {
                 let groups = self.zone_groups.remove(&next).unwrap_or_default();
                 assert!(
-                    groups.iter().all(|g| self.retired.get(g).copied().unwrap_or(true)),
+                    groups
+                        .iter()
+                        .all(|g| self.retired.get(g).copied().unwrap_or(true)),
                     "index pool undersized: recycling a zone with live groups"
                 );
                 for g in groups {
@@ -386,11 +385,7 @@ impl PbfgIndex {
         for gi in 0..self.groups.len() {
             let (gid, base, addr) = {
                 let g = &self.groups[gi];
-                (
-                    g.id,
-                    g.base,
-                    PageAddr::new(g.base.zone, g.base.page + set),
-                )
+                (g.id, g.base, PageAddr::new(g.base.zone, g.base.page + set))
             };
             let _ = base;
             let fetched: Option<Vec<u8>> = if self.cache.contains(gid, set) {
@@ -398,9 +393,7 @@ impl PbfgIndex {
                 None
             } else {
                 self.stats.cache_misses += 1;
-                let (mut page, t) = dev
-                    .read_pages(addr, 1, now)
-                    .expect("index pool page read");
+                let (mut page, t) = dev.read_pages(addr, 1, now).expect("index pool page read");
                 flash_reads += 1;
                 bytes_read += page.len() as u64;
                 done = done.max(t);
@@ -425,7 +418,7 @@ impl PbfgIndex {
                 self.cache.insert(gid, set, p);
             }
         }
-        out.sort_by(|a, b| b.seq.cmp(&a.seq));
+        out.sort_by_key(|c| std::cmp::Reverse(c.seq));
         CandidateQuery {
             candidates: out,
             flash_reads,
@@ -470,8 +463,9 @@ mod tests {
     }
 
     fn filters_with_keys(keys: &[u64]) -> Vec<BloomFilter> {
-        let mut fs: Vec<BloomFilter> =
-            (0..SETS).map(|_| BloomFilter::with_geometry(512, 5)).collect();
+        let mut fs: Vec<BloomFilter> = (0..SETS)
+            .map(|_| BloomFilter::with_geometry(512, 5))
+            .collect();
         for &k in keys {
             let set = (k % SETS as u64) as usize;
             fs[set].insert(k);
@@ -524,9 +518,7 @@ mod tests {
             );
         }
         let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
-        assert!(q
-            .candidates
-            .contains(&SgCandidate { seq: 0, zone: 10 }));
+        assert!(q.candidates.contains(&SgCandidate { seq: 0, zone: 10 }));
         assert_eq!(q.flash_reads, 1, "first access fetches the PBFG page");
         // Second access: cached.
         let q2 = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
@@ -555,7 +547,13 @@ mod tests {
         let mut idx = index();
         idx.set_cache_capacity(64);
         for seq in 0..3u64 {
-            idx.add_sg(&mut d, seq, 10 + seq as u32, filters_with_keys(&[8]), Nanos::ZERO);
+            idx.add_sg(
+                &mut d,
+                seq,
+                10 + seq as u32,
+                filters_with_keys(&[8]),
+                Nanos::ZERO,
+            );
         }
         for seq in 0..3u64 {
             idx.on_evict(seq);
@@ -571,7 +569,13 @@ mod tests {
         let mut idx = index();
         // Key 8 in every SG of the building group.
         for seq in [4u64, 9, 7] {
-            idx.add_sg(&mut d, seq, seq as u32, filters_with_keys(&[8]), Nanos::ZERO);
+            idx.add_sg(
+                &mut d,
+                seq,
+                seq as u32,
+                filters_with_keys(&[8]),
+                Nanos::ZERO,
+            );
         }
         let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
         let seqs: Vec<u64> = q.candidates.iter().map(|c| c.seq).collect();

@@ -170,7 +170,7 @@ impl MemSg {
     /// The intra-SG set offset for a key (derived from the hashed key,
     /// paper §4.1).
     pub fn set_index_of(key: u64, sets_per_sg: u32) -> u32 {
-        (nemo_util::hash_u64(key, 0x5E7_1D) % sets_per_sg as u64) as u32
+        (nemo_util::hash_u64(key, 0x0005_E71D) % sets_per_sg as u64) as u32
     }
 
     /// Number of sets.
@@ -369,6 +369,59 @@ mod tests {
             "when the first set fills, most sets should be far from full \
              (paper Fig. 8): mean fill {mean}"
         );
+    }
+
+    #[test]
+    fn set_overflow_leaves_counters_untouched() {
+        // A refused insert (set overflow) must not perturb object/byte
+        // accounting — the flush-fill study depends on these counters.
+        let mut sg = MemSg::new(1, 300, 0.01, 10);
+        assert!(sg.insert_at(0, 1, 200));
+        let (objs, bytes) = (sg.object_count(), sg.byte_count());
+        assert!(!sg.insert_at(0, 2, 200), "2 + 200 + 200 > 300 must refuse");
+        assert_eq!(sg.object_count(), objs);
+        assert_eq!(sg.byte_count(), bytes);
+        assert!(!sg.set(0).contains(2));
+        // A replacement that no longer fits must also refuse cleanly.
+        assert!(!sg.insert_at(0, 1, 299), "2 + 299 > 300 must refuse");
+        assert_eq!(sg.byte_count(), bytes);
+        assert!(sg.set(0).contains(1), "old entry survives failed replace");
+    }
+
+    #[test]
+    fn flush_fill_accounting_counts_headers_once_per_set() {
+        // fill_rate is E(FR_SG) from Eq. 9: (headers + object bytes) over
+        // page capacity, headers counted once per set regardless of count.
+        let mut sg = MemSg::for_fill_study(4, 1000);
+        sg.insert_at(0, 1, 400);
+        sg.insert_at(0, 2, 300);
+        sg.insert_at(1, 3, 500);
+        let used = (PAGE_HEADER * 4 + 400 + 300 + 500) as f64;
+        assert!((sg.fill_rate() - used / 4000.0).abs() < 1e-12);
+        assert_eq!(sg.byte_count(), 1200, "byte_count excludes headers");
+        // Per-set rates agree with the aggregate.
+        let rates = sg.set_fill_rates();
+        let mean_used: f64 = rates.iter().map(|r| r * 1000.0).sum::<f64>();
+        assert!((mean_used - used).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sacrifice_then_refill_round_trips_accounting() {
+        // Probabilistic flushing sacrifices the oldest entry; the freed
+        // room must be reusable and the counters must round-trip.
+        let mut sg = MemSg::for_fill_study(1, 300);
+        assert!(sg.insert_at(0, 1, 140));
+        assert!(sg.insert_at(0, 2, 140));
+        assert!(!sg.insert_at(0, 3, 140), "full set refuses");
+        assert_eq!(sg.sacrifice_at(0), Some((1, 140)), "FIFO victim");
+        assert!(sg.insert_at(0, 3, 140), "freed room is reusable");
+        assert_eq!(sg.object_count(), 2);
+        assert_eq!(sg.byte_count(), 280);
+        // Draining the set brings every counter back to zero.
+        while sg.sacrifice_at(0).is_some() {}
+        assert_eq!(sg.object_count(), 0);
+        assert_eq!(sg.byte_count(), 0);
+        assert!((sg.fill_rate() - PAGE_HEADER as f64 / 300.0).abs() < 1e-12);
     }
 
     #[test]

@@ -180,7 +180,7 @@ impl Iterator for PageEntries<'_> {
 
 /// Returns the payload slice of the entry for `key` inside `page`, if
 /// present — what a real cache would copy out to serve a hit.
-pub fn find_payload<'a>(page: &'a [u8], key: u64) -> Option<&'a [u8]> {
+pub fn find_payload(page: &[u8], key: u64) -> Option<&[u8]> {
     let mut offset = PAGE_HEADER;
     let count = u16::from_le_bytes([page[0], page[1]]);
     for _ in 0..count {
@@ -255,7 +255,7 @@ mod tests {
         page.try_push(9, 50);
         let mut bytes = page.finish();
         bytes[0] = 200; // lie about the count
-        // Iterator must terminate without panicking.
+                        // Iterator must terminate without panicking.
         assert!(parse_entries(&bytes).count() <= 200);
     }
 

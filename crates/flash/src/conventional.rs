@@ -136,12 +136,7 @@ impl ConventionalSsd {
     ///
     /// Fails if `lpn` is out of range, the buffer is not exactly one page,
     /// or GC cannot reclaim space.
-    pub fn write_page(
-        &mut self,
-        lpn: u64,
-        data: &[u8],
-        now: Nanos,
-    ) -> Result<Nanos, FlashError> {
+    pub fn write_page(&mut self, lpn: u64, data: &[u8], now: Nanos) -> Result<Nanos, FlashError> {
         if lpn >= self.user_pages {
             return Err(FlashError::BadLogicalPage(lpn));
         }
@@ -177,10 +172,7 @@ impl ConventionalSsd {
         }
         match self.map[lpn as usize] {
             Some(addr) => self.flash.read_pages(addr, 1, now),
-            None => Ok((
-                vec![0u8; self.geometry().page_size() as usize],
-                now,
-            )),
+            None => Ok((vec![0u8; self.geometry().page_size() as usize], now)),
         }
     }
 
@@ -328,7 +320,11 @@ mod tests {
         assert_eq!(s.host_pages_written, 2000);
         assert!(s.gc_runs > 0, "GC should have run");
         assert!(s.dlwa() > 1.0);
-        assert!(s.dlwa() < 3.0, "25% OP with uniform churn: DLWA {}", s.dlwa());
+        assert!(
+            s.dlwa() < 3.0,
+            "25% OP with uniform churn: DLWA {}",
+            s.dlwa()
+        );
     }
 
     #[test]
@@ -336,7 +332,11 @@ mod tests {
         let mut ssd = tiny();
         // Unique content per lpn so relocation bugs are visible.
         let bufs: Vec<Vec<u8>> = (0..96u64)
-            .map(|l| (0..512).map(|i| ((l as usize * 31 + i) % 256) as u8).collect())
+            .map(|l| {
+                (0..512)
+                    .map(|i| ((l as usize * 31 + i) % 256) as u8)
+                    .collect()
+            })
             .collect();
         for round in 0..5 {
             for l in 0..96u64 {
@@ -363,7 +363,8 @@ mod tests {
             let page = vec![1u8; 512];
             let mut rng = nemo_util::Xoshiro256StarStar::seed_from_u64(7);
             for _ in 0..6000 {
-                ssd.write_page(rng.next_below(n), &page, Nanos::ZERO).unwrap();
+                ssd.write_page(rng.next_below(n), &page, Nanos::ZERO)
+                    .unwrap();
             }
             ssd.ftl_stats().dlwa()
         };

@@ -142,7 +142,7 @@ mod tests {
     #[test]
     fn die_striping_covers_all_dies() {
         let g = Geometry::new(4096, 64, 4, 8);
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for p in 0..64 {
             seen[g.die_of(PageAddr::new(0, p)) as usize] = true;
         }
@@ -152,10 +152,7 @@ mod tests {
     #[test]
     fn zones_start_staggered() {
         let g = Geometry::new(4096, 64, 4, 8);
-        assert_ne!(
-            g.die_of(PageAddr::new(0, 0)),
-            g.die_of(PageAddr::new(1, 0))
-        );
+        assert_ne!(g.die_of(PageAddr::new(0, 0)), g.die_of(PageAddr::new(1, 0)));
     }
 
     #[test]

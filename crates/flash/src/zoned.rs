@@ -149,11 +149,7 @@ impl SimFlash {
     /// # Errors
     ///
     /// Returns an error if the file cannot be created or sized.
-    pub fn file_backed(
-        geom: Geometry,
-        lat: LatencyModel,
-        path: &Path,
-    ) -> Result<Self, FlashError> {
+    pub fn file_backed(geom: Geometry, lat: LatencyModel, path: &Path) -> Result<Self, FlashError> {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -432,16 +428,20 @@ mod tests {
     #[test]
     fn zone_fills_and_rejects_further_appends() {
         let mut dev = small();
-        dev.append(ZoneId(0), &vec![1u8; 512 * 4], Nanos::ZERO).unwrap();
+        dev.append(ZoneId(0), &vec![1u8; 512 * 4], Nanos::ZERO)
+            .unwrap();
         assert_eq!(dev.zone_state(ZoneId(0)), ZoneState::Full);
-        let err = dev.append(ZoneId(0), &vec![1u8; 512], Nanos::ZERO).unwrap_err();
+        let err = dev
+            .append(ZoneId(0), &vec![1u8; 512], Nanos::ZERO)
+            .unwrap_err();
         assert_eq!(err, FlashError::ZoneNotWritable(ZoneId(0)));
     }
 
     #[test]
     fn overflow_append_rejected_atomically() {
         let mut dev = small();
-        dev.append(ZoneId(0), &vec![1u8; 512 * 3], Nanos::ZERO).unwrap();
+        dev.append(ZoneId(0), &vec![1u8; 512 * 3], Nanos::ZERO)
+            .unwrap();
         let err = dev
             .append(ZoneId(0), &vec![1u8; 512 * 2], Nanos::ZERO)
             .unwrap_err();
@@ -463,7 +463,7 @@ mod tests {
     #[test]
     fn unaligned_append_rejected() {
         let mut dev = small();
-        let err = dev.append(ZoneId(0), &vec![1u8; 100], Nanos::ZERO).unwrap_err();
+        let err = dev.append(ZoneId(0), &[1u8; 100], Nanos::ZERO).unwrap_err();
         assert!(matches!(err, FlashError::UnalignedLength { .. }));
         let err = dev.append(ZoneId(0), &[], Nanos::ZERO).unwrap_err();
         assert!(matches!(err, FlashError::UnalignedLength { .. }));
@@ -472,7 +472,8 @@ mod tests {
     #[test]
     fn reset_clears_zone_and_counts() {
         let mut dev = small();
-        dev.append(ZoneId(2), &vec![5u8; 512 * 4], Nanos::ZERO).unwrap();
+        dev.append(ZoneId(2), &vec![5u8; 512 * 4], Nanos::ZERO)
+            .unwrap();
         dev.reset_zone(ZoneId(2), Nanos::ZERO).unwrap();
         assert_eq!(dev.zone_state(ZoneId(2)), ZoneState::Empty);
         assert_eq!(dev.write_pointer(ZoneId(2)), 0);
@@ -494,7 +495,8 @@ mod tests {
     #[test]
     fn stats_account_bytes() {
         let mut dev = small();
-        dev.append(ZoneId(0), &vec![1u8; 512 * 2], Nanos::ZERO).unwrap();
+        dev.append(ZoneId(0), &vec![1u8; 512 * 2], Nanos::ZERO)
+            .unwrap();
         dev.read_pages(PageAddr::new(0, 0), 2, Nanos::ZERO).unwrap();
         let s = dev.stats();
         assert_eq!(s.pages_written, 2);
@@ -517,9 +519,7 @@ mod tests {
         let mut dev = SimFlash::with_latency(geom, lat);
         let (_, wdone) = dev.append(ZoneId(0), &vec![1u8; 512], Nanos::ZERO).unwrap();
         assert_eq!(wdone, Nanos::from_micros(14));
-        let (_, rdone) = dev
-            .read_pages(PageAddr::new(0, 0), 1, Nanos::ZERO)
-            .unwrap();
+        let (_, rdone) = dev.read_pages(PageAddr::new(0, 0), 1, Nanos::ZERO).unwrap();
         assert_eq!(rdone, Nanos::from_micros(84), "read queued behind write");
     }
 
@@ -527,8 +527,13 @@ mod tests {
     fn scattered_reads_parallelize_across_dies() {
         let geom = Geometry::new(512, 4, 2, 4);
         let mut dev = SimFlash::with_latency(geom, LatencyModel::default());
-        dev.append(ZoneId(0), &vec![1u8; 512 * 4], Nanos::ZERO).unwrap();
-        let addrs = [PageAddr::new(0, 0), PageAddr::new(0, 1), PageAddr::new(0, 2)];
+        dev.append(ZoneId(0), &vec![1u8; 512 * 4], Nanos::ZERO)
+            .unwrap();
+        let addrs = [
+            PageAddr::new(0, 0),
+            PageAddr::new(0, 1),
+            PageAddr::new(0, 2),
+        ];
         let (bufs, done) = dev.read_scattered(&addrs, Nanos::from_millis(1)).unwrap();
         assert_eq!(bufs.len(), 3);
         // All three pages live on distinct dies -> one read latency total.
@@ -545,8 +550,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("dev.img");
         let geom = Geometry::new(512, 4, 2, 2);
-        let mut dev =
-            SimFlash::file_backed(geom, LatencyModel::zero(), &path).unwrap();
+        let mut dev = SimFlash::file_backed(geom, LatencyModel::zero(), &path).unwrap();
         let data: Vec<u8> = (0..512u32).map(|i| (i * 7 % 256) as u8).collect();
         let (addr, _) = dev.append(ZoneId(1), &data, Nanos::ZERO).unwrap();
         let (back, _) = dev.read_pages(addr, 1, Nanos::ZERO).unwrap();
@@ -558,7 +562,9 @@ mod tests {
     #[test]
     fn bad_zone_errors() {
         let mut dev = small();
-        assert!(dev.append(ZoneId(99), &vec![0u8; 512], Nanos::ZERO).is_err());
+        assert!(dev
+            .append(ZoneId(99), &vec![0u8; 512], Nanos::ZERO)
+            .is_err());
         assert!(dev.reset_zone(ZoneId(99), Nanos::ZERO).is_err());
         assert!(dev
             .read_pages(PageAddr::new(99, 0), 1, Nanos::ZERO)

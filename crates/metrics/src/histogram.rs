@@ -248,7 +248,18 @@ mod tests {
 
     #[test]
     fn index_value_roundtrip_bounds() {
-        for v in [0u64, 1, 127, 128, 129, 255, 256, 1 << 20, u32::MAX as u64, 1 << 50] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            255,
+            256,
+            1 << 20,
+            u32::MAX as u64,
+            1 << 50,
+        ] {
             let idx = LatencyHistogram::index_of(v);
             let lo = LatencyHistogram::value_of(idx);
             assert!(lo <= v, "bucket lower bound {lo} > value {v}");

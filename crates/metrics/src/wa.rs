@@ -93,4 +93,50 @@ mod tests {
         assert_eq!(wa.window_amplification(&snap), 4.0);
         assert!((wa.amplification() - 2.0).abs() < 1e-9);
     }
+
+    #[test]
+    fn alwa_times_dlwa_composes_to_total_wa() {
+        // The paper's decomposition (§2): ALWA = flash/user bytes, DLWA =
+        // NAND/flash bytes, and total WA is their product. Model the two
+        // stages as chained accounts — the app account's physical bytes
+        // are the device account's logical bytes.
+        let mut alwa = WaAccount::default();
+        let mut dlwa = WaAccount::default();
+        alwa.add_logical(10_000); // user writes
+        alwa.add_physical(15_600); // flash (app-level) writes
+        dlwa.add_logical(15_600); // same bytes enter the device
+        dlwa.add_physical(23_400); // NAND programs incl. GC
+        let total = dlwa.physical() as f64 / alwa.logical() as f64;
+        assert!((alwa.amplification() - 1.56).abs() < 1e-9);
+        assert!((dlwa.amplification() - 1.5).abs() < 1e-9);
+        assert!((alwa.amplification() * dlwa.amplification() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_is_unity() {
+        // A window with no logical progress reports 1.0, matching the
+        // overall-account convention, instead of dividing by zero.
+        let mut wa = WaAccount::default();
+        wa.add_logical(100);
+        wa.add_physical(400);
+        let snap = wa;
+        wa.add_physical(50); // GC-only traffic, no user bytes
+        assert_eq!(wa.window_amplification(&snap), 1.0);
+    }
+
+    #[test]
+    fn accumulation_matches_manual_sums() {
+        let mut wa = WaAccount::default();
+        let mut logical = 0u64;
+        let mut physical = 0u64;
+        for i in 1..=100u64 {
+            wa.add_logical(i);
+            wa.add_physical(2 * i);
+            logical += i;
+            physical += 2 * i;
+        }
+        assert_eq!(wa.logical(), logical);
+        assert_eq!(wa.physical(), physical);
+        assert!((wa.amplification() - 2.0).abs() < 1e-12);
+    }
 }

@@ -99,11 +99,7 @@ impl Replay {
     }
 
     /// Replays `trace` against `engine`.
-    pub fn run(
-        &self,
-        engine: &mut dyn CacheEngine,
-        trace: &mut TraceGenerator,
-    ) -> ReplayResult {
+    pub fn run(&self, engine: &mut dyn CacheEngine, trace: &mut TraceGenerator) -> ReplayResult {
         let cfg = &self.cfg;
         let gap = Nanos((1e9 / cfg.arrival_rate) as u64);
         let mut now = Nanos::ZERO;
@@ -158,8 +154,7 @@ impl Replay {
                     },
                 ));
                 let minutes = now.as_secs_f64() / 60.0;
-                write_rate_series
-                    .push((minutes, d_flash as f64 / (1024.0 * 1024.0)));
+                write_rate_series.push((minutes, d_flash as f64 / (1024.0 * 1024.0)));
                 latency_windows.push(LatencyWindow {
                     ops: op,
                     at: now,

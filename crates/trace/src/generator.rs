@@ -265,7 +265,11 @@ mod tests {
         let keys: std::collections::HashSet<u64> = (&mut g).take(50_000).map(|r| r.key).collect();
         // With 16 regions of zipfian keys, the hot keys of each region must
         // differ; a gross salting bug would collapse them together.
-        assert!(keys.len() > 5_000, "suspiciously few distinct keys: {}", keys.len());
+        assert!(
+            keys.len() > 5_000,
+            "suspiciously few distinct keys: {}",
+            keys.len()
+        );
     }
 
     #[test]
@@ -274,10 +278,7 @@ mod tests {
         cfg.write_fraction = 0.25;
         let g = TraceGenerator::new(cfg);
         let n = 40_000;
-        let writes = g
-            .take(n)
-            .filter(|r| r.kind == RequestKind::Put)
-            .count();
+        let writes = g.take(n).filter(|r| r.kind == RequestKind::Put).count();
         let frac = writes as f64 / n as f64;
         assert!((frac - 0.25).abs() < 0.02, "write fraction {frac}");
     }

@@ -100,7 +100,10 @@ mod tests {
         }
         let expect = n as i64 / buckets as i64;
         for &c in &counts {
-            assert!((c as i64 - expect).abs() < expect / 3, "bucket {c} vs {expect}");
+            assert!(
+                (c as i64 - expect).abs() < expect / 3,
+                "bucket {c} vs {expect}"
+            );
         }
     }
 

@@ -5,19 +5,18 @@
 //! engines are deliberately single-threaded and deterministic, so a
 //! service embeds one engine per shard and routes requests by key hash —
 //! the same shard-per-core pattern CacheLib deploys. This example runs
-//! four shards on four worker threads fed by a crossbeam channel.
+//! four shards on four worker threads, each owning its engine outright
+//! and fed by its own channel; no locks anywhere.
 //!
 //! ```text
 //! cargo run --release --example concurrent_frontend
 //! ```
 
-use crossbeam::channel;
 use nemo_repro::core::{Nemo, NemoConfig};
 use nemo_repro::engine::CacheEngine;
 use nemo_repro::flash::{Geometry, Nanos};
 use nemo_repro::trace::{TraceConfig, TraceGenerator};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::mpsc;
 use std::thread;
 
 const SHARDS: usize = 4;
@@ -26,29 +25,20 @@ const OPS: u64 = 400_000;
 fn main() {
     // One independent Nemo instance (and simulated device) per shard —
     // exactly the partitioning Appendix A recommends for large devices.
-    let shards: Vec<Arc<Mutex<Nemo>>> = (0..SHARDS)
-        .map(|_| {
+    // Each worker owns its engine and hands it back when the feed ends.
+    let mut senders = Vec::new();
+    let mut workers = Vec::new();
+    for _ in 0..SHARDS {
+        let (tx, rx) = mpsc::sync_channel::<(u64, u32)>(1024);
+        senders.push(tx);
+        workers.push(thread::spawn(move || {
             let mut cfg = NemoConfig::new(Geometry::new(4096, 256, 32, 8));
             cfg.flush_threshold = 4;
             cfg.expected_objects_per_set = 16;
-            Arc::new(Mutex::new(Nemo::new(cfg)))
-        })
-        .collect();
-
-    let (tx, rx) = channel::bounded::<(u64, u32)>(1024);
-    let mut workers = Vec::new();
-    for shard_id in 0..SHARDS {
-        let rx = rx.clone();
-        let shard = Arc::clone(&shards[shard_id]);
-        workers.push(thread::spawn(move || {
+            let mut cache = Nemo::new(cfg);
             let mut hits = 0u64;
             let mut ops = 0u64;
             for (key, size) in rx.iter() {
-                // Route only this shard's keys (simple modulo routing).
-                if key as usize % SHARDS != shard_id {
-                    continue;
-                }
-                let mut cache = shard.lock();
                 ops += 1;
                 if cache.get(key, Nanos::ZERO).hit {
                     hits += 1;
@@ -56,30 +46,35 @@ fn main() {
                     cache.put(key, size, Nanos::ZERO);
                 }
             }
-            (ops, hits)
+            (ops, hits, cache)
         }));
     }
 
+    // Simple modulo routing: each shard owns the keys congruent to its
+    // index, so shard state stays disjoint and deterministic.
     let mut gen = TraceGenerator::new(TraceConfig::twitter_merged(0.0005));
     for _ in 0..OPS {
         let r = gen.next_request();
-        tx.send((r.key, r.size)).expect("workers alive");
+        senders[r.key as usize % SHARDS]
+            .send((r.key, r.size))
+            .expect("workers alive");
     }
-    drop(tx);
+    drop(senders);
 
     let mut total_ops = 0;
     let mut total_hits = 0;
+    let mut shards = Vec::new();
     for w in workers {
-        let (ops, hits) = w.join().expect("worker finished");
+        let (ops, hits, cache) = w.join().expect("worker finished");
         total_ops += ops;
         total_hits += hits;
+        shards.push(cache);
     }
     println!(
         "processed {total_ops} ops across {SHARDS} shards, hit ratio {:.1}%",
         100.0 * total_hits as f64 / total_ops.max(1) as f64
     );
-    for (i, shard) in shards.iter().enumerate() {
-        let cache = shard.lock();
+    for (i, cache) in shards.iter().enumerate() {
         println!(
             "  shard {i}: WA {:.2}, {} SGs on flash, {:.1} bits/obj",
             cache.stats().alwa(),

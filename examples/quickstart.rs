@@ -35,7 +35,10 @@ fn main() {
     let report = cache.report();
     println!("recent-object hit ratio : {}/1000", hits);
     println!("application-level WA    : {:.3}", stats.alwa());
-    println!("mean SG fill rate       : {:.1}%", cache.mean_fill_rate() * 100.0);
+    println!(
+        "mean SG fill rate       : {:.1}%",
+        cache.mean_fill_rate() * 100.0
+    );
     println!("flash SGs in pool       : {}", cache.pool_len());
     println!(
         "metadata memory         : {:.2} bits/object",

@@ -15,7 +15,10 @@ use nemo_repro::trace::{TraceConfig, TraceGenerator};
 fn main() {
     let mut args = std::env::args().skip(1);
     let flash_mb: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(48);
-    let ops: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1_500_000);
+    let ops: u64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_500_000);
     let geometry = standard_geometry(flash_mb);
     // Catalog ~6x flash so steady-state eviction engages.
     let trace_cfg = TraceConfig::twitter_merged(flash_mb as f64 * 6.0 / 337_848.0);

@@ -18,9 +18,21 @@ struct Device {
 fn main() {
     // The devices discussed in §6.
     let devices = [
-        Device { name: "WD ZN540 (large zones)", zone_mb: 1077, capacity_gb: 14_000 },
-        Device { name: "Samsung PM1731a (small zones)", zone_mb: 96, capacity_gb: 2_000 },
-        Device { name: "Samsung FDP (8 GB reclaim units)", zone_mb: 8_192, capacity_gb: 4_000 },
+        Device {
+            name: "WD ZN540 (large zones)",
+            zone_mb: 1077,
+            capacity_gb: 14_000,
+        },
+        Device {
+            name: "Samsung PM1731a (small zones)",
+            zone_mb: 96,
+            capacity_gb: 2_000,
+        },
+        Device {
+            name: "Samsung FDP (8 GB reclaim units)",
+            zone_mb: 8_192,
+            capacity_gb: 4_000,
+        },
     ];
     let page = 4096u64;
     let fpr = 0.001;
@@ -31,8 +43,11 @@ fn main() {
     };
     let layout = PackedLayout::new(page as u32, filter_bytes as u32);
 
-    println!("set size: {page} B | BF: {filter_bytes} B at {:.1}% FPR | {} filters/page\n",
-        fpr * 100.0, layout.filters_per_page());
+    println!(
+        "set size: {page} B | BF: {filter_bytes} B at {:.1}% FPR | {} filters/page\n",
+        fpr * 100.0,
+        layout.filters_per_page()
+    );
     println!(
         "{:<34} {:>10} {:>12} {:>10} {:>14}",
         "device", "SG (MB)", "sets/SG", "SGs", "worst reads"

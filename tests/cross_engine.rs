@@ -16,7 +16,9 @@ const FLASH_MB: u32 = 24;
 const OPS: u64 = 400_000;
 
 fn trace() -> TraceGenerator {
-    TraceGenerator::new(TraceConfig::twitter_merged(FLASH_MB as f64 * 6.0 / 337_848.0))
+    TraceGenerator::new(TraceConfig::twitter_merged(
+        FLASH_MB as f64 * 6.0 / 337_848.0,
+    ))
 }
 
 fn engines() -> Vec<Box<dyn CacheEngine>> {
@@ -71,11 +73,7 @@ fn all_engines_complete_the_workload() {
         let s = engine.stats();
         assert!(s.gets > 0, "{} processed no gets", engine.name());
         assert!(s.puts > 0, "{} processed no puts", engine.name());
-        assert!(
-            s.hits <= s.gets,
-            "{} hit accounting broken",
-            engine.name()
-        );
+        assert!(s.hits <= s.gets, "{} hit accounting broken", engine.name());
         assert!(
             s.flash_bytes_written > 0,
             "{} never wrote flash",
@@ -109,20 +107,13 @@ fn memory_ordering_matches_table_6() {
     let mut results = std::collections::HashMap::new();
     for mut engine in engines() {
         drive(engine.as_mut(), OPS);
-        results.insert(
-            engine.name().to_string(),
-            engine.memory().bits_per_object(),
-        );
+        results.insert(engine.name().to_string(), engine.memory().bits_per_object());
     }
     // Log's exact index dwarfs everything (>100 bits); Nemo and the
     // hierarchical designs stay within a few tens of bits.
     assert!(results["log"] > 100.0, "log {}", results["log"]);
     assert!(results["nemo"] < 40.0, "nemo {}", results["nemo"]);
-    assert!(
-        results["fairywren"] < 40.0,
-        "fw {}",
-        results["fairywren"]
-    );
+    assert!(results["fairywren"] < 40.0, "fw {}", results["fairywren"]);
     assert!(
         results["nemo"] < results["log"] / 4.0,
         "nemo must be far cheaper than log"
@@ -133,7 +124,9 @@ fn memory_ordering_matches_table_6() {
 fn hot_objects_stay_cached_in_every_engine() {
     // A handful of keys re-touched constantly must survive in any sane
     // cache under moderate churn.
-    let hot: Vec<u64> = (0..50u64).map(|k| k.wrapping_mul(0xABCD_1234_5678_9B)).collect();
+    let hot: Vec<u64> = (0..50u64)
+        .map(|k| k.wrapping_mul(0x00AB_CD12_3456_789B))
+        .collect();
     for mut engine in engines() {
         let mut gen = trace();
         for i in 0..OPS {

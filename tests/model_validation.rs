@@ -12,7 +12,9 @@ use nemo_repro::trace::{RequestKind, TraceConfig, TraceGenerator};
 const FLASH_MB: u32 = 32;
 
 fn trace() -> TraceGenerator {
-    TraceGenerator::new(TraceConfig::twitter_merged(FLASH_MB as f64 * 6.0 / 337_848.0))
+    TraceGenerator::new(TraceConfig::twitter_merged(
+        FLASH_MB as f64 * 6.0 / 337_848.0,
+    ))
 }
 
 fn drive(engine: &mut dyn CacheEngine, ops: u64) {
@@ -81,7 +83,10 @@ fn fairywren_active_batches_are_smaller_than_passive() {
     let mut fw = FairyWren::new(FairyWrenConfig::log_op(geometry, 5, 5));
     drive(&mut fw, 1_200_000);
     let (passive, active) = fw.rmw_counts();
-    assert!(passive > 50 && active > 50, "need both kinds: {passive}/{active}");
+    assert!(
+        passive > 50 && active > 50,
+        "need both kinds: {passive}/{active}"
+    );
     assert!(
         fw.active_cdf().mean() < fw.passive_cdf().mean(),
         "active mean {} must be below passive mean {}",

@@ -118,9 +118,7 @@ fn file_backed_device_matches_memory_device() {
 
 #[test]
 fn fairywren_and_kangaroo_share_migration_mechanics_but_differ_in_gc() {
-    use nemo_repro::baselines::{
-        FairyWren, FairyWrenConfig, Kangaroo, KangarooConfig,
-    };
+    use nemo_repro::baselines::{FairyWren, FairyWrenConfig, Kangaroo, KangarooConfig};
     use nemo_repro::sim::standard_geometry;
     use nemo_repro::trace::{RequestKind, TraceConfig, TraceGenerator};
     let geometry = standard_geometry(24);
@@ -152,7 +150,10 @@ fn fairywren_and_kangaroo_share_migration_mechanics_but_differ_in_gc() {
     // migration so its "relocation" class is only hot-set writeback.
     assert!(kg.gc_relocations() > 0, "kangaroo must relocate (Case 3.1)");
     let (p, a) = fw.rmw_counts();
-    assert!(p > 0 && a > 0, "fw needs both passive and active migrations");
+    assert!(
+        p > 0 && a > 0,
+        "fw needs both passive and active migrations"
+    );
     // The multiplicative GC cost makes Kangaroo strictly worse (§5.2).
     assert!(
         kg.stats().alwa() > fw.stats().alwa(),

@@ -1,0 +1,113 @@
+//! The `Strategy` trait and the scalar/tuple strategies.
+//!
+//! Unlike real proptest there is no value tree or shrinking: a strategy
+//! is just a deterministic sampler over a [`TestRng`].
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Something that can produce a random value of type `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategies are composable by reference.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.next_below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                // A full-width inclusive range would overflow `span`; the
+                // suites here never use one.
+                (lo + rng.next_below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() as f32 * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
+/// `Strategy::prop_map` equivalent used by combinator-style call sites.
+pub struct Map<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Extension trait adding the mapping combinator to every strategy.
+pub trait StrategyExt: Strategy + Sized {
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
