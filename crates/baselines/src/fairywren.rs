@@ -65,6 +65,12 @@ impl FairyWrenConfig {
             op_ratio: op_pct as f64 / 100.0,
         }
     }
+
+    /// A shard factory for `nemo-service`: builds one independent engine
+    /// per shard from this configuration (shard index ignored).
+    pub fn factory(self) -> impl Fn(usize) -> FairyWren + Send + Sync + Clone {
+        move |_shard| FairyWren::new(self.clone())
+    }
 }
 
 /// The FairyWREN cache engine.

@@ -37,6 +37,12 @@ impl KangarooConfig {
             op_ratio: 0.05,
         }
     }
+
+    /// A shard factory for `nemo-service`: builds one independent engine
+    /// per shard from this configuration (shard index ignored).
+    pub fn factory(self) -> impl Fn(usize) -> Kangaroo + Send + Sync + Clone {
+        move |_shard| Kangaroo::new(self.clone())
+    }
 }
 
 /// The Kangaroo cache engine.
@@ -88,6 +94,17 @@ impl Kangaroo {
         // N'_set = (1 - X) * N_set; Kangaroo has no hot/cold split, so the
         // full range is hashed into (twice FairyWREN's, per §5.2).
         let n_sets = ((set_pages as f64) * (1.0 - cfg.op_ratio)).floor() as u64;
+        // Independent GC needs real slack: one spare frontier zone plus
+        // room for invalid pages to accumulate. With OP worth less than
+        // a zone beyond the frontier, every remaining zone can end up
+        // fully valid and GC livelocks mid-run — fail fast instead.
+        let op_pages = set_pages - n_sets;
+        assert!(
+            op_pages > cfg.geometry.pages_per_zone() as u64,
+            "set-region OP too small for GC: {op_pages} spare pages is no more than \
+             one zone ({} pages); use a larger device or a higher op_ratio",
+            cfg.geometry.pages_per_zone()
+        );
         let hset = HsetRegion::new(set_ids, n_sets);
         // Per-set bloom filters (Kangaroo §4: a few bits per object).
         let objs_per_set = (cfg.geometry.page_size() as f64 / 250.0).ceil() as u64;

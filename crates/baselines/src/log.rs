@@ -22,6 +22,12 @@ impl LogCacheConfig {
             latency: LatencyModel::default(),
         }
     }
+
+    /// A shard factory for `nemo-service`: builds one independent engine
+    /// per shard from this configuration (shard index ignored).
+    pub fn factory(self) -> impl Fn(usize) -> LogCache + Send + Sync + Clone {
+        move |_shard| LogCache::new(self.clone())
+    }
 }
 
 /// Per-object index entry. The paper prices this class of design at

@@ -34,6 +34,12 @@ impl SetCacheConfig {
             bloom_bits_per_object: 4.0,
         }
     }
+
+    /// A shard factory for `nemo-service`: builds one independent engine
+    /// per shard from this configuration (shard index ignored).
+    pub fn factory(self) -> impl Fn(usize) -> SetCache + Send + Sync + Clone {
+        move |_shard| SetCache::new(self.clone())
+    }
 }
 
 /// Set-associative flash cache over a conventional SSD.

@@ -10,15 +10,15 @@
 //!      read_amplification appendix_a ablation all
 //! ```
 
-use nemo_bench::{breakdown, main_metrics, motivation, overhead, sensitivity, RunScale};
+use nemo_bench::{breakdown, main_metrics, motivation, overhead, sensitivity, sharded, RunScale};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id> [--flash-mb N] [--ops-mult F]\n\
+        "usage: experiments <id> [--flash-mb N] [--ops-mult F] [--shards N]\n\
          ids: fig4 fig5 fig6 fig8 fig12a fig12b fig13 fig14 fig15 fig16 fig17 fig18\n\
          \x20     fig19a fig19b table5 table6 motivation read_amplification appendix_a\n\
-         \x20     ablation all"
+         \x20     ablation sharded all"
     );
     std::process::exit(2);
 }
@@ -30,6 +30,7 @@ fn main() {
     }
     let id = args[0].clone();
     let mut scale = RunScale::default();
+    let mut shards = 4usize;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -45,6 +46,14 @@ fn main() {
                 scale.ops_mult = args
                     .get(i)
                     .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s > 0)
                     .unwrap_or_else(|| usage());
             }
             _ => usage(),
@@ -80,6 +89,7 @@ fn main() {
         "table6" => overhead::table6(scale),
         "read_amplification" => overhead::read_amplification(scale),
         "appendix_a" => overhead::appendix_a(scale),
+        "sharded" => sharded::all(scale, shards),
         "all" => {
             motivation::all(scale);
             breakdown::all(scale);

@@ -92,35 +92,55 @@ impl RunScale {
 
     /// Log-structured baseline.
     pub fn log(&self) -> LogCache {
-        LogCache::new(LogCacheConfig {
+        LogCache::new(self.log_config())
+    }
+
+    /// The scaled log-cache configuration (also a shard factory source).
+    pub fn log_config(&self) -> LogCacheConfig {
+        LogCacheConfig {
             geometry: self.geometry(),
             latency: LatencyModel::default(),
-        })
+        }
     }
 
     /// Set-associative baseline (50 % OP, Table 4).
     pub fn set(&self) -> SetCache {
-        SetCache::new(SetCacheConfig {
+        SetCache::new(self.set_config())
+    }
+
+    /// The scaled set-cache configuration.
+    pub fn set_config(&self) -> SetCacheConfig {
+        SetCacheConfig {
             geometry: self.geometry(),
             latency: LatencyModel::default(),
             op_ratio: 0.5,
             bloom_bits_per_object: 4.0,
-        })
+        }
     }
 
     /// FairyWREN with the paper's shorthand (LogX-OPY percentages).
     pub fn fairywren(&self, log_pct: u32, op_pct: u32) -> FairyWren {
-        FairyWren::new(FairyWrenConfig::log_op(self.geometry(), log_pct, op_pct))
+        FairyWren::new(self.fairywren_config(log_pct, op_pct))
+    }
+
+    /// The scaled FairyWREN configuration.
+    pub fn fairywren_config(&self, log_pct: u32, op_pct: u32) -> FairyWrenConfig {
+        FairyWrenConfig::log_op(self.geometry(), log_pct, op_pct)
     }
 
     /// Kangaroo (Table 4: 5 % log, 5 % OP).
     pub fn kangaroo(&self) -> Kangaroo {
-        Kangaroo::new(KangarooConfig {
+        Kangaroo::new(self.kangaroo_config())
+    }
+
+    /// The scaled Kangaroo configuration.
+    pub fn kangaroo_config(&self) -> KangarooConfig {
+        KangarooConfig {
             geometry: self.geometry(),
             latency: LatencyModel::default(),
             log_fraction: 0.05,
             op_ratio: 0.05,
-        })
+        }
     }
 }
 

@@ -19,5 +19,6 @@ pub mod main_metrics;
 pub mod motivation;
 pub mod overhead;
 pub mod sensitivity;
+pub mod sharded;
 
 pub use common::RunScale;

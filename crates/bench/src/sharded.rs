@@ -1,0 +1,193 @@
+//! Service-layer replay: the §5.2-style comparison run through
+//! `nemo-service`'s sharded concurrent front-end instead of a lone
+//! engine.
+//!
+//! Every shard owns a full `RunScale`-sized device, so a fleet of `N`
+//! shards models an `N`× larger deployment; the trace catalog is scaled
+//! to keep the same ~6× cache pressure over the *aggregate* capacity.
+
+use crate::common::{f2, print_table, write_csv, RunScale, MERGED_WSS_MB};
+use nemo_engine::CacheEngine;
+use nemo_flash::Nanos;
+use nemo_service::{ShardedCache, ShardedCacheBuilder};
+use nemo_sim::{Replay, ReplayConfig};
+use nemo_trace::{RequestKind, TraceConfig, TraceGenerator};
+
+/// The fleet's trace: catalog ~6x the *aggregate* flash of `shards`
+/// full-size devices.
+fn fleet_trace_config(scale: &RunScale, shards: usize) -> TraceConfig {
+    TraceConfig::twitter_merged(scale.flash_mb as f64 * shards as f64 * 6.0 / MERGED_WSS_MB)
+}
+
+/// Demand-fill replay of `ops` requests through a sharded front-end,
+/// using the batched fire-and-forget path for fills; returns the
+/// one-line summary row after a draining [`ShardedCache::finish`].
+fn run_fleet<E>(
+    label: &str,
+    cache: ShardedCache<E>,
+    trace_cfg: &TraceConfig,
+    ops: u64,
+) -> Vec<String>
+where
+    E: CacheEngine + 'static,
+{
+    let mut gen = TraceGenerator::new(trace_cfg.clone());
+    for _ in 0..ops {
+        let r = gen.next_request();
+        match r.kind {
+            RequestKind::Get => {
+                if !cache.get(r.key, Nanos::ZERO).hit {
+                    cache.put_and_forget(r.key, r.size, Nanos::ZERO);
+                }
+            }
+            RequestKind::Put => {
+                cache.put_and_forget(r.key, r.size, Nanos::ZERO);
+            }
+        }
+    }
+    let report = cache.finish(Nanos::ZERO);
+    let mean_gets = report.stats.gets as f64 / report.per_shard.len().max(1) as f64;
+    let max_rel = report
+        .per_shard
+        .iter()
+        .map(|s| s.gets as f64 / mean_gets.max(1.0))
+        .fold(0.0, f64::max);
+    vec![
+        label.to_string(),
+        f2(report.stats.alwa()),
+        f2(report.stats.total_wa()),
+        f2(report.stats.miss_ratio() * 100.0),
+        f2(report.memory.bits_per_object()),
+        f2(max_rel),
+    ]
+}
+
+/// The five systems behind the sharded front-end: aggregate WA, miss
+/// ratio and memory, plus the hottest shard's load relative to the mean
+/// (hash routing keeps this near 1.0 even under Zipfian keys).
+pub fn fleet_comparison(scale: RunScale, shards: usize) {
+    println!("\n### Sharded service layer — five systems, {shards} shards each");
+    println!(
+        "per-shard device {} MB; aggregate {} MB",
+        scale.flash_mb,
+        scale.flash_mb * shards as u32
+    );
+    let trace_cfg = fleet_trace_config(&scale, shards);
+    let ops = scale.ops_for_fills(3.0) * shards as u64;
+    let mut rows = vec![
+        run_fleet(
+            "Nemo",
+            ShardedCacheBuilder::new(shards).spawn(scale.nemo_config().factory()),
+            &trace_cfg,
+            ops,
+        ),
+        run_fleet(
+            "Log",
+            ShardedCacheBuilder::new(shards).spawn(scale.log_config().factory()),
+            &trace_cfg,
+            ops,
+        ),
+        run_fleet(
+            "FW",
+            ShardedCacheBuilder::new(shards).spawn(scale.fairywren_config(5, 5).factory()),
+            &trace_cfg,
+            ops,
+        ),
+        run_fleet(
+            "Set",
+            ShardedCacheBuilder::new(shards).spawn(scale.set_config().factory()),
+            &trace_cfg,
+            ops,
+        ),
+    ];
+    // Kangaroo's 5 % set-region OP must exceed one zone of slack or its
+    // independent GC has nothing to reclaim (its constructor enforces
+    // this); with 1 MB zones that means ≥ ~24 MB per shard.
+    if scale.flash_mb >= 24 {
+        rows.push(run_fleet(
+            "KG",
+            ShardedCacheBuilder::new(shards).spawn(scale.kangaroo_config().factory()),
+            &trace_cfg,
+            ops,
+        ));
+    } else {
+        println!("   (skipping KG: per-shard device below Kangaroo's ~24 MB GC-slack minimum)");
+    }
+    let headers = [
+        "system",
+        "ALWA",
+        "total WA",
+        "miss %",
+        "bits/obj",
+        "max shard load",
+    ];
+    print_table(&format!("Sharded x{shards}"), &headers, &rows);
+    write_csv("sharded_fleet", &headers, &rows);
+}
+
+/// Open-loop latency replay of sharded Nemo through `nemo_sim::Replay` —
+/// the front-end implements `CacheEngine`, so the standard harness
+/// drives the whole fleet unchanged.
+pub fn fleet_replay(scale: RunScale, shards: usize) {
+    println!("\n### Sharded Nemo under the open-loop replay harness ({shards} shards)");
+    let ops = scale.ops_for_fills(2.0) * shards as u64;
+    let cfg = ReplayConfig {
+        ops,
+        arrival_rate: 8_000.0 * shards as f64,
+        sample_every: (ops / 20).max(1),
+        warmup_ops: ops / 4,
+    };
+    let mut cache = ShardedCacheBuilder::new(shards).spawn(scale.nemo_config().factory());
+    let mut trace = TraceGenerator::new(fleet_trace_config(&scale, shards));
+    let r = Replay::new(cfg).run(&mut cache, &mut trace);
+    cache.drain(r.sim_end);
+    let stats = cache.stats();
+    println!(
+        "   aggregate: ALWA {:.2}, miss {:.2}%, p50 {:.1} us, p99 {:.1} us",
+        stats.alwa(),
+        stats.miss_ratio() * 100.0,
+        r.latency.percentile(0.50) as f64 / 1000.0,
+        r.latency.percentile(0.99) as f64 / 1000.0,
+    );
+}
+
+/// Runs the full sharded suite.
+pub fn all(scale: RunScale, shards: usize) {
+    fleet_comparison(scale, shards);
+    fleet_replay(scale, shards);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_run_aggregates_across_shards() {
+        let scale = RunScale {
+            flash_mb: 16,
+            ops_mult: 1.0,
+            dies: 8,
+        };
+        let trace_cfg = fleet_trace_config(&scale, 2);
+        let cache = ShardedCacheBuilder::new(2).spawn(scale.log_config().factory());
+        let row = run_fleet("log", cache, &trace_cfg, 20_000);
+        assert_eq!(row.len(), 6);
+        let alwa: f64 = row[1].parse().expect("numeric ALWA");
+        assert!(alwa >= 1.0, "ALWA {alwa}");
+        let max_rel: f64 = row[5].parse().expect("numeric load");
+        assert!((0.5..2.0).contains(&max_rel), "imbalance {max_rel}");
+    }
+
+    #[test]
+    fn fleet_trace_scales_with_shards() {
+        let scale = RunScale::default();
+        let one = fleet_trace_config(&scale, 1);
+        let four = fleet_trace_config(&scale, 4);
+        let w1 = TraceGenerator::new(one).wss_bytes();
+        let w4 = TraceGenerator::new(four).wss_bytes();
+        assert!(
+            w4 > 3 * w1,
+            "fleet catalog must grow with shard count: {w1} vs {w4}"
+        );
+    }
+}

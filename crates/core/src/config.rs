@@ -85,6 +85,14 @@ impl NemoConfig {
         }
     }
 
+    /// A shard factory for `nemo-service`: builds one independent Nemo
+    /// (with its own simulated device) per shard from this configuration.
+    /// The shard index argument is ignored — shards are homogeneous;
+    /// write a custom closure for heterogeneous fleets.
+    pub fn factory(self) -> impl Fn(usize) -> crate::Nemo + Send + Sync + Clone {
+        move |_shard| crate::Nemo::new(self.clone())
+    }
+
     /// Sets per SG — one set per page of the SG's zone.
     pub fn sets_per_sg(&self) -> u32 {
         self.geometry.pages_per_zone()

@@ -73,6 +73,37 @@ impl EngineStats {
             self.flash_bytes_read as f64 / self.gets as f64
         }
     }
+
+    /// Counter-wise sum `self + other`.
+    ///
+    /// Merging the stats of independent engines (e.g. one per shard
+    /// behind `nemo-service`'s front-end) yields the aggregate view the
+    /// derived ratios ([`Self::alwa`], [`Self::miss_ratio`], …) expect:
+    /// numerators and denominators are summed *before* dividing, so the
+    /// merged ALWA is the byte-weighted aggregate, not a mean of ratios.
+    /// `EngineStats::default()` is the identity; merge is commutative and
+    /// associative.
+    pub fn merge(&self, other: &EngineStats) -> EngineStats {
+        EngineStats {
+            gets: self.gets + other.gets,
+            hits: self.hits + other.hits,
+            puts: self.puts + other.puts,
+            logical_bytes: self.logical_bytes + other.logical_bytes,
+            flash_bytes_written: self.flash_bytes_written + other.flash_bytes_written,
+            nand_bytes_written: self.nand_bytes_written + other.nand_bytes_written,
+            flash_bytes_read: self.flash_bytes_read + other.flash_bytes_read,
+            evicted_objects: self.evicted_objects + other.evicted_objects,
+            objects_on_flash: self.objects_on_flash + other.objects_on_flash,
+            device: self.device.merge(&other.device),
+        }
+    }
+
+    /// Merges an iterator of stats into one aggregate.
+    pub fn merge_all<'a>(stats: impl IntoIterator<Item = &'a EngineStats>) -> EngineStats {
+        stats
+            .into_iter()
+            .fold(EngineStats::default(), |acc, s| acc.merge(s))
+    }
 }
 
 /// One metadata memory component.
@@ -134,6 +165,29 @@ impl MemoryBreakdown {
             self.total_bytes() as f64 * 8.0 / self.objects as f64
         }
     }
+
+    /// Merges two breakdowns, summing `objects` and combining components
+    /// *by name* (bytes of same-named components add; ordering follows
+    /// first appearance). Shards of the same engine type report identical
+    /// component names, so the merged breakdown keeps the per-component
+    /// resolution of Table 6 while [`Self::bits_per_object`] becomes the
+    /// object-weighted aggregate.
+    pub fn merge(&self, other: &MemoryBreakdown) -> MemoryBreakdown {
+        let mut merged = MemoryBreakdown::new(self.objects + other.objects);
+        for c in self.components.iter().chain(&other.components) {
+            match merged.components.iter_mut().find(|m| m.name == c.name) {
+                Some(m) => m.bytes += c.bytes,
+                None => merged.push(&c.name, c.bytes),
+            }
+        }
+        merged
+    }
+
+    /// Merges an iterator of breakdowns into one aggregate.
+    pub fn merge_all<'a>(all: impl IntoIterator<Item = &'a MemoryBreakdown>) -> MemoryBreakdown {
+        all.into_iter()
+            .fold(MemoryBreakdown::default(), |acc, m| acc.merge(m))
+    }
 }
 
 #[cfg(test)]
@@ -184,5 +238,81 @@ mod tests {
     fn zero_objects_breakdown() {
         let m = MemoryBreakdown::new(0);
         assert_eq!(m.bits_per_object(), 0.0);
+    }
+
+    #[test]
+    fn stats_merge_sums_counters_and_weights_ratios() {
+        let a = EngineStats {
+            gets: 10,
+            hits: 5,
+            puts: 4,
+            logical_bytes: 100,
+            flash_bytes_written: 150,
+            nand_bytes_written: 150,
+            flash_bytes_read: 80,
+            evicted_objects: 2,
+            objects_on_flash: 7,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            gets: 30,
+            hits: 27,
+            puts: 6,
+            logical_bytes: 300,
+            flash_bytes_written: 330,
+            nand_bytes_written: 660,
+            flash_bytes_read: 40,
+            evicted_objects: 1,
+            objects_on_flash: 11,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.gets, 40);
+        assert_eq!(m.hits, 32);
+        assert_eq!(m.objects_on_flash, 18);
+        // Byte-weighted ALWA: (150 + 330) / (100 + 300), not the mean of
+        // the two per-shard ratios (which would be (1.5 + 1.1) / 2).
+        assert!((m.alwa() - 1.2).abs() < 1e-12);
+        assert!((m.total_wa() - 810.0 / 400.0).abs() < 1e-12);
+        assert!((m.miss_ratio() - 0.2).abs() < 1e-12);
+        // Identity and commutativity.
+        assert_eq!(a.merge(&EngineStats::default()), a);
+        assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn stats_merge_all_folds() {
+        let parts: Vec<EngineStats> = (1..=4)
+            .map(|i| EngineStats {
+                gets: i,
+                logical_bytes: 10 * i,
+                ..Default::default()
+            })
+            .collect();
+        let m = EngineStats::merge_all(&parts);
+        assert_eq!(m.gets, 10);
+        assert_eq!(m.logical_bytes, 100);
+    }
+
+    #[test]
+    fn breakdown_merge_combines_by_name() {
+        let mut a = MemoryBreakdown::new(100);
+        a.push("index", 1000);
+        a.push("hotness", 50);
+        let mut b = MemoryBreakdown::new(300);
+        b.push("index", 3000);
+        b.push("buffer", 10);
+        let m = a.merge(&b);
+        assert_eq!(m.objects, 400);
+        assert_eq!(m.components.len(), 3);
+        assert_eq!(m.components[0].name, "index");
+        assert_eq!(m.components[0].bytes, 4000);
+        assert_eq!(m.total_bytes(), 4060);
+        // Object-weighted bits/obj, not a mean of per-shard bits/obj.
+        assert!((m.bits_per_object() - 4060.0 * 8.0 / 400.0).abs() < 1e-12);
+        assert_eq!(
+            a.merge(&MemoryBreakdown::default()).components,
+            a.components
+        );
     }
 }

@@ -43,7 +43,12 @@ impl GetOutcome {
 ///
 /// The trait is object-safe: the harness stores engines as
 /// `Box<dyn CacheEngine>` to compare systems uniformly.
-pub trait CacheEngine {
+///
+/// `Send` is a supertrait so any engine can be moved onto a worker
+/// thread — the sharded front-end in `nemo-service` gives each shard
+/// thread sole ownership of one engine. Engines stay single-threaded
+/// internally (no `Sync` requirement).
+pub trait CacheEngine: Send {
     /// Short engine name ("nemo", "log", "set", "kangaroo", "fairywren").
     fn name(&self) -> &'static str;
 

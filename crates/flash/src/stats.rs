@@ -46,6 +46,21 @@ impl DeviceStats {
             busy_time: self.busy_time.saturating_sub(earlier.busy_time),
         }
     }
+
+    /// Counter-wise sum `self + other`, for aggregating independent
+    /// devices (e.g. one per shard behind a sharded front-end).
+    pub fn merge(&self, other: &DeviceStats) -> DeviceStats {
+        DeviceStats {
+            pages_written: self.pages_written + other.pages_written,
+            bytes_written: self.bytes_written + other.bytes_written,
+            pages_read: self.pages_read + other.pages_read,
+            bytes_read: self.bytes_read + other.bytes_read,
+            zone_resets: self.zone_resets + other.zone_resets,
+            append_ops: self.append_ops + other.append_ops,
+            read_ops: self.read_ops + other.read_ops,
+            busy_time: self.busy_time + other.busy_time,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -73,5 +88,34 @@ mod tests {
         assert_eq!(d.pages_written, 6);
         assert_eq!(d.bytes_written, 24576);
         assert_eq!(d.zone_resets, 1);
+    }
+
+    #[test]
+    fn merge_adds_counterwise_and_inverts_delta() {
+        let a = DeviceStats {
+            pages_written: 10,
+            bytes_written: 40960,
+            pages_read: 3,
+            bytes_read: 12288,
+            zone_resets: 1,
+            append_ops: 2,
+            read_ops: 3,
+            busy_time: Nanos(500),
+        };
+        let b = DeviceStats {
+            pages_written: 4,
+            bytes_written: 16384,
+            busy_time: Nanos(40),
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.pages_written, 14);
+        assert_eq!(m.bytes_written, 57344);
+        assert_eq!(m.busy_time, Nanos(540));
+        // merge is the inverse of delta and commutes.
+        assert_eq!(m.delta(&b), a);
+        assert_eq!(b.merge(&a), m);
+        // Default is the identity.
+        assert_eq!(a.merge(&DeviceStats::default()), a);
     }
 }

@@ -1,0 +1,44 @@
+//! Sharded concurrent front-end for the Nemo reproduction's cache
+//! engines.
+//!
+//! The paper's Nemo runs inside CacheLib with background flushing and
+//! write-back on dedicated threads; the engines in this workspace are
+//! deliberately single-threaded, deterministic simulators. This crate
+//! bridges the two with the shard-per-core pattern production flash
+//! caches deploy: [`ShardedCache`] spawns one worker thread per shard,
+//! each owning an independent engine (and simulated device) built by a
+//! user-supplied factory, and routes every request to its shard by key
+//! hash ([`shard_of`]). Shard state is disjoint, so there are no locks —
+//! and for a fixed request sequence and shard count the aggregate hit
+//! ratio and write amplification are bit-identical across runs no matter
+//! how the threads interleave.
+//!
+//! Any engine implementing [`nemo_engine::CacheEngine`] can be sharded;
+//! the configs in `nemo-core` and `nemo-baselines` all provide a
+//! `.factory()` for uniform fleets. The front-end itself implements
+//! `CacheEngine` too, so harnesses like `nemo_sim::Replay` drive a shard
+//! fleet exactly like a single engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use nemo_core::NemoConfig;
+//! use nemo_flash::Nanos;
+//! use nemo_service::ShardedCacheBuilder;
+//!
+//! let cache = ShardedCacheBuilder::new(4).spawn(NemoConfig::small().factory());
+//! for key in 0..1000u64 {
+//!     if !cache.get(key, Nanos::ZERO).hit {
+//!         cache.put_and_forget(key, 250, Nanos::ZERO);
+//!     }
+//! }
+//! let report = cache.finish(Nanos::ZERO); // drains every shard first
+//! println!("aggregate ALWA {:.2}", report.stats.alwa());
+//! assert_eq!(report.stats.puts, 1000);
+//! ```
+
+mod routing;
+mod sharded;
+
+pub use routing::shard_of;
+pub use sharded::{ShardedCache, ShardedCacheBuilder, ShardedReport};

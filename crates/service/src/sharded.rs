@@ -1,0 +1,594 @@
+//! The sharded front-end: worker threads owning one engine each.
+
+use crate::routing::shard_of;
+use nemo_engine::{CacheEngine, EngineStats, GetOutcome, MemoryBreakdown};
+use nemo_flash::Nanos;
+use std::cell::RefCell;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::thread::{Builder as ThreadBuilder, JoinHandle};
+
+/// One buffered fire-and-forget put: `(key, size, now)`.
+type BufferedPut = (u64, u32, Nanos);
+
+/// A request dispatched to a shard worker. Reply channels carry the
+/// result back for the synchronous operations; batched puts have none.
+enum Command {
+    Get {
+        key: u64,
+        now: Nanos,
+        reply: Sender<GetOutcome>,
+    },
+    Put {
+        key: u64,
+        size: u32,
+        now: Nanos,
+        reply: Sender<Nanos>,
+    },
+    PutBatch(Vec<BufferedPut>),
+    Drain {
+        now: Nanos,
+        reply: Sender<()>,
+    },
+    Stats {
+        reply: Sender<EngineStats>,
+    },
+    Memory {
+        reply: Sender<MemoryBreakdown>,
+    },
+}
+
+/// Builds a [`ShardedCache`]: shard count plus channel/batch tuning.
+///
+/// # Examples
+///
+/// ```
+/// use nemo_baselines::LogCacheConfig;
+/// use nemo_flash::Nanos;
+/// use nemo_service::ShardedCacheBuilder;
+///
+/// let mut cache = ShardedCacheBuilder::new(4)
+///     .queue_depth(128)
+///     .spawn(LogCacheConfig::small().factory());
+/// cache.put(7, 250, Nanos::ZERO);
+/// assert!(cache.get(7, Nanos::ZERO).hit);
+/// let report = cache.finish(Nanos::ZERO);
+/// assert_eq!(report.stats.puts, 1);
+/// assert_eq!(report.engines.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedCacheBuilder {
+    shards: usize,
+    queue_depth: usize,
+    batch_capacity: usize,
+}
+
+impl ShardedCacheBuilder {
+    /// A front-end with `shards` worker threads and default tuning
+    /// (queue depth 256, put-batch capacity 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        Self {
+            shards,
+            queue_depth: 256,
+            batch_capacity: 64,
+        }
+    }
+
+    /// Bounded per-shard command-queue depth (backpressure limit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be positive");
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Puts buffered per shard before a fire-and-forget batch is shipped
+    /// (see [`ShardedCache::put_and_forget`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn batch_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "batch capacity must be positive");
+        self.batch_capacity = capacity;
+        self
+    }
+
+    /// Spawns the workers. `factory(shard)` builds the engine owned by
+    /// worker `shard`; it runs on the calling thread, so it needs no
+    /// `Send`/`Sync` bounds of its own — only the engines move.
+    pub fn spawn<E, F>(self, mut factory: F) -> ShardedCache<E>
+    where
+        E: CacheEngine + 'static,
+        F: FnMut(usize) -> E,
+    {
+        let mut name = "sharded";
+        let mut senders = Vec::with_capacity(self.shards);
+        let mut workers = Vec::with_capacity(self.shards);
+        for shard in 0..self.shards {
+            let engine = factory(shard);
+            name = engine.name();
+            let (tx, rx) = sync_channel(self.queue_depth);
+            senders.push(tx);
+            let handle = ThreadBuilder::new()
+                .name(format!("{name}-shard-{shard}"))
+                .spawn(move || run_worker(engine, rx))
+                .expect("spawn shard worker");
+            workers.push(handle);
+        }
+        ShardedCache {
+            name,
+            senders,
+            workers,
+            pending: (0..self.shards).map(|_| RefCell::new(Vec::new())).collect(),
+            batch_capacity: self.batch_capacity,
+        }
+    }
+}
+
+/// Shard worker loop: applies commands in arrival order until the
+/// front-end hangs up, then hands the engine back through the join.
+fn run_worker<E: CacheEngine>(mut engine: E, rx: Receiver<Command>) -> E {
+    for cmd in rx {
+        // Reply sends only fail if the requester gave up waiting (it
+        // never does today); the engine transition already happened, so
+        // dropping the reply is harmless either way.
+        match cmd {
+            Command::Get { key, now, reply } => {
+                let _ = reply.send(engine.get(key, now));
+            }
+            Command::Put {
+                key,
+                size,
+                now,
+                reply,
+            } => {
+                let _ = reply.send(engine.put(key, size, now));
+            }
+            Command::PutBatch(batch) => {
+                for (key, size, now) in batch {
+                    engine.put(key, size, now);
+                }
+            }
+            Command::Drain { now, reply } => {
+                engine.drain(now);
+                let _ = reply.send(());
+            }
+            Command::Stats { reply } => {
+                let _ = reply.send(engine.stats());
+            }
+            Command::Memory { reply } => {
+                let _ = reply.send(engine.memory());
+            }
+        }
+    }
+    engine
+}
+
+/// Final state of a sharded run, produced by [`ShardedCache::finish`].
+///
+/// Engines are drained *before* the final counters are read, so
+/// `stats` includes everything still sitting in in-memory buffers (an
+/// undrained Nemo under-reports flash writes and WA).
+#[derive(Debug)]
+pub struct ShardedReport<E> {
+    /// Aggregate counters across all shards ([`EngineStats::merge`]).
+    pub stats: EngineStats,
+    /// Post-drain counters per shard, indexed by shard id.
+    pub per_shard: Vec<EngineStats>,
+    /// Aggregate metadata memory ([`MemoryBreakdown::merge`]).
+    pub memory: MemoryBreakdown,
+    /// The engines themselves, indexed by shard id, for inspection
+    /// beyond the common counters.
+    pub engines: Vec<E>,
+}
+
+/// A concurrent cache front-end: `N` worker threads, each owning one
+/// single-threaded [`CacheEngine`] (and its simulated device) outright,
+/// fed by bounded channels. Requests route to shards by key hash
+/// ([`crate::shard_of`]), so shard state is disjoint — no locks anywhere.
+///
+/// This is the shard-per-core pattern production flash caches deploy
+/// (CacheLib partitions its small-object cache the same way; the paper's
+/// Nemo runs background flushing/write-back on dedicated threads inside
+/// it). The simulator engines stay deterministic and single-threaded;
+/// concurrency lives entirely in this layer.
+///
+/// # Determinism contract
+///
+/// For a fixed request sequence and shard count, the aggregate
+/// [`Self::stats`] after [`Self::drain`] — hit ratio, ALWA, every
+/// counter — is identical across runs, regardless of thread scheduling,
+/// queue depth, or put-batch capacity. Routing is a pure function of the
+/// key, each worker applies its commands in the order this handle sent
+/// them, and shards share no state, so interleaving across shards cannot
+/// affect any shard's outcome. (Dispatching the same sequence from
+/// multiple handle clones would forfeit this; the handle is deliberately
+/// not clonable.)
+///
+/// # Examples
+///
+/// ```
+/// use nemo_core::NemoConfig;
+/// use nemo_flash::Nanos;
+/// use nemo_service::ShardedCacheBuilder;
+///
+/// let mut cache = ShardedCacheBuilder::new(2).spawn(NemoConfig::small().factory());
+/// for key in 0..100u64 {
+///     cache.put_and_forget(key, 200, Nanos::ZERO);
+/// }
+/// assert!(cache.get(1, Nanos::ZERO).hit); // reads see buffered puts
+/// let report = cache.finish(Nanos::ZERO);
+/// assert_eq!(report.stats.puts, 100);
+/// ```
+#[derive(Debug)]
+pub struct ShardedCache<E: CacheEngine + 'static> {
+    name: &'static str,
+    senders: Vec<SyncSender<Command>>,
+    workers: Vec<JoinHandle<E>>,
+    /// Fire-and-forget puts buffered per shard until a batch fills (or a
+    /// synchronous operation on the shard forces them out first, keeping
+    /// per-shard order equal to dispatch order).
+    pending: Vec<RefCell<Vec<BufferedPut>>>,
+    batch_capacity: usize,
+}
+
+impl<E: CacheEngine + 'static> ShardedCache<E> {
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard a key routes to.
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_of(key, self.senders.len())
+    }
+
+    fn send(&self, shard: usize, cmd: Command) {
+        self.senders[shard].send(cmd).expect("shard worker alive");
+    }
+
+    /// Ships `shard`'s buffered puts, preserving their dispatch order
+    /// ahead of whatever command the caller sends next.
+    fn flush_shard(&self, shard: usize) {
+        let batch = std::mem::take(&mut *self.pending[shard].borrow_mut());
+        if !batch.is_empty() {
+            self.send(shard, Command::PutBatch(batch));
+        }
+    }
+
+    /// Ships every shard's buffered fire-and-forget puts.
+    pub fn flush_puts(&self) {
+        for shard in 0..self.senders.len() {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Looks up `key` at virtual time `now`, blocking on the owning
+    /// shard. Buffered puts for that shard are shipped first, so a get
+    /// always observes every put dispatched before it.
+    pub fn get(&self, key: u64, now: Nanos) -> GetOutcome {
+        let shard = self.shard_of(key);
+        self.flush_shard(shard);
+        let (reply, rx) = channel();
+        self.send(shard, Command::Get { key, now, reply });
+        rx.recv().expect("shard worker alive")
+    }
+
+    /// Inserts synchronously, returning the foreground completion time
+    /// reported by the owning shard's engine.
+    pub fn put(&self, key: u64, size: u32, now: Nanos) -> Nanos {
+        let shard = self.shard_of(key);
+        self.flush_shard(shard);
+        let (reply, rx) = channel();
+        self.send(
+            shard,
+            Command::Put {
+                key,
+                size,
+                now,
+                reply,
+            },
+        );
+        rx.recv().expect("shard worker alive")
+    }
+
+    /// Fire-and-forget insert: buffered locally and shipped to the owning
+    /// shard in batches (the builder's `batch_capacity`), amortizing the
+    /// channel round-trip. Per-shard ordering with respect to [`Self::get`],
+    /// [`Self::put`], [`Self::drain`] and [`Self::stats`] is preserved —
+    /// those operations flush the buffer first.
+    pub fn put_and_forget(&self, key: u64, size: u32, now: Nanos) {
+        let shard = self.shard_of(key);
+        let full = {
+            let mut pending = self.pending[shard].borrow_mut();
+            pending.push((key, size, now));
+            pending.len() >= self.batch_capacity
+        };
+        if full {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Forces every shard's in-memory engine buffers to flash and waits
+    /// for all shards to acknowledge. Buffered puts ship first.
+    pub fn drain(&self, now: Nanos) {
+        self.flush_puts();
+        let acks: Vec<Receiver<()>> = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (reply, rx) = channel();
+                tx.send(Command::Drain { now, reply })
+                    .expect("shard worker alive");
+                rx
+            })
+            .collect();
+        for ack in acks {
+            ack.recv().expect("shard worker alive");
+        }
+    }
+
+    /// Live per-shard counters, indexed by shard id. Buffered puts ship
+    /// first so the counters cover every dispatched request.
+    pub fn shard_stats(&self) -> Vec<EngineStats> {
+        self.flush_puts();
+        let replies: Vec<Receiver<EngineStats>> = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (reply, rx) = channel();
+                tx.send(Command::Stats { reply })
+                    .expect("shard worker alive");
+                rx
+            })
+            .collect();
+        replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker alive"))
+            .collect()
+    }
+
+    /// Live aggregate counters across all shards.
+    ///
+    /// Note: counters for work still sitting in engine *internal* buffers
+    /// (e.g. Nemo's in-memory SGs) are whatever the engines report live;
+    /// call [`Self::drain`] first — or use [`Self::finish`] — for final,
+    /// fully-flushed numbers.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats::merge_all(&self.shard_stats())
+    }
+
+    /// Aggregate metadata memory across all shards.
+    pub fn memory(&self) -> MemoryBreakdown {
+        self.flush_puts();
+        let replies: Vec<Receiver<MemoryBreakdown>> = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (reply, rx) = channel();
+                tx.send(Command::Memory { reply })
+                    .expect("shard worker alive");
+                rx
+            })
+            .collect();
+        let parts: Vec<MemoryBreakdown> = replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker alive"))
+            .collect();
+        MemoryBreakdown::merge_all(&parts)
+    }
+
+    /// Ends the run: drains every shard at virtual time `now`, reads the
+    /// final post-drain counters, shuts the workers down and hands the
+    /// engines back.
+    ///
+    /// Draining *before* the final read is load-bearing: engines buffer
+    /// writes in memory (Nemo's in-memory SGs, the log baseline's open
+    /// page), and reading WA without draining under-reports flash traffic.
+    pub fn finish(mut self, now: Nanos) -> ShardedReport<E> {
+        self.drain(now);
+        let per_shard = self.shard_stats();
+        let memory = self.memory();
+        let stats = EngineStats::merge_all(&per_shard);
+        // Hang up so the workers fall out of their receive loops, then
+        // collect the engines. Drop sees empty vectors and does nothing.
+        self.senders = Vec::new();
+        let engines = std::mem::take(&mut self.workers)
+            .into_iter()
+            .map(|w| w.join().expect("shard worker panicked"))
+            .collect();
+        ShardedReport {
+            stats,
+            per_shard,
+            memory,
+            engines,
+        }
+    }
+}
+
+impl<E: CacheEngine + 'static> Drop for ShardedCache<E> {
+    fn drop(&mut self) {
+        // Ship stragglers, hang up, and reap the worker threads so a
+        // dropped front-end never leaks detached threads. Sends here are
+        // best-effort — this Drop also runs while unwinding from a dead
+        // worker, and a panicking send would escalate to an abort that
+        // masks the worker's original panic.
+        for (shard, sender) in self.senders.iter().enumerate() {
+            let batch = std::mem::take(&mut *self.pending[shard].borrow_mut());
+            if !batch.is_empty() {
+                let _ = sender.send(Command::PutBatch(batch));
+            }
+        }
+        self.senders = Vec::new();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// A sharded front-end is itself a [`CacheEngine`], so every harness that
+/// drives engines through the trait — `nemo_sim::Replay`, the bench
+/// loops, the cross-engine tests — can drive a shard fleet unchanged.
+/// Operations block on the owning shard; `stats`/`memory` aggregate.
+impl<E: CacheEngine + 'static> CacheEngine for ShardedCache<E> {
+    /// The wrapped engine's name (shards are homogeneous).
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn get(&mut self, key: u64, now: Nanos) -> GetOutcome {
+        ShardedCache::get(self, key, now)
+    }
+
+    fn put(&mut self, key: u64, size: u32, now: Nanos) -> Nanos {
+        ShardedCache::put(self, key, size, now)
+    }
+
+    fn stats(&self) -> EngineStats {
+        ShardedCache::stats(self)
+    }
+
+    fn memory(&self) -> MemoryBreakdown {
+        ShardedCache::memory(self)
+    }
+
+    fn drain(&mut self, now: Nanos) {
+        ShardedCache::drain(self, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemo_baselines::LogCacheConfig;
+
+    fn small_sharded(shards: usize) -> ShardedCache<nemo_baselines::LogCache> {
+        ShardedCacheBuilder::new(shards).spawn(LogCacheConfig::small().factory())
+    }
+
+    #[test]
+    fn get_put_roundtrip_across_shards() {
+        let cache = small_sharded(3);
+        for key in 0..300u64 {
+            cache.put(key, 200, Nanos::ZERO);
+        }
+        for key in 0..300u64 {
+            assert!(cache.get(key, Nanos::ZERO).hit, "key {key} lost");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.puts, 300);
+        assert_eq!(stats.gets, 300);
+        assert_eq!(stats.hits, 300);
+    }
+
+    #[test]
+    fn buffered_puts_are_visible_to_gets() {
+        // Batch capacity larger than the workload: nothing would ship
+        // without the read-path flush.
+        let cache = ShardedCacheBuilder::new(2)
+            .batch_capacity(1024)
+            .spawn(LogCacheConfig::small().factory());
+        for key in 0..50u64 {
+            cache.put_and_forget(key, 180, Nanos::ZERO);
+        }
+        for key in 0..50u64 {
+            assert!(cache.get(key, Nanos::ZERO).hit, "key {key} invisible");
+        }
+    }
+
+    #[test]
+    fn stats_cover_buffered_puts() {
+        let cache = ShardedCacheBuilder::new(2)
+            .batch_capacity(1024)
+            .spawn(LogCacheConfig::small().factory());
+        for key in 0..64u64 {
+            cache.put_and_forget(key, 180, Nanos::ZERO);
+        }
+        assert_eq!(cache.stats().puts, 64);
+    }
+
+    #[test]
+    fn finish_returns_one_engine_per_shard() {
+        let cache = small_sharded(4);
+        for key in 0..100u64 {
+            cache.put(key, 200, Nanos::ZERO);
+        }
+        let report = cache.finish(Nanos::ZERO);
+        assert_eq!(report.engines.len(), 4);
+        assert_eq!(report.per_shard.len(), 4);
+        assert_eq!(report.stats.puts, 100);
+        // Every shard took some of the uniform key range.
+        for (shard, s) in report.per_shard.iter().enumerate() {
+            assert!(s.puts > 0, "shard {shard} idle");
+        }
+        // The report's aggregate equals re-merging the per-shard stats.
+        assert_eq!(report.stats, EngineStats::merge_all(&report.per_shard));
+    }
+
+    #[test]
+    fn drop_without_finish_joins_workers() {
+        let cache = small_sharded(2);
+        cache.put(1, 200, Nanos::ZERO);
+        drop(cache); // must not hang or leak
+    }
+
+    #[test]
+    fn trait_object_usage() {
+        let mut cache: Box<dyn CacheEngine> = Box::new(small_sharded(2));
+        cache.put(9, 250, Nanos::ZERO);
+        assert!(cache.get(9, Nanos::ZERO).hit);
+        assert_eq!(cache.name(), "log");
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_panics() {
+        ShardedCacheBuilder::new(0);
+    }
+
+    #[test]
+    fn drop_after_worker_death_does_not_abort() {
+        // An engine whose gets always panic, killing its worker thread.
+        struct Bomb;
+        impl CacheEngine for Bomb {
+            fn name(&self) -> &'static str {
+                "bomb"
+            }
+            fn get(&mut self, _key: u64, _now: Nanos) -> GetOutcome {
+                panic!("engine invariant violated");
+            }
+            fn put(&mut self, _key: u64, _size: u32, now: Nanos) -> Nanos {
+                now
+            }
+            fn stats(&self) -> EngineStats {
+                EngineStats::default()
+            }
+            fn memory(&self) -> MemoryBreakdown {
+                MemoryBreakdown::default()
+            }
+        }
+
+        let cache = ShardedCacheBuilder::new(2)
+            .batch_capacity(1024)
+            .spawn(|_| Bomb);
+        // The get's worker panics, so the blocking reply panics in turn.
+        let attempt =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cache.get(7, Nanos::ZERO)));
+        assert!(attempt.is_err(), "bomb worker should have died");
+        // Leave puts buffered for the dead shard: Drop's best-effort
+        // flush must swallow the closed channel, not double-panic into
+        // an abort (which would fail this whole test binary).
+        for key in 0..64u64 {
+            cache.put_and_forget(key, 10, Nanos::ZERO);
+        }
+        drop(cache);
+    }
+}

@@ -3,14 +3,21 @@
 //! `experiments fig17`.
 //!
 //! ```text
-//! cargo run --release --example ablation
+//! cargo run --release --example ablation [--smoke]
 //! ```
+//!
+//! `--smoke` (or `NEMO_SMOKE=1`) shrinks the run for CI smoke tests.
 
 use nemo_repro::core::{Nemo, NemoConfig};
 use nemo_repro::engine::CacheEngine;
 use nemo_repro::flash::Nanos;
 use nemo_repro::sim::standard_geometry;
 use nemo_repro::trace::{RequestKind, TraceConfig, TraceGenerator};
+
+fn smoke() -> bool {
+    std::env::var_os("NEMO_SMOKE").is_some_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--smoke")
+}
 
 fn run(label: &str, b: bool, p: bool, w: bool) {
     let mut cfg = NemoConfig::new(standard_geometry(32));
@@ -21,7 +28,8 @@ fn run(label: &str, b: bool, p: bool, w: bool) {
     cfg.expected_objects_per_set = 16;
     let mut nemo = Nemo::new(cfg);
     let mut gen = TraceGenerator::new(TraceConfig::twitter_merged(32.0 * 6.0 / 337_848.0));
-    for _ in 0..1_500_000u64 {
+    let ops: u64 = if smoke() { 150_000 } else { 1_500_000 };
+    for _ in 0..ops {
         let r = gen.next_request();
         match r.kind {
             RequestKind::Get => {

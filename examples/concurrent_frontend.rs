@@ -1,85 +1,74 @@
-//! Embedding Nemo behind a concurrent service front-end.
+//! Serving Nemo behind the sharded concurrent front-end.
 //!
 //! The paper's implementation runs background tasks (SG flushing,
 //! write-back) on dedicated threads inside CacheLib. The simulator
-//! engines are deliberately single-threaded and deterministic, so a
-//! service embeds one engine per shard and routes requests by key hash —
-//! the same shard-per-core pattern CacheLib deploys. This example runs
-//! four shards on four worker threads, each owning its engine outright
-//! and fed by its own channel; no locks anywhere.
+//! engines are deliberately single-threaded and deterministic, so
+//! `nemo-service` embeds one engine per shard and routes requests by key
+//! *hash* — the same shard-per-core pattern CacheLib deploys, without a
+//! lock anywhere. This example runs four shards on four worker threads,
+//! feeds them a demand-fill replay through the batched fire-and-forget
+//! put path, then drains every shard before reading the final numbers
+//! (an undrained Nemo under-reports WA: its in-memory SGs haven't hit
+//! flash yet).
 //!
 //! ```text
-//! cargo run --release --example concurrent_frontend
+//! cargo run --release --example concurrent_frontend [--smoke]
 //! ```
+//!
+//! `--smoke` (or `NEMO_SMOKE=1`) shrinks the run for CI smoke tests.
 
-use nemo_repro::core::{Nemo, NemoConfig};
-use nemo_repro::engine::CacheEngine;
+use nemo_repro::core::NemoConfig;
+use nemo_repro::engine::CacheEngine as _;
 use nemo_repro::flash::{Geometry, Nanos};
+use nemo_repro::service::ShardedCacheBuilder;
 use nemo_repro::trace::{TraceConfig, TraceGenerator};
-use std::sync::mpsc;
-use std::thread;
 
 const SHARDS: usize = 4;
-const OPS: u64 = 400_000;
+
+fn smoke() -> bool {
+    std::env::var_os("NEMO_SMOKE").is_some_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--smoke")
+}
 
 fn main() {
+    let ops: u64 = if smoke() { 40_000 } else { 400_000 };
+
     // One independent Nemo instance (and simulated device) per shard —
     // exactly the partitioning Appendix A recommends for large devices.
-    // Each worker owns its engine and hands it back when the feed ends.
-    let mut senders = Vec::new();
-    let mut workers = Vec::new();
-    for _ in 0..SHARDS {
-        let (tx, rx) = mpsc::sync_channel::<(u64, u32)>(1024);
-        senders.push(tx);
-        workers.push(thread::spawn(move || {
-            let mut cfg = NemoConfig::new(Geometry::new(4096, 256, 32, 8));
-            cfg.flush_threshold = 4;
-            cfg.expected_objects_per_set = 16;
-            let mut cache = Nemo::new(cfg);
-            let mut hits = 0u64;
-            let mut ops = 0u64;
-            for (key, size) in rx.iter() {
-                ops += 1;
-                if cache.get(key, Nanos::ZERO).hit {
-                    hits += 1;
-                } else {
-                    cache.put(key, size, Nanos::ZERO);
-                }
-            }
-            (ops, hits, cache)
-        }));
-    }
+    let mut cfg = NemoConfig::new(Geometry::new(4096, 256, 32, 8));
+    cfg.flush_threshold = 4;
+    cfg.expected_objects_per_set = 16;
+    let cache = ShardedCacheBuilder::new(SHARDS).spawn(cfg.factory());
 
-    // Simple modulo routing: each shard owns the keys congruent to its
-    // index, so shard state stays disjoint and deterministic.
     let mut gen = TraceGenerator::new(TraceConfig::twitter_merged(0.0005));
-    for _ in 0..OPS {
+    for _ in 0..ops {
         let r = gen.next_request();
-        senders[r.key as usize % SHARDS]
-            .send((r.key, r.size))
-            .expect("workers alive");
+        if !cache.get(r.key, Nanos::ZERO).hit {
+            cache.put_and_forget(r.key, r.size, Nanos::ZERO);
+        }
     }
-    drop(senders);
 
-    let mut total_ops = 0;
-    let mut total_hits = 0;
-    let mut shards = Vec::new();
-    for w in workers {
-        let (ops, hits, cache) = w.join().expect("worker finished");
-        total_ops += ops;
-        total_hits += hits;
-        shards.push(cache);
-    }
+    // finish() drains every shard first, so the WA below includes the
+    // objects still buffered in each shard's in-memory SGs.
+    let report = cache.finish(Nanos::ZERO);
     println!(
-        "processed {total_ops} ops across {SHARDS} shards, hit ratio {:.1}%",
-        100.0 * total_hits as f64 / total_ops.max(1) as f64
+        "processed {} ops across {SHARDS} shards, hit ratio {:.1}%, aggregate WA {:.2}",
+        report.stats.gets,
+        100.0 * (1.0 - report.stats.miss_ratio()),
+        report.stats.alwa(),
     );
-    for (i, cache) in shards.iter().enumerate() {
+    for (i, (stats, engine)) in report.per_shard.iter().zip(&report.engines).enumerate() {
         println!(
-            "  shard {i}: WA {:.2}, {} SGs on flash, {:.1} bits/obj",
-            cache.stats().alwa(),
-            cache.pool_len(),
-            cache.memory().bits_per_object()
+            "  shard {i}: {:>6} gets, WA {:.2}, {} SGs on flash, {:.1} bits/obj",
+            stats.gets,
+            stats.alwa(),
+            engine.pool_len(),
+            engine.memory().bits_per_object()
         );
     }
+    println!(
+        "aggregate metadata: {:.1} bits/obj over {} objects",
+        report.memory.bits_per_object(),
+        report.memory.objects
+    );
 }

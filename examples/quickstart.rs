@@ -2,14 +2,23 @@
 //! look up tiny objects, and print the headline metrics.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [--smoke]
 //! ```
+//!
+//! `--smoke` (or `NEMO_SMOKE=1`) shrinks the run for CI smoke tests.
 
 use nemo_repro::core::{Nemo, NemoConfig};
 use nemo_repro::engine::CacheEngine;
 use nemo_repro::flash::{Geometry, Nanos};
 
+fn smoke() -> bool {
+    std::env::var_os("NEMO_SMOKE").is_some_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--smoke")
+}
+
 fn main() {
+    let objects: u64 = if smoke() { 100_000 } else { 1_000_000 };
+
     // A 64 MB simulated zoned device: 4 KB pages, 1 MB zones (= one
     // Set-Group each), 8 dies.
     let mut cfg = NemoConfig::new(Geometry::new(4096, 256, 64, 8));
@@ -17,14 +26,14 @@ fn main() {
     cfg.expected_objects_per_set = 16;
     let mut cache = Nemo::new(cfg);
 
-    // Insert a million tiny objects (~250 B each) and read some back.
+    // Insert tiny objects (~250 B each) and read the freshest back.
     let mut now = Nanos::ZERO;
-    for key in 0..1_000_000u64 {
+    for key in 0..objects {
         now += Nanos::from_micros(5);
         cache.put(key, 200 + (key % 100) as u32, now);
     }
     let mut hits = 0;
-    for key in 999_000..1_000_000u64 {
+    for key in objects - 1000..objects {
         now += Nanos::from_micros(5);
         if cache.get(key, now).hit {
             hits += 1;

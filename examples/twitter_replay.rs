@@ -1,24 +1,38 @@
 //! Replays the merged Twitter-like workload (paper §5.1, Table 5) against
 //! Nemo and FairyWREN side by side, printing the paper's headline
-//! comparison: write amplification, miss ratio, read latency.
+//! comparison: write amplification, miss ratio, read latency — plus the
+//! same Nemo capacity split into a four-shard fleet behind the
+//! `nemo-service` front-end, driven by the *same* replay harness (the
+//! front-end implements `CacheEngine`).
 //!
 //! ```text
-//! cargo run --release --example twitter_replay [flash_mb] [ops]
+//! cargo run --release --example twitter_replay [flash_mb] [ops] [--smoke]
 //! ```
+//!
+//! `--smoke` (or `NEMO_SMOKE=1`) shrinks the run for CI smoke tests.
 
 use nemo_repro::baselines::{FairyWren, FairyWrenConfig};
 use nemo_repro::core::{Nemo, NemoConfig};
 use nemo_repro::engine::CacheEngine;
-use nemo_repro::sim::{standard_geometry, Replay, ReplayConfig};
+use nemo_repro::service::ShardedCacheBuilder;
+use nemo_repro::sim::{standard_geometry, Replay, ReplayConfig, ReplayResult};
 use nemo_repro::trace::{TraceConfig, TraceGenerator};
 
+const SHARDS: usize = 4;
+
+fn smoke() -> bool {
+    std::env::var_os("NEMO_SMOKE").is_some_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--smoke")
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).filter(|a| a != "--smoke");
     let flash_mb: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(48);
+    let default_ops = if smoke() { 150_000 } else { 1_500_000 };
     let ops: u64 = args
         .next()
         .and_then(|a| a.parse().ok())
-        .unwrap_or(1_500_000);
+        .unwrap_or(default_ops);
     let geometry = standard_geometry(flash_mb);
     // Catalog ~6x flash so steady-state eviction engages.
     let trace_cfg = TraceConfig::twitter_merged(flash_mb as f64 * 6.0 / 337_848.0);
@@ -41,20 +55,36 @@ fn main() {
     let mut nemo = Nemo::new(nemo_cfg);
     let mut trace = TraceGenerator::new(trace_cfg.clone());
     let r = replay.run(&mut nemo, &mut trace);
-    print_row("nemo", &r, nemo.memory().bits_per_object());
+    nemo.drain(r.sim_end);
+    print_row("nemo", &r, nemo.stats(), nemo.memory().bits_per_object());
+
+    // The same flash budget partitioned into a shard-per-core fleet: four
+    // quarter-size Nemos behind the hash-routing front-end, driven by the
+    // identical open-loop harness.
+    let mut shard_cfg = NemoConfig::new(standard_geometry((flash_mb / SHARDS as u32).max(1)));
+    shard_cfg.flush_threshold = 4;
+    shard_cfg.expected_objects_per_set = 16;
+    shard_cfg.index_group_sgs = 8;
+    let mut fleet = ShardedCacheBuilder::new(SHARDS).spawn(shard_cfg.factory());
+    let mut trace = TraceGenerator::new(trace_cfg.clone());
+    let r = replay.run(&mut fleet, &mut trace);
+    fleet.drain(r.sim_end);
+    let label = format!("nemo x{SHARDS}");
+    print_row(&label, &r, fleet.stats(), fleet.memory().bits_per_object());
 
     let mut fw = FairyWren::new(FairyWrenConfig::log_op(geometry, 5, 5));
     let mut trace = TraceGenerator::new(trace_cfg);
     let r = replay.run(&mut fw, &mut trace);
-    print_row("fairywren", &r, fw.memory().bits_per_object());
+    fw.drain(r.sim_end);
+    print_row("fairywren", &r, fw.stats(), fw.memory().bits_per_object());
 }
 
-fn print_row(name: &str, r: &nemo_repro::sim::ReplayResult, bits: f64) {
+fn print_row(name: &str, r: &ReplayResult, stats: nemo_repro::engine::EngineStats, bits: f64) {
     println!(
         "{:<10} {:>8.2} {:>10.2} {:>10.1} {:>10.1} {:>12.2}",
         name,
-        r.stats.alwa(),
-        r.stats.miss_ratio() * 100.0,
+        stats.alwa(),
+        stats.miss_ratio() * 100.0,
         r.latency.percentile(0.50) as f64 / 1000.0,
         r.latency.percentile(0.99) as f64 / 1000.0,
         bits

@@ -3,8 +3,12 @@
 //! says about scaling flash capacity and partitioning.
 //!
 //! ```text
-//! cargo run --release --example zns_sizing
+//! cargo run --release --example zns_sizing [--smoke]
 //! ```
+//!
+//! Pure analytic output — `--smoke` / `NEMO_SMOKE=1` are accepted for
+//! uniformity with the other examples but change nothing (the run is
+//! already instantaneous).
 
 use nemo_repro::analytic::PbfgCostModel;
 use nemo_repro::bloom::{sizing, PackedLayout};

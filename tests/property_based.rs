@@ -10,12 +10,14 @@
 //! cargo test --test property_based -- --ignored
 //! ```
 
+use nemo_repro::baselines::{LogCache, LogCacheConfig};
 use nemo_repro::bloom::BloomFilter;
 use nemo_repro::core::{MemSg, Nemo, NemoConfig};
 use nemo_repro::engine::codec::{self, PageBuf};
-use nemo_repro::engine::CacheEngine;
+use nemo_repro::engine::{CacheEngine, EngineStats, MemoryBreakdown};
 use nemo_repro::flash::{Geometry, LatencyModel, Nanos, SimFlash, ZoneId, ZonedFlash};
 use nemo_repro::metrics::LatencyHistogram;
+use nemo_repro::service::shard_of;
 use nemo_repro::trace::ZipfSampler;
 use nemo_repro::util::Xoshiro256StarStar;
 use proptest::prelude::*;
@@ -166,6 +168,100 @@ proptest! {
         let s = nemo.stats();
         prop_assert!(s.hits <= s.gets);
         prop_assert_eq!(s.nand_bytes_written, s.flash_bytes_written);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `EngineStats::merge` algebra on arbitrary counter values: the
+    /// default is the identity, merge commutes, associates, and every
+    /// counter is the plain sum.
+    #[test]
+    fn stats_merge_algebra(vals in prop::collection::vec(any::<u32>(), 21..22)) {
+        let build = |v: &[u32]| EngineStats {
+            gets: v[0] as u64,
+            hits: v[1] as u64,
+            puts: v[2] as u64,
+            logical_bytes: v[3] as u64,
+            flash_bytes_written: v[4] as u64,
+            nand_bytes_written: v[5] as u64,
+            flash_bytes_read: v[6] as u64,
+            ..Default::default()
+        };
+        let a = build(&vals[0..7]);
+        let b = build(&vals[7..14]);
+        let c = build(&vals[14..21]);
+        prop_assert_eq!(a.merge(&EngineStats::default()), a);
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        let m = a.merge(&b);
+        prop_assert_eq!(m.gets, a.gets + b.gets);
+        prop_assert_eq!(m.logical_bytes, a.logical_bytes + b.logical_bytes);
+        prop_assert_eq!(m.flash_bytes_written, a.flash_bytes_written + b.flash_bytes_written);
+    }
+
+    /// `MemoryBreakdown::merge` of splits equals the whole: carving any
+    /// breakdown into two parts (per-component byte split, object split)
+    /// and merging the parts reconstructs the original exactly.
+    #[test]
+    fn breakdown_merge_of_splits_is_whole(
+        comps in prop::collection::vec((1u64..1000, 0u64..10_000), 1..8),
+        objects in 0u64..1_000_000,
+        num in 0u64..=1000,
+    ) {
+        let mut whole = MemoryBreakdown::new(objects);
+        let mut left = MemoryBreakdown::new(objects * num / 1000);
+        let mut right = MemoryBreakdown::new(objects - objects * num / 1000);
+        for (i, &(a, b)) in comps.iter().enumerate() {
+            let name = format!("component-{i}");
+            let bytes = a + b;
+            whole.push(&name, bytes);
+            let cut = bytes * num / 1000;
+            left.push(&name, cut);
+            right.push(&name, bytes - cut);
+        }
+        prop_assert_eq!(left.merge(&right), whole);
+    }
+}
+
+proptest! {
+    // Fewer cases: each case replays thousands of operations on real
+    // engines.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `EngineStats::merge` over a real split workload: routing a request
+    /// sequence across independent shard engines (exactly what
+    /// `nemo-service` does) and merging their stats reproduces the
+    /// request-driven counters of the same sequence replayed on a single
+    /// engine. Hit/eviction counters legitimately differ (a fleet has
+    /// more aggregate capacity); what must be conserved is everything
+    /// the driver issues: gets, puts, and admitted logical bytes.
+    #[test]
+    fn stats_merge_of_shard_splits_matches_whole_run(
+        shards in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let cfg = LogCacheConfig::small();
+        let mut whole = LogCache::new(cfg.clone());
+        let mut parts: Vec<LogCache> = (0..shards).map(cfg.factory()).collect();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for _ in 0..4000 {
+            let key = rng.next_u64() % 4096;
+            let size = 24 + rng.next_below(400) as u32;
+            if rng.next_below(2) == 0 {
+                whole.get(key, Nanos::ZERO);
+                parts[shard_of(key, shards)].get(key, Nanos::ZERO);
+            } else {
+                whole.put(key, size, Nanos::ZERO);
+                parts[shard_of(key, shards)].put(key, size, Nanos::ZERO);
+            }
+        }
+        let merged = EngineStats::merge_all(&parts.iter().map(|p| p.stats()).collect::<Vec<_>>());
+        let w = whole.stats();
+        prop_assert_eq!(merged.gets, w.gets);
+        prop_assert_eq!(merged.puts, w.puts);
+        prop_assert_eq!(merged.logical_bytes, w.logical_bytes);
     }
 }
 
