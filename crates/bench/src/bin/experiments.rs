@@ -3,22 +3,28 @@
 //! Usage:
 //!
 //! ```text
-//! experiments <id> [--flash-mb N] [--ops-mult F]
+//! experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K]
 //!
 //! ids: fig4 fig5 fig6 fig8 fig12a fig12b fig13 fig14 fig15 fig16
 //!      fig17 fig18 fig19a fig19b table5 table6 motivation
-//!      read_amplification appendix_a ablation all
+//!      read_amplification appendix_a ablation sharded openloop all
 //! ```
+//!
+//! `openloop` replays the merged trace open loop through the sharded
+//! `nemo-service` front-end for all five systems: `--rate` sets the
+//! aggregate virtual-time arrival rate (req/s), `--inflight` the
+//! per-shard in-flight window, `--shards` the fleet size; read latency
+//! is reported split into queueing delay and service time.
 
 use nemo_bench::{breakdown, main_metrics, motivation, overhead, sensitivity, sharded, RunScale};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id> [--flash-mb N] [--ops-mult F] [--shards N]\n\
+        "usage: experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K]\n\
          ids: fig4 fig5 fig6 fig8 fig12a fig12b fig13 fig14 fig15 fig16 fig17 fig18\n\
          \x20     fig19a fig19b table5 table6 motivation read_amplification appendix_a\n\
-         \x20     ablation sharded all"
+         \x20     ablation sharded openloop all"
     );
     std::process::exit(2);
 }
@@ -31,9 +37,27 @@ fn main() {
     let id = args[0].clone();
     let mut scale = RunScale::default();
     let mut shards = 4usize;
+    let mut rate = 40_000.0f64;
+    let mut inflight = 32usize;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--rate" => {
+                i += 1;
+                rate = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r: &f64| r > 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--inflight" => {
+                i += 1;
+                inflight = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&k| k > 0)
+                    .unwrap_or_else(|| usage());
+            }
             "--flash-mb" => {
                 i += 1;
                 scale.flash_mb = args
@@ -90,6 +114,7 @@ fn main() {
         "read_amplification" => overhead::read_amplification(scale),
         "appendix_a" => overhead::appendix_a(scale),
         "sharded" => sharded::all(scale, shards),
+        "openloop" => sharded::openloop_comparison(scale, shards, rate, inflight),
         "all" => {
             motivation::all(scale);
             breakdown::all(scale);

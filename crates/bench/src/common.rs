@@ -25,7 +25,7 @@ pub struct RunScale {
     /// Multiplier on the default request counts.
     pub ops_mult: f64,
     /// Independent dies (parallel service units). WA experiments use 8;
-    /// the latency experiment uses 32 (enterprise-SSD-class parallelism)
+    /// the latency experiments use 64 (enterprise-SSD-class parallelism)
     /// so Nemo's parallel multi-page lookups don't saturate the device.
     pub dies: u32,
 }
@@ -87,6 +87,18 @@ impl RunScale {
         // (see the Fig. 18 sweep for the full trade-off curve).
         cfg.flush_threshold = 4;
         cfg.expected_objects_per_set = 16;
+        cfg
+    }
+
+    /// The scaled Nemo configuration with *deferred* eviction: the
+    /// write-back scan runs as paced background slices between requests
+    /// instead of a read burst inside the flush. This is the
+    /// configuration the open-loop latency experiments (Fig. 15) use —
+    /// it stands in for the dedicated background threads the paper's
+    /// implementation runs inside CacheLib.
+    pub fn nemo_background_config(&self) -> NemoConfig {
+        let mut cfg = self.nemo_config();
+        cfg.background_eviction = true;
         cfg
     }
 

@@ -9,7 +9,7 @@
 use crate::common::{f2, print_table, write_csv, RunScale, MERGED_WSS_MB};
 use nemo_engine::CacheEngine;
 use nemo_flash::Nanos;
-use nemo_service::{ShardedCache, ShardedCacheBuilder};
+use nemo_service::{OpenLoopConfig, OpenLoopReplay, ShardedCache, ShardedCacheBuilder};
 use nemo_sim::{Replay, ReplayConfig};
 use nemo_trace::{RequestKind, TraceConfig, TraceGenerator};
 
@@ -125,11 +125,12 @@ pub fn fleet_comparison(scale: RunScale, shards: usize) {
     write_csv("sharded_fleet", &headers, &rows);
 }
 
-/// Open-loop latency replay of sharded Nemo through `nemo_sim::Replay` —
-/// the front-end implements `CacheEngine`, so the standard harness
-/// drives the whole fleet unchanged.
+/// Closed-loop replay of sharded Nemo through `nemo_sim::Replay` — the
+/// front-end implements `CacheEngine`, so the standard blocking harness
+/// drives the whole fleet unchanged. For latency under *offered* load
+/// (queueing vs service) use [`openloop_comparison`] instead.
 pub fn fleet_replay(scale: RunScale, shards: usize) {
-    println!("\n### Sharded Nemo under the open-loop replay harness ({shards} shards)");
+    println!("\n### Sharded Nemo under the closed-loop replay harness ({shards} shards)");
     let ops = scale.ops_for_fills(2.0) * shards as u64;
     let cfg = ReplayConfig {
         ops,
@@ -149,6 +150,108 @@ pub fn fleet_replay(scale: RunScale, shards: usize) {
         r.latency.percentile(0.50) as f64 / 1000.0,
         r.latency.percentile(0.99) as f64 / 1000.0,
     );
+}
+
+/// One open-loop run, type-erased into a table row: total / queueing /
+/// service percentiles in µs plus the post-drain miss ratio.
+fn run_openloop<E, F>(
+    label: &str,
+    cfg: &OpenLoopConfig,
+    factory: F,
+    trace_cfg: &TraceConfig,
+) -> Vec<String>
+where
+    E: CacheEngine + 'static,
+    F: FnMut(usize) -> E,
+{
+    let us = |v: u64| f2(v as f64 / 1000.0);
+    let mut trace = TraceGenerator::new(trace_cfg.clone());
+    let r = OpenLoopReplay::new(cfg.clone()).run(factory, &mut trace);
+    vec![
+        label.to_string(),
+        us(r.latency.p50()),
+        us(r.latency.p99()),
+        us(r.latency.p9999()),
+        us(r.queueing.p50()),
+        us(r.queueing.p99()),
+        us(r.queueing.p9999()),
+        us(r.service.p50()),
+        us(r.service.p99()),
+        us(r.service.p9999()),
+        f2(r.report.stats.miss_ratio() * 100.0),
+    ]
+}
+
+/// Open-loop latency of all five systems behind the sharded front-end:
+/// requests arrive at `rate` req/s of virtual time (aggregate across
+/// `shards`), at most `inflight` operations outstanding per shard, and
+/// read latency is reported split into queueing delay (admission wait)
+/// and service time. Nemo runs with deferred background eviction — the
+/// paced write-back scan that replaces the old arrival-pacing
+/// workaround; the baselines do their maintenance inline, which is
+/// exactly the tail-latency difference Fig. 15 is about.
+pub fn openloop_comparison(scale: RunScale, shards: usize, rate: f64, inflight: usize) {
+    // Latency experiments use enterprise-class die parallelism, like
+    // Fig. 15 (WA experiments keep 8 dies; see `RunScale::dies`).
+    let scale = RunScale { dies: 64, ..scale };
+    println!("\n### Open-loop latency — five systems, {shards} shard(s)");
+    println!(
+        "rate {rate:.0} req/s aggregate, in-flight {inflight}/shard, per-shard device {} MB x64 dies",
+        scale.flash_mb
+    );
+    let ops = scale.ops_for_fills(2.0) * shards as u64;
+    let trace_cfg = fleet_trace_config(&scale, shards);
+    let mk_cfg = || {
+        let mut c = OpenLoopConfig::new(ops, rate);
+        c.shards = shards;
+        c.inflight = inflight;
+        c
+    };
+    let mut rows = vec![
+        run_openloop(
+            "Nemo",
+            &mk_cfg(),
+            scale.nemo_background_config().factory(),
+            &trace_cfg,
+        ),
+        run_openloop("Log", &mk_cfg(), scale.log_config().factory(), &trace_cfg),
+        run_openloop(
+            "FW",
+            &mk_cfg(),
+            scale.fairywren_config(5, 5).factory(),
+            &trace_cfg,
+        ),
+        run_openloop("Set", &mk_cfg(), scale.set_config().factory(), &trace_cfg),
+    ];
+    if scale.flash_mb >= 24 {
+        rows.push(run_openloop(
+            "KG",
+            &mk_cfg(),
+            scale.kangaroo_config().factory(),
+            &trace_cfg,
+        ));
+    } else {
+        println!("   (skipping KG: per-shard device below Kangaroo's ~24 MB GC-slack minimum)");
+    }
+    let headers = [
+        "system",
+        "p50",
+        "p99",
+        "p9999",
+        "queue p50",
+        "queue p99",
+        "queue p9999",
+        "svc p50",
+        "svc p99",
+        "svc p9999",
+        "miss %",
+    ];
+    print_table(
+        &format!("Open loop x{shards} (latency in us)"),
+        &headers,
+        &rows,
+    );
+    write_csv("openloop", &headers, &rows);
 }
 
 /// Runs the full sharded suite.

@@ -41,6 +41,23 @@ pub struct NemoConfig {
     pub enable_p_flushing: bool,
     /// Technique W: hotness-aware writeback on eviction.
     pub enable_writeback: bool,
+    /// Run the eviction/write-back scan as deferred background work
+    /// instead of a read burst inside the flush.
+    ///
+    /// Inline mode (the default) reads every hot set of the eviction
+    /// victim at flush time — a burst of up to one page read per set that
+    /// foreground gets then queue behind. With deferral the engine starts
+    /// the scan as soon as the last free zone is consumed and advances it
+    /// one bounded [`crate::Nemo::background_slice`] at a time; the paper
+    /// gets the same effect from dedicated background threads. Write-back
+    /// candidates found by the scan are staged and re-admitted into the
+    /// next flushed SG.
+    pub background_eviction: bool,
+    /// Page reads per background slice of a deferred eviction scan
+    /// (bounds how much flash traffic one slice may add ahead of a
+    /// foreground request). Only meaningful with
+    /// [`Self::background_eviction`].
+    pub scan_reads_per_slice: u32,
 }
 
 impl NemoConfig {
@@ -60,6 +77,8 @@ impl NemoConfig {
             enable_buffered_sgs: true,
             enable_p_flushing: true,
             enable_writeback: true,
+            background_eviction: false,
+            scan_reads_per_slice: 1,
         }
     }
 
@@ -161,6 +180,10 @@ impl NemoConfig {
             "hotness_window in [0,1]"
         );
         assert!(self.cooling_period > 0.0, "cooling_period must be positive");
+        assert!(
+            self.scan_reads_per_slice >= 1,
+            "scan_reads_per_slice must be positive"
+        );
         assert!(
             self.filter_bytes() <= self.geometry.page_size(),
             "a set-level filter must fit in a page"

@@ -17,6 +17,18 @@ struct FlashSg {
     objects: u64,
 }
 
+/// An in-progress deferred eviction scan ([`NemoConfig::background_eviction`]):
+/// the victim SG's sets are read a bounded slice at a time, collecting
+/// write-back candidates, instead of in one burst at flush time.
+#[derive(Debug)]
+struct EvictScan {
+    victim: FlashSg,
+    /// Next set index to examine.
+    next_set: u32,
+    /// `(set, key, size)` of hot objects found so far.
+    staged: Vec<(u32, u64, u32)>,
+}
+
 /// Per-flush record for the Fig. 17/18 analyses.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SgFlushInfo {
@@ -48,6 +60,13 @@ pub struct NemoReport {
     /// Candidate set reads that did not contain the key (bloom false
     /// positives or stale versions).
     pub false_positive_reads: u64,
+    /// Background slices executed for deferred eviction scans
+    /// ([`NemoConfig::background_eviction`]).
+    pub scan_slices: u64,
+    /// Deferred scans that a flush had to finish synchronously because no
+    /// free zone was left — the burst fallback. A well-paced run keeps
+    /// this at (or near) zero.
+    pub forced_scan_finishes: u64,
     /// PBFG cache hits/misses and pool writes.
     pub index: crate::index::IndexStats,
 }
@@ -69,6 +88,11 @@ pub struct Nemo {
     pool: VecDeque<FlashSg>,
     free_zones: VecDeque<u32>,
     pool_capacity: usize,
+    /// In-progress deferred eviction scan (background mode only).
+    scan: Option<EvictScan>,
+    /// Write-back candidates from a completed scan, awaiting the next
+    /// flush (background mode only).
+    staged_writebacks: Vec<(u32, u64, u32)>,
     index: PbfgIndex,
     tracker: HotnessTracker,
     next_seq: u64,
@@ -111,6 +135,8 @@ impl Nemo {
             pool: VecDeque::new(),
             free_zones: data_zones,
             pool_capacity,
+            scan: None,
+            staged_writebacks: Vec::new(),
             index,
             tracker,
             next_seq: 0,
@@ -174,7 +200,17 @@ impl Nemo {
     fn flush_front(&mut self, now: Nanos) {
         let mut front = self.queue.pop_front().expect("queue never empty");
         let mut writebacks = 0u64;
-        if self.pool.len() >= self.pool_capacity {
+        if self.cfg.background_eviction {
+            // Deferred mode: the scan of the oldest SG (started when the
+            // last free zone was consumed) normally completed in paced
+            // background slices long before this flush; only if it did
+            // not — no free zone yet — finish it synchronously, which is
+            // exactly the inline read burst this mode exists to avoid.
+            if self.free_zones.is_empty() {
+                self.force_finish_scan(now);
+            }
+            writebacks = self.apply_staged_writebacks(&mut front);
+        } else if self.pool.len() >= self.pool_capacity {
             writebacks = self.evict_oldest(&mut front, now);
         }
         let zone = self
@@ -244,45 +280,165 @@ impl Nemo {
             self.tracker
                 .cool_with(|seq, set| index.is_recently_active(seq, set));
         }
+
+        // Deferred mode: if this flush consumed the last free zone, start
+        // scanning the oldest SG now so paced background slices can
+        // reclaim its zone before the next flush needs one.
+        self.maybe_start_scan();
+    }
+
+    /// Starts a deferred eviction scan of the oldest on-flash SG when the
+    /// device is out of free zones and no scan is running.
+    fn maybe_start_scan(&mut self) {
+        if !self.cfg.background_eviction || self.scan.is_some() || !self.free_zones.is_empty() {
+            return;
+        }
+        if let Some(&victim) = self.pool.front() {
+            self.scan = Some(EvictScan {
+                victim,
+                next_set: 0,
+                staged: Vec::new(),
+            });
+        }
+    }
+
+    /// Synchronously completes (starting it if necessary) the deferred
+    /// eviction scan — the burst fallback a flush uses when background
+    /// slices have not yet freed a zone.
+    fn force_finish_scan(&mut self, now: Nanos) {
+        self.maybe_start_scan();
+        if self.scan.is_some() {
+            self.report.forced_scan_finishes += 1;
+        }
+        while self.scan.is_some() {
+            self.background_slice(now);
+        }
+    }
+
+    /// Advances a deferred eviction scan by one bounded slice at `now`:
+    /// at most [`NemoConfig::scan_reads_per_slice`] victim page reads,
+    /// skipping cold sets for free. Completes the eviction (zone reset,
+    /// index/tracker cleanup) when the last set has been examined.
+    pub fn background_slice(&mut self, now: Nanos) {
+        let Some(mut scan) = self.scan.take() else {
+            return;
+        };
+        self.report.scan_slices += 1;
+        let budget = self.cfg.scan_reads_per_slice.max(1);
+        let mut reads = 0u32;
+        while scan.next_set < self.cfg.sets_per_sg() && reads < budget {
+            let set = scan.next_set;
+            scan.next_set += 1;
+            if !self.cfg.enable_writeback {
+                continue;
+            }
+            if self.scan_victim_set(scan.victim, set, now, &mut scan.staged) {
+                reads += 1;
+            }
+        }
+        if scan.next_set >= self.cfg.sets_per_sg() {
+            self.finish_scan(scan, now);
+        } else {
+            self.scan = Some(scan);
+        }
+    }
+
+    /// Whether a deferred eviction scan is in progress.
+    pub fn background_pending(&self) -> bool {
+        self.scan.is_some()
+    }
+
+    /// Completes a deferred eviction: stages the scan's write-back
+    /// candidates for the next flush, then reclaims the victim zone.
+    /// Every victim object is counted evicted here; staged objects that
+    /// get re-admitted at flush time are credited back.
+    fn finish_scan(&mut self, scan: EvictScan, now: Nanos) {
+        let victim = scan.victim;
+        self.staged_writebacks.extend(scan.staged);
+        self.tracker.untrack(victim.seq);
+        self.index.on_evict(victim.seq);
+        self.dev
+            .reset_zone(ZoneId(victim.zone), now)
+            .expect("victim zone reset");
+        let popped = self.pool.pop_front().expect("victim is the pool front");
+        debug_assert_eq!(popped.seq, victim.seq);
+        self.free_zones.push_back(victim.zone);
+        self.stats.evicted_objects += victim.objects;
+    }
+
+    /// Re-admits the staged write-back candidates of a completed deferred
+    /// scan into the sealed front SG about to be flushed. Returns the
+    /// number re-admitted.
+    fn apply_staged_writebacks(&mut self, target: &mut MemSg) -> u64 {
+        let staged = std::mem::take(&mut self.staged_writebacks);
+        let writebacks = self.readmit_writebacks(staged, target);
+        self.report.writeback_objects += writebacks;
+        // They were pre-counted as evicted when the scan finished.
+        self.stats.evicted_objects -= writebacks;
+        writebacks
+    }
+
+    /// Scans one set of an eviction victim, collecting its hot objects
+    /// into `out` if the set passes the hotness-mask and PBFG-recency
+    /// gates. Returns whether a victim page was read — the unit both the
+    /// inline burst and the paced background slices budget by.
+    fn scan_victim_set(
+        &mut self,
+        victim: FlashSg,
+        set: u32,
+        now: Nanos,
+        out: &mut Vec<(u32, u64, u32)>,
+    ) -> bool {
+        if self.tracker.set_mask(victim.seq, set) == 0 {
+            return false;
+        }
+        // Recency gate: the set's PBFG must still be cached.
+        if !self.index.is_recently_active(victim.seq, set) {
+            return false;
+        }
+        let addr = PageAddr::new(victim.zone, set);
+        let (page, _) = self
+            .dev
+            .read_pages(addr, 1, now)
+            .expect("victim SG page read");
+        self.stats.flash_bytes_read += self.cfg.geometry.page_size() as u64;
+        for (k, s) in codec::parse_entries(&page) {
+            if self.tracker.is_hot(victim.seq, set, k) {
+                out.push((set, k, s));
+            }
+        }
+        true
+    }
+
+    /// Re-admits write-back candidates into `target` (the sealed front SG
+    /// about to be flushed), skipping any key with a newer buffered
+    /// version. Returns the number re-admitted.
+    fn readmit_writebacks(&mut self, staged: Vec<(u32, u64, u32)>, target: &mut MemSg) -> u64 {
+        let mut writebacks = 0u64;
+        for (set, key, size) in staged {
+            if self.queue.iter().any(|sg| sg.set(set).contains(key))
+                || target.set(set).contains(key)
+            {
+                continue;
+            }
+            if target.insert_at(set, key, size) {
+                writebacks += 1;
+            }
+        }
+        writebacks
     }
 
     /// Evicts the oldest on-flash SG, writing hot objects back into the
     /// sealed front SG. Returns the number of written-back objects.
     fn evict_oldest(&mut self, target: &mut MemSg, now: Nanos) -> u64 {
         let victim = self.pool.pop_front().expect("pool is full");
-        let mut writebacks = 0u64;
+        let mut staged = Vec::new();
         if self.cfg.enable_writeback {
-            let psz = self.cfg.geometry.page_size() as usize;
             for set in 0..self.cfg.sets_per_sg() {
-                if self.tracker.set_mask(victim.seq, set) == 0 {
-                    continue;
-                }
-                // Recency gate: the set's PBFG must still be cached.
-                if !self.index.is_recently_active(victim.seq, set) {
-                    continue;
-                }
-                let addr = PageAddr::new(victim.zone, set);
-                let (page, _) = self
-                    .dev
-                    .read_pages(addr, 1, now)
-                    .expect("victim SG page read");
-                self.stats.flash_bytes_read += psz as u64;
-                for (k, s) in codec::parse_entries(&page) {
-                    if !self.tracker.is_hot(victim.seq, set, k) {
-                        continue;
-                    }
-                    // Skip if a newer version lives in the queue.
-                    if self.queue.iter().any(|sg| sg.set(set).contains(k))
-                        || target.set(set).contains(k)
-                    {
-                        continue;
-                    }
-                    if target.insert_at(set, k, s) {
-                        writebacks += 1;
-                    }
-                }
+                self.scan_victim_set(victim, set, now, &mut staged);
             }
         }
+        let writebacks = self.readmit_writebacks(staged, target);
         self.tracker.untrack(victim.seq);
         self.index.on_evict(victim.seq);
         self.dev
@@ -436,6 +592,14 @@ impl CacheEngine for Nemo {
                 self.flush_front(now);
             }
         }
+    }
+
+    fn background_pending(&self) -> bool {
+        Nemo::background_pending(self)
+    }
+
+    fn background_slice(&mut self, now: Nanos) {
+        Nemo::background_slice(self, now);
     }
 }
 
@@ -618,6 +782,98 @@ mod tests {
         let info = r.flush_log.last().expect("flushes happened");
         assert!(info.fill_rate > 0.0 && info.fill_rate <= 1.0);
         assert!(r.index.cache_hits + r.index.cache_misses > 0);
+    }
+
+    /// Demand-fill churn that also paces background slices between
+    /// requests, the way a `nemo-service` worker does.
+    fn churn_with_slices(nemo: &mut Nemo, ops: usize, scale: f64, slices_per_op: u32) {
+        let mut gen = TraceGenerator::new(TraceConfig::twitter_merged(scale));
+        for _ in 0..ops {
+            let r = gen.next_request();
+            if !nemo.get(r.key, Nanos::ZERO).hit {
+                nemo.put(r.key, r.size, Nanos::ZERO);
+            }
+            for _ in 0..slices_per_op {
+                if !nemo.background_pending() {
+                    break;
+                }
+                nemo.background_slice(Nanos::ZERO);
+            }
+        }
+    }
+
+    fn background_cfg() -> NemoConfig {
+        let mut cfg = small_cfg();
+        cfg.background_eviction = true;
+        cfg
+    }
+
+    #[test]
+    fn deferred_eviction_paces_writeback_reads() {
+        let mut n = Nemo::new(background_cfg());
+        churn_with_slices(&mut n, 150_000, 0.0004, 2);
+        let r = n.report();
+        assert!(r.scan_slices > 0, "background slices must have run");
+        assert_eq!(
+            r.forced_scan_finishes, 0,
+            "paced slices should reclaim zones before any flush is starved"
+        );
+        assert!(
+            r.writeback_objects > 0,
+            "staged write-back should re-admit hot objects"
+        );
+        let wa = n.stats().alwa();
+        assert!(
+            (0.8..3.0).contains(&wa),
+            "deferred mode must keep Nemo's WA character, got {wa}"
+        );
+    }
+
+    #[test]
+    fn deferred_eviction_falls_back_to_burst_without_slices() {
+        // Nobody drives background_slice: every flush must force-finish
+        // the scan itself and the cache still works.
+        let mut n = Nemo::new(background_cfg());
+        churn(&mut n, 150_000, 0.0004);
+        let r = n.report();
+        assert!(r.forced_scan_finishes > 0, "burst fallback must engage");
+        assert!(n.stats().evicted_objects > 0, "pool must have wrapped");
+        assert!(n.stats().alwa() < 3.0);
+    }
+
+    #[test]
+    fn deferred_eviction_is_deterministic() {
+        let run = || {
+            let mut n = Nemo::new(background_cfg());
+            churn_with_slices(&mut n, 80_000, 0.0004, 1);
+            n.drain(Nanos::ZERO);
+            n.stats()
+        };
+        assert_eq!(run(), run(), "same sequence must give identical stats");
+    }
+
+    #[test]
+    fn deferred_mode_preserves_read_your_write() {
+        let mut n = Nemo::new(background_cfg());
+        let reqs: Vec<_> = SyntheticInsertTrace::paper_synthetic(1)
+            .take(2000)
+            .collect();
+        for r in &reqs {
+            n.put(r.key, r.size, Nanos::ZERO);
+            if n.background_pending() {
+                n.background_slice(Nanos::ZERO);
+            }
+        }
+        n.drain(Nanos::ZERO);
+        let hits = reqs
+            .iter()
+            .filter(|r| n.get(r.key, Nanos::ZERO).hit)
+            .count();
+        assert!(
+            hits > reqs.len() * 9 / 10,
+            "{hits}/{} should survive deferred flushing",
+            reqs.len()
+        );
     }
 
     #[test]

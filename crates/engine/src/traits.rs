@@ -68,6 +68,28 @@ pub trait CacheEngine: Send {
     /// Forces in-memory buffers to flash (used by tests and at the end of
     /// replay; engines without buffers may ignore it).
     fn drain(&mut self, _now: Nanos) {}
+
+    /// Whether the engine holds deferred background work (e.g. a paced
+    /// eviction scan) that [`Self::background_slice`] could advance.
+    ///
+    /// Engines that do all maintenance inline — every baseline today —
+    /// keep the default `false` and are never sliced.
+    fn background_pending(&self) -> bool {
+        false
+    }
+
+    /// Advances deferred background work by one *bounded* slice at
+    /// virtual time `now` (a handful of device operations at most).
+    ///
+    /// The sharded front-end in `nemo-service` calls this between
+    /// foreground requests so that background flash traffic (Nemo's
+    /// hotness-aware write-back reads, zone reclamation) interleaves with
+    /// request service instead of landing as one burst that foreground
+    /// reads then queue behind — the paper pays for the same pacing with
+    /// dedicated background threads. Call order within a worker is what
+    /// gives foreground operations die-queue priority: they are issued
+    /// first at any given timestamp.
+    fn background_slice(&mut self, _now: Nanos) {}
 }
 
 #[cfg(test)]

@@ -127,6 +127,21 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Median — shorthand for `percentile(0.50)`.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th percentile — shorthand for `percentile(0.99)`.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.99th percentile — shorthand for `percentile(0.9999)`.
+    pub fn p9999(&self) -> u64 {
+        self.percentile(0.9999)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -215,6 +230,17 @@ mod tests {
         }
         assert_eq!(h.count(), 3);
         assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_shorthands_match() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..1000u64 {
+            h.record(v * 100);
+        }
+        assert_eq!(h.p50(), h.percentile(0.50));
+        assert_eq!(h.p99(), h.percentile(0.99));
+        assert_eq!(h.p9999(), h.percentile(0.9999));
     }
 
     #[test]

@@ -20,8 +20,10 @@ mod cdf;
 mod histogram;
 mod series;
 mod wa;
+mod window;
 
 pub use cdf::{DiscreteCdf, SampleCdf};
 pub use histogram::LatencyHistogram;
 pub use series::TimeSeries;
 pub use wa::WaAccount;
+pub use window::LatencyWindow;

@@ -1,0 +1,40 @@
+//! Windowed latency trend samples shared by the replay drivers.
+
+use nemo_flash::Nanos;
+
+/// One latency trend sample (a window's percentiles, in nanoseconds).
+///
+/// Total read latency decomposes as *queueing delay* (time an admitted
+/// request waits before service begins — nonzero only under open-loop
+/// drivers with an in-flight bound, like `nemo_service::openloop`) plus
+/// *service time* (time from service start to completion, including
+/// device die contention). The closed-loop `nemo_sim::Replay` blocks on
+/// every operation, so it has no admission queue: its windows report
+/// `queue_* = 0` and `service_*` equal to the total percentiles.
+/// Percentiles of a sum are not sums of percentiles, so all three
+/// families are recorded independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyWindow {
+    /// Ops completed at the end of this window.
+    pub ops: u64,
+    /// Virtual time at the end of this window.
+    pub at: Nanos,
+    /// Median total read latency (queueing + service).
+    pub p50: u64,
+    /// 99th percentile of total read latency.
+    pub p99: u64,
+    /// 99.99th percentile of total read latency.
+    pub p9999: u64,
+    /// Median queueing delay.
+    pub queue_p50: u64,
+    /// 99th percentile of queueing delay.
+    pub queue_p99: u64,
+    /// 99.99th percentile of queueing delay.
+    pub queue_p9999: u64,
+    /// Median service time.
+    pub service_p50: u64,
+    /// 99th percentile of service time.
+    pub service_p99: u64,
+    /// 99.99th percentile of service time.
+    pub service_p9999: u64,
+}

@@ -19,7 +19,21 @@
 //! `CacheEngine` too, so harnesses like `nemo_sim::Replay` drive a shard
 //! fleet exactly like a single engine.
 //!
+//! Two ways to drive a fleet:
+//!
+//! * **Closed loop** — call [`ShardedCache::get`]/[`ShardedCache::put`]
+//!   (or hand the fleet to `nemo_sim::Replay`); every operation blocks
+//!   on its shard, so the caller itself throttles the offered load.
+//! * **Open loop** — [`openloop::OpenLoopReplay`] admits requests at a
+//!   configured virtual-time arrival rate with a bounded in-flight
+//!   window per shard, completes operations through reply channels
+//!   polled by a completion reactor, and reports queueing delay and
+//!   service time separately. This is how the paper's Fig. 15 latency
+//!   claims are measured here.
+//!
 //! # Examples
+//!
+//! Closed-loop demand fill over four shards:
 //!
 //! ```
 //! use nemo_core::NemoConfig;
@@ -36,9 +50,31 @@
 //! println!("aggregate ALWA {:.2}", report.stats.alwa());
 //! assert_eq!(report.stats.puts, 1000);
 //! ```
+//!
+//! Open-loop replay at 100k req/s of virtual time:
+//!
+//! ```
+//! use nemo_baselines::LogCacheConfig;
+//! use nemo_service::{OpenLoopConfig, OpenLoopReplay};
+//! use nemo_trace::{TraceConfig, TraceGenerator};
+//!
+//! let mut cfg = OpenLoopConfig::new(4_000, 100_000.0);
+//! cfg.shards = 2;
+//! let mut trace = TraceGenerator::new(TraceConfig::twitter_merged(0.0002));
+//! let result = OpenLoopReplay::new(cfg).run(LogCacheConfig::small().factory(), &mut trace);
+//! println!(
+//!     "p99 total {} ns = queueing {} ns behind service {} ns",
+//!     result.latency.p99(),
+//!     result.queueing.p99(),
+//!     result.service.p99()
+//! );
+//! assert!(result.report.stats.gets > 0);
+//! ```
 
+pub mod openloop;
 mod routing;
 mod sharded;
 
+pub use openloop::{OpenLoopConfig, OpenLoopReplay, OpenLoopResult};
 pub use routing::shard_of;
-pub use sharded::{ShardedCache, ShardedCacheBuilder, ShardedReport};
+pub use sharded::{Completion, CompletionKind, ShardedCache, ShardedCacheBuilder, ShardedReport};

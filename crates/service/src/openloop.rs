@@ -1,0 +1,361 @@
+//! Open-loop async replay over the sharded front-end.
+//!
+//! The closed-loop `nemo_sim::Replay` blocks on every get, so the
+//! driver's own waiting throttles the offered load: the engine is never
+//! asked to absorb more than one request at a time and overload can only
+//! show up as a longer run, never as queueing. Production cache fleets —
+//! and the evaluations of Flashield and the FDP flash-cache study — are
+//! measured *open loop* instead: requests arrive on a clock regardless
+//! of how the system is coping, and latency under load includes the time
+//! spent waiting for admission.
+//!
+//! [`OpenLoopReplay`] reproduces that methodology in virtual time.
+//! Requests are admitted at [`OpenLoopConfig::arrival_rate`] and
+//! dispatched to shard workers without blocking per operation; each
+//! shard bounds its outstanding work with an in-flight window
+//! ([`OpenLoopConfig::inflight`]), runs bounded background slices
+//! between requests (so engine maintenance like Nemo's write-back scan
+//! interleaves with service instead of bursting), and reports every
+//! operation's [`Completion`] on a reply channel. A small completion
+//! reactor thread polls those replies and folds them into per-window
+//! and aggregate histograms, keeping **queueing delay** (admission wait,
+//! `start - arrival`) separate from **service time** (`done - start`) —
+//! percentiles of a sum are not sums of percentiles, so both are
+//! recorded independently alongside the total.
+//!
+//! Determinism: arrivals, admission, service, and demand fills are all
+//! functions of the request sequence and virtual time only, and window
+//! aggregation is commutative, so for a fixed trace, rate, and shard
+//! count the result is identical across thread interleavings.
+//!
+//! # Examples
+//!
+//! ```
+//! use nemo_baselines::LogCacheConfig;
+//! use nemo_service::{OpenLoopConfig, OpenLoopReplay};
+//! use nemo_trace::{TraceConfig, TraceGenerator};
+//!
+//! let mut cfg = OpenLoopConfig::new(5_000, 100_000.0);
+//! cfg.shards = 2;
+//! cfg.sample_every = 1_000;
+//! let mut trace = TraceGenerator::new(TraceConfig::twitter_merged(0.0002));
+//! let result = OpenLoopReplay::new(cfg).run(LogCacheConfig::small().factory(), &mut trace);
+//! assert_eq!(result.windows.len(), 5);
+//! assert!(result.report.stats.gets + result.report.stats.puts >= 5_000);
+//! ```
+
+use crate::sharded::{Completion, CompletionKind, ShardedCacheBuilder, ShardedReport};
+use nemo_engine::CacheEngine;
+use nemo_flash::Nanos;
+use nemo_metrics::{LatencyHistogram, LatencyWindow};
+use nemo_trace::{RequestKind, TraceGenerator};
+use std::sync::mpsc::{channel, Receiver};
+use std::thread;
+
+/// Parameters of an open-loop replay.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Total requests to replay.
+    pub ops: u64,
+    /// Open-loop arrival rate in requests/second of virtual time,
+    /// aggregate across all shards.
+    pub arrival_rate: f64,
+    /// Worker shards (one engine and one simulated device each).
+    pub shards: usize,
+    /// Per-shard in-flight window ([`ShardedCacheBuilder::inflight`]).
+    pub inflight: usize,
+    /// Background slices per serviced op
+    /// ([`ShardedCacheBuilder::background_slices`]).
+    pub background_slices: u32,
+    /// Per-shard command-queue depth (wall-clock backpressure on the
+    /// dispatcher; does not affect virtual-time results).
+    pub queue_depth: usize,
+    /// Interval (in ops) between latency trend windows.
+    pub sample_every: u64,
+    /// Requests excluded from the aggregate histograms (cache warm-up).
+    /// Trend windows still cover the full run.
+    pub warmup_ops: u64,
+}
+
+impl OpenLoopConfig {
+    /// A configuration with sensible defaults: one shard, in-flight
+    /// window 16, one background slice per op, 24 trend windows, first
+    /// quarter of the run treated as warm-up. (The experiment presets
+    /// tune these per figure — Fig. 15 runs a 64-deep window.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops == 0` or `arrival_rate` is not positive.
+    pub fn new(ops: u64, arrival_rate: f64) -> Self {
+        assert!(ops > 0, "ops must be positive");
+        assert!(arrival_rate > 0.0, "arrival rate must be positive");
+        Self {
+            ops,
+            arrival_rate,
+            shards: 1,
+            inflight: 16,
+            background_slices: 1,
+            queue_depth: 256,
+            sample_every: (ops / 24).max(1),
+            warmup_ops: ops / 4,
+        }
+    }
+}
+
+/// Everything an open-loop replay produces.
+#[derive(Debug)]
+pub struct OpenLoopResult<E> {
+    /// Final drained state of the shard fleet
+    /// ([`crate::ShardedCache::finish`]).
+    pub report: ShardedReport<E>,
+    /// Total read latency (queueing + service) over the post-warm-up run.
+    pub latency: LatencyHistogram,
+    /// Queueing delay (admission wait) over the post-warm-up run.
+    pub queueing: LatencyHistogram,
+    /// Service time over the post-warm-up run.
+    pub service: LatencyHistogram,
+    /// Windowed read-latency percentiles, total and split.
+    pub windows: Vec<LatencyWindow>,
+    /// Latest virtual completion time observed.
+    pub sim_end: Nanos,
+}
+
+/// The open-loop replay driver. Get misses demand-fill inside the owning
+/// shard worker (fills route to the same shard as their get, so in-worker
+/// filling preserves per-shard order and with it determinism).
+#[derive(Debug, Clone)]
+pub struct OpenLoopReplay {
+    cfg: OpenLoopConfig,
+}
+
+impl OpenLoopReplay {
+    /// Creates a driver.
+    pub fn new(cfg: OpenLoopConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Replays `trace` against a fresh fleet built from `factory`
+    /// (`factory(shard)` builds shard `shard`'s engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration was mutated into an invalid state
+    /// (`ops`, `arrival_rate` or `sample_every` not positive), or if a
+    /// shard worker or the completion reactor panics.
+    pub fn run<E, F>(&self, factory: F, trace: &mut TraceGenerator) -> OpenLoopResult<E>
+    where
+        E: CacheEngine + 'static,
+        F: FnMut(usize) -> E,
+    {
+        let cfg = &self.cfg;
+        // The fields are public (the documented way to tune a config
+        // after `new`), so re-check what the reactor divides by.
+        assert!(cfg.ops > 0, "ops must be positive");
+        assert!(cfg.arrival_rate > 0.0, "arrival rate must be positive");
+        assert!(cfg.sample_every > 0, "sample_every must be positive");
+        let gap = (1e9 / cfg.arrival_rate) as u64;
+        // Sub-nanosecond gaps would collapse every arrival to t=0 (and
+        // rates like INFINITY pass the sign check above).
+        assert!(gap >= 1, "arrival rate above 1e9 req/s is not modelable");
+        let cache = ShardedCacheBuilder::new(cfg.shards)
+            .queue_depth(cfg.queue_depth)
+            .inflight(cfg.inflight)
+            .background_slices(cfg.background_slices)
+            .spawn(factory);
+        let (tx, rx) = channel::<Completion>();
+        let reactor = {
+            let cfg = cfg.clone();
+            thread::Builder::new()
+                .name("openloop-reactor".into())
+                .spawn(move || reactor(rx, &cfg, gap))
+                .expect("spawn completion reactor")
+        };
+        for op in 1..=cfg.ops {
+            let arrival = Nanos(gap * op);
+            let r = trace.next_request();
+            match r.kind {
+                RequestKind::Get => cache.dispatch_get(r.key, r.size, arrival, op, &tx),
+                RequestKind::Put => cache.dispatch_put(r.key, r.size, arrival, op, &tx),
+            }
+        }
+        // Hang up our reply sender; the reactor drains the completions
+        // still in flight and returns once the workers drop theirs.
+        drop(tx);
+        let agg = reactor.join().expect("completion reactor panicked");
+        let report = cache.finish(agg.sim_end);
+        OpenLoopResult {
+            report,
+            latency: agg.total,
+            queueing: agg.queue,
+            service: agg.service,
+            windows: agg.windows,
+            sim_end: agg.sim_end,
+        }
+    }
+}
+
+/// One trend window's live accumulators. Latency histograms record gets
+/// only (like the paper's read latency plots); `done_ops` counts every
+/// completion so the window can be finalized — and its ~178 KB of
+/// histograms freed — as soon as its last op reports in.
+#[derive(Default)]
+struct WindowAccum {
+    total: LatencyHistogram,
+    queue: LatencyHistogram,
+    service: LatencyHistogram,
+    done_ops: u64,
+}
+
+impl WindowAccum {
+    fn finalize(&self, end_op: u64, gap: u64) -> LatencyWindow {
+        LatencyWindow {
+            ops: end_op,
+            at: Nanos(gap * end_op),
+            p50: self.total.p50(),
+            p99: self.total.p99(),
+            p9999: self.total.p9999(),
+            queue_p50: self.queue.p50(),
+            queue_p99: self.queue.p99(),
+            queue_p9999: self.queue.p9999(),
+            service_p50: self.service.p50(),
+            service_p99: self.service.p99(),
+            service_p9999: self.service.p9999(),
+        }
+    }
+}
+
+struct ReactorOutput {
+    total: LatencyHistogram,
+    queue: LatencyHistogram,
+    service: LatencyHistogram,
+    windows: Vec<LatencyWindow>,
+    sim_end: Nanos,
+}
+
+/// The completion reactor: folds completions into per-window and
+/// aggregate histograms. Completions arrive in arbitrary wall-clock
+/// order across shards; windows are keyed by each op's sequence number
+/// and histogram addition commutes, so the aggregates are independent of
+/// that order. Completion skew is bounded (a shard is at most
+/// queue-depth + in-flight ops behind the dispatcher), so only a
+/// handful of windows are live at once regardless of how fine a trend
+/// the caller asks for — each is allocated on first touch and freed the
+/// moment its op count fills.
+fn reactor(rx: Receiver<Completion>, cfg: &OpenLoopConfig, gap: u64) -> ReactorOutput {
+    let window_count = cfg.ops.div_ceil(cfg.sample_every) as usize;
+    let window_end = |i: usize| ((i as u64 + 1) * cfg.sample_every).min(cfg.ops);
+    let window_len = |i: usize| window_end(i) - i as u64 * cfg.sample_every;
+    let mut accums: Vec<Option<Box<WindowAccum>>> = (0..window_count).map(|_| None).collect();
+    let mut windows: Vec<Option<LatencyWindow>> = vec![None; window_count];
+    let mut total = LatencyHistogram::new();
+    let mut queue = LatencyHistogram::new();
+    let mut service = LatencyHistogram::new();
+    let mut sim_end = Nanos::ZERO;
+    for c in rx {
+        sim_end = sim_end.max(c.done);
+        let i = ((c.seq - 1) / cfg.sample_every) as usize;
+        let acc = accums[i].get_or_insert_with(Default::default);
+        acc.done_ops += 1;
+        if let CompletionKind::Get { .. } = c.kind {
+            let (q, s) = (c.queueing(), c.service());
+            acc.total.record(q + s);
+            acc.queue.record(q);
+            acc.service.record(s);
+            if c.seq > cfg.warmup_ops {
+                total.record(q + s);
+                queue.record(q);
+                service.record(s);
+            }
+        }
+        if acc.done_ops == window_len(i) {
+            windows[i] = Some(acc.finalize(window_end(i), gap));
+            accums[i] = None;
+        }
+    }
+    // Any window not filled (possible only if a worker died mid-run)
+    // finalizes from whatever it accumulated — empty histograms report 0.
+    let windows = windows
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| {
+            w.unwrap_or_else(|| {
+                accums[i]
+                    .take()
+                    .unwrap_or_default()
+                    .finalize(window_end(i), gap)
+            })
+        })
+        .collect();
+    ReactorOutput {
+        total,
+        queue,
+        service,
+        windows,
+        sim_end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemo_baselines::LogCacheConfig;
+    use nemo_trace::TraceConfig;
+
+    fn trace() -> TraceGenerator {
+        TraceGenerator::new(TraceConfig::twitter_merged(0.0002))
+    }
+
+    #[test]
+    fn openloop_collects_windows_and_split() {
+        let mut cfg = OpenLoopConfig::new(20_000, 200_000.0);
+        cfg.shards = 2;
+        cfg.sample_every = 5_000;
+        cfg.warmup_ops = 0;
+        let r = OpenLoopReplay::new(cfg).run(LogCacheConfig::small().factory(), &mut trace());
+        assert_eq!(r.windows.len(), 4);
+        assert!(r.latency.count() > 0);
+        assert_eq!(r.latency.count(), r.queueing.count());
+        assert_eq!(r.latency.count(), r.service.count());
+        assert!(r.sim_end > Nanos::ZERO);
+        for w in &r.windows {
+            assert!(w.p99 >= w.service_p99.max(w.queue_p99) || w.p99 == 0);
+        }
+        // Every dispatched op reached an engine.
+        assert!(r.report.stats.gets + r.report.stats.puts >= 20_000);
+    }
+
+    #[test]
+    fn overload_shows_up_as_queueing_not_lost_ops() {
+        // One die and a ruinous arrival rate: the device cannot keep up,
+        // so queueing delay must dominate total latency while every
+        // request is still serviced.
+        use nemo_baselines::LogCacheConfig as C;
+        use nemo_flash::{Geometry, LatencyModel};
+        let lcfg = C {
+            geometry: Geometry::new(4096, 64, 8, 1),
+            latency: LatencyModel::default(),
+        };
+        let mut cfg = OpenLoopConfig::new(30_000, 1_000_000.0);
+        cfg.inflight = 4;
+        cfg.warmup_ops = 0;
+        let r = OpenLoopReplay::new(cfg).run(lcfg.factory(), &mut trace());
+        assert!(r.report.stats.gets + r.report.stats.puts >= 30_000);
+        assert!(
+            r.queueing.p99() > r.service.p99(),
+            "overload must surface as queueing ({} ns) above service ({} ns)",
+            r.queueing.p99(),
+            r.service.p99()
+        );
+    }
+
+    #[test]
+    fn warmup_trims_aggregate_but_not_windows() {
+        let mut cfg = OpenLoopConfig::new(10_000, 100_000.0);
+        cfg.sample_every = 2_500;
+        cfg.warmup_ops = 5_000;
+        let r = OpenLoopReplay::new(cfg).run(LogCacheConfig::small().factory(), &mut trace());
+        assert_eq!(r.windows.len(), 4);
+        let gets = r.report.stats.gets;
+        assert!(r.latency.count() < gets, "warm-up must be excluded");
+    }
+}

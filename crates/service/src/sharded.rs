@@ -10,6 +10,53 @@ use std::thread::{Builder as ThreadBuilder, JoinHandle};
 /// One buffered fire-and-forget put: `(key, size, now)`.
 type BufferedPut = (u64, u32, Nanos);
 
+/// What a timed (open-loop) operation was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionKind {
+    /// A lookup; `hit` is the outcome. On a miss the worker also ran the
+    /// demand fill, which is backing-store work and not part of the
+    /// client-visible latency.
+    Get {
+        /// Whether the lookup hit.
+        hit: bool,
+    },
+    /// An insert.
+    Put,
+}
+
+/// Completion record of one timed (open-loop) operation, sent on the
+/// reply channel passed to [`ShardedCache::dispatch_get`] /
+/// [`ShardedCache::dispatch_put`].
+///
+/// All times are virtual: `arrival ≤ start ≤ done`. Queueing delay is
+/// `start - arrival` (admission wait behind the shard's in-flight
+/// window), service time is `done - start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Caller-chosen sequence number (e.g. the global op index).
+    pub seq: u64,
+    /// Open-loop arrival time of the request.
+    pub arrival: Nanos,
+    /// Virtual time service began.
+    pub start: Nanos,
+    /// Virtual completion time.
+    pub done: Nanos,
+    /// Operation kind and outcome.
+    pub kind: CompletionKind,
+}
+
+impl Completion {
+    /// Queueing delay in nanoseconds (`start - arrival`).
+    pub fn queueing(&self) -> u64 {
+        self.start.saturating_sub(self.arrival).0
+    }
+
+    /// Service time in nanoseconds (`done - start`).
+    pub fn service(&self) -> u64 {
+        self.done.saturating_sub(self.start).0
+    }
+}
+
 /// A request dispatched to a shard worker. Reply channels carry the
 /// result back for the synchronous operations; batched puts have none.
 enum Command {
@@ -25,6 +72,23 @@ enum Command {
         reply: Sender<Nanos>,
     },
     PutBatch(Vec<BufferedPut>),
+    /// Open-loop lookup with demand fill: admitted through the shard's
+    /// in-flight window, filled on miss at the completion time.
+    TimedGet {
+        key: u64,
+        fill_size: u32,
+        arrival: Nanos,
+        seq: u64,
+        reply: Sender<Completion>,
+    },
+    /// Open-loop insert, admitted through the same window.
+    TimedPut {
+        key: u64,
+        size: u32,
+        arrival: Nanos,
+        seq: u64,
+        reply: Sender<Completion>,
+    },
     Drain {
         now: Nanos,
         reply: Sender<()>,
@@ -60,11 +124,14 @@ pub struct ShardedCacheBuilder {
     shards: usize,
     queue_depth: usize,
     batch_capacity: usize,
+    inflight: usize,
+    background_slices: u32,
 }
 
 impl ShardedCacheBuilder {
     /// A front-end with `shards` worker threads and default tuning
-    /// (queue depth 256, put-batch capacity 64).
+    /// (queue depth 256, put-batch capacity 64, in-flight window 16, one
+    /// background slice per timed op).
     ///
     /// # Panics
     ///
@@ -75,6 +142,8 @@ impl ShardedCacheBuilder {
             shards,
             queue_depth: 256,
             batch_capacity: 64,
+            inflight: 16,
+            background_slices: 1,
         }
     }
 
@@ -101,6 +170,36 @@ impl ShardedCacheBuilder {
         self
     }
 
+    /// Per-shard in-flight window for timed (open-loop) operations: a
+    /// request arriving at virtual time `a` begins service at `a` if
+    /// fewer than `k` operations are outstanding, else at the earliest
+    /// outstanding completion time — at most `k` operations are in
+    /// flight on the shard at any virtual instant, and admission wait
+    /// beyond that is reported as queueing delay. Synchronous
+    /// [`ShardedCache::get`]/[`ShardedCache::put`] bypass the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn inflight(mut self, k: usize) -> Self {
+        assert!(k > 0, "in-flight window must be positive");
+        self.inflight = k;
+        self
+    }
+
+    /// Background-work slices a worker runs after each timed operation
+    /// ([`nemo_engine::CacheEngine::background_slice`]), interleaving
+    /// deferred engine maintenance (e.g. Nemo's write-back scan) with
+    /// request service in bounded doses. `0` disables slicing; engines
+    /// then fall back to doing the work inline in bursts.
+    ///
+    /// Slices are tied to the command stream (never to worker idleness),
+    /// so results stay deterministic across thread interleavings.
+    pub fn background_slices(mut self, slices: u32) -> Self {
+        self.background_slices = slices;
+        self
+    }
+
     /// Spawns the workers. `factory(shard)` builds the engine owned by
     /// worker `shard`; it runs on the calling thread, so it needs no
     /// `Send`/`Sync` bounds of its own — only the engines move.
@@ -117,9 +216,13 @@ impl ShardedCacheBuilder {
             name = engine.name();
             let (tx, rx) = sync_channel(self.queue_depth);
             senders.push(tx);
+            let tuning = WorkerTuning {
+                inflight: self.inflight,
+                background_slices: self.background_slices,
+            };
             let handle = ThreadBuilder::new()
                 .name(format!("{name}-shard-{shard}"))
-                .spawn(move || run_worker(engine, rx))
+                .spawn(move || run_worker(engine, rx, tuning))
                 .expect("spawn shard worker");
             workers.push(handle);
         }
@@ -133,9 +236,63 @@ impl ShardedCacheBuilder {
     }
 }
 
+/// Per-worker knobs for the timed (open-loop) path.
+#[derive(Debug, Clone, Copy)]
+struct WorkerTuning {
+    inflight: usize,
+    background_slices: u32,
+}
+
+/// Virtual-time admission window of one shard: completion times of the
+/// `inflight` most recently admitted timed operations. When the window
+/// is full, a new operation starts no earlier than the *earliest* of
+/// those completions — the first slot to free — so at most `inflight`
+/// requests are outstanding on the shard at any virtual instant and any
+/// wait beyond that shows up as queueing delay. (Completions can finish
+/// out of admission order: a buffered-memory hit returns at its start
+/// time while an earlier multi-page miss is still reading, so a min-pop
+/// is what "a slot frees" actually means.)
+struct InflightWindow {
+    /// Min-heap of outstanding completion times.
+    slots: std::collections::BinaryHeap<std::cmp::Reverse<Nanos>>,
+    inflight: usize,
+}
+
+impl InflightWindow {
+    fn new(inflight: usize) -> Self {
+        Self {
+            slots: std::collections::BinaryHeap::with_capacity(inflight),
+            inflight,
+        }
+    }
+
+    /// Earliest virtual time a request arriving at `arrival` may start.
+    fn admit(&mut self, arrival: Nanos) -> Nanos {
+        if self.slots.len() == self.inflight {
+            let std::cmp::Reverse(freed) = self.slots.pop().expect("window is full");
+            arrival.max(freed)
+        } else {
+            arrival
+        }
+    }
+
+    /// Records a started operation's completion time.
+    fn complete(&mut self, done: Nanos) {
+        self.slots.push(std::cmp::Reverse(done));
+    }
+}
+
 /// Shard worker loop: applies commands in arrival order until the
 /// front-end hangs up, then hands the engine back through the join.
-fn run_worker<E: CacheEngine>(mut engine: E, rx: Receiver<Command>) -> E {
+///
+/// Timed commands additionally run up to `tuning.background_slices`
+/// bounded slices of deferred engine maintenance *after* the foreground
+/// operation — foreground first in call order means foreground flash
+/// operations claim the device dies first at any given timestamp, and
+/// tying slices to the command stream (never to wall-clock idleness)
+/// keeps results deterministic across thread interleavings.
+fn run_worker<E: CacheEngine>(mut engine: E, rx: Receiver<Command>, tuning: WorkerTuning) -> E {
+    let mut window = InflightWindow::new(tuning.inflight);
     for cmd in rx {
         // Reply sends only fail if the requester gave up waiting (it
         // never does today); the engine transition already happened, so
@@ -157,6 +314,50 @@ fn run_worker<E: CacheEngine>(mut engine: E, rx: Receiver<Command>) -> E {
                     engine.put(key, size, now);
                 }
             }
+            Command::TimedGet {
+                key,
+                fill_size,
+                arrival,
+                seq,
+                reply,
+            } => {
+                let start = window.admit(arrival);
+                let out = engine.get(key, start);
+                let done = out.done_at;
+                if !out.hit {
+                    // Demand fill at the miss's completion time; backing
+                    // store work, not client-visible latency.
+                    engine.put(key, fill_size, done);
+                }
+                window.complete(done);
+                run_background(&mut engine, done, tuning.background_slices);
+                let _ = reply.send(Completion {
+                    seq,
+                    arrival,
+                    start,
+                    done,
+                    kind: CompletionKind::Get { hit: out.hit },
+                });
+            }
+            Command::TimedPut {
+                key,
+                size,
+                arrival,
+                seq,
+                reply,
+            } => {
+                let start = window.admit(arrival);
+                let done = engine.put(key, size, start);
+                window.complete(done);
+                run_background(&mut engine, done, tuning.background_slices);
+                let _ = reply.send(Completion {
+                    seq,
+                    arrival,
+                    start,
+                    done,
+                    kind: CompletionKind::Put,
+                });
+            }
             Command::Drain { now, reply } => {
                 engine.drain(now);
                 let _ = reply.send(());
@@ -170,6 +371,16 @@ fn run_worker<E: CacheEngine>(mut engine: E, rx: Receiver<Command>) -> E {
         }
     }
     engine
+}
+
+/// Runs up to `slices` bounded background slices at `now`.
+fn run_background<E: CacheEngine>(engine: &mut E, now: Nanos, slices: u32) {
+    for _ in 0..slices {
+        if !engine.background_pending() {
+            break;
+        }
+        engine.background_slice(now);
+    }
 }
 
 /// Final state of a sharded run, produced by [`ShardedCache::finish`].
@@ -298,6 +509,62 @@ impl<E: CacheEngine + 'static> ShardedCache<E> {
             },
         );
         rx.recv().expect("shard worker alive")
+    }
+
+    /// Dispatches an open-loop lookup (with demand fill on miss) to the
+    /// owning shard *without blocking on the result*: the worker admits
+    /// the request through its in-flight window
+    /// ([`ShardedCacheBuilder::inflight`]), services it, interleaves
+    /// bounded background slices, and sends a [`Completion`] on `reply`.
+    /// Poll the receiving end from a completion reactor;
+    /// `crate::openloop` provides one.
+    ///
+    /// Buffered fire-and-forget puts for the shard are shipped first, so
+    /// the lookup observes every put dispatched before it.
+    pub fn dispatch_get(
+        &self,
+        key: u64,
+        fill_size: u32,
+        arrival: Nanos,
+        seq: u64,
+        reply: &Sender<Completion>,
+    ) {
+        let shard = self.shard_of(key);
+        self.flush_shard(shard);
+        self.send(
+            shard,
+            Command::TimedGet {
+                key,
+                fill_size,
+                arrival,
+                seq,
+                reply: reply.clone(),
+            },
+        );
+    }
+
+    /// Dispatches an open-loop insert to the owning shard without
+    /// blocking; the counterpart of [`Self::dispatch_get`].
+    pub fn dispatch_put(
+        &self,
+        key: u64,
+        size: u32,
+        arrival: Nanos,
+        seq: u64,
+        reply: &Sender<Completion>,
+    ) {
+        let shard = self.shard_of(key);
+        self.flush_shard(shard);
+        self.send(
+            shard,
+            Command::TimedPut {
+                key,
+                size,
+                arrival,
+                seq,
+                reply: reply.clone(),
+            },
+        );
     }
 
     /// Fire-and-forget insert: buffered locally and shipped to the owning

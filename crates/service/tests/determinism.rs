@@ -5,7 +5,8 @@
 use nemo_core::{Nemo, NemoConfig};
 use nemo_engine::EngineStats;
 use nemo_flash::{Geometry, Nanos};
-use nemo_service::{shard_of, ShardedCache, ShardedCacheBuilder};
+use nemo_metrics::LatencyWindow;
+use nemo_service::{shard_of, OpenLoopConfig, OpenLoopReplay, ShardedCache, ShardedCacheBuilder};
 use nemo_trace::{RequestKind, TraceConfig, TraceGenerator};
 
 const FLASH_MB: u32 = 24;
@@ -116,6 +117,44 @@ fn sharded_equals_sequential_per_shard_replay() {
         "per-shard counters diverged"
     );
     assert_eq!(concurrent.stats, EngineStats::merge_all(&sequential));
+}
+
+#[test]
+fn openloop_runs_are_bit_identical() {
+    // The open-loop driver adds arrival timing, per-shard in-flight
+    // admission, in-worker demand fills, deferred background eviction
+    // slices and a completion reactor — none of which may let wall-clock
+    // interleaving leak into the results. Same trace + rate + shard
+    // count must give identical op counts, hit ratios, and window
+    // aggregates; the queue depth only changes wall-clock backpressure.
+    let run = |queue_depth: usize| -> (EngineStats, Vec<LatencyWindow>, [u64; 3]) {
+        let mut cfg = OpenLoopConfig::new(120_000, 50_000.0);
+        cfg.shards = 4;
+        cfg.inflight = 8;
+        cfg.queue_depth = queue_depth;
+        cfg.sample_every = 20_000;
+        cfg.warmup_ops = 30_000;
+        let mut bg = nemo_config();
+        bg.background_eviction = true;
+        let r = OpenLoopReplay::new(cfg).run(bg.factory(), &mut trace());
+        (
+            r.report.stats,
+            r.windows,
+            [r.latency.p9999(), r.queueing.p9999(), r.service.p9999()],
+        )
+    };
+    let (stats, windows, tails) = run(256);
+    for depth in [2usize, 1024] {
+        let (s, w, t) = run(depth);
+        assert_eq!(s, stats, "op counts/hit counters diverged at depth {depth}");
+        assert_eq!(
+            s.miss_ratio().to_bits(),
+            stats.miss_ratio().to_bits(),
+            "hit ratio diverged at depth {depth}"
+        );
+        assert_eq!(w, windows, "window aggregates diverged at depth {depth}");
+        assert_eq!(t, tails, "tail percentiles diverged at depth {depth}");
+    }
 }
 
 #[test]

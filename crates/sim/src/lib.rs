@@ -1,7 +1,14 @@
-//! Trace-replay harness: drives any [`CacheEngine`] with a workload under
-//! an open-loop virtual clock and collects everything the paper's
-//! evaluation reports — WA (cumulative and trended), miss-ratio trends,
-//! windowed latency percentiles and flash-write rates.
+//! Trace-replay harness: drives any [`CacheEngine`] with a workload on a
+//! paced virtual clock and collects everything the paper's evaluation
+//! reports — WA (cumulative and trended), miss-ratio trends, windowed
+//! latency percentiles and flash-write rates.
+//!
+//! This driver is **closed loop**: it blocks on every operation, so the
+//! offered load can never exceed what the engine absorbs and overload
+//! shows up as a longer run rather than as queueing. That is the right
+//! tool for WA and miss-ratio experiments; for latency under offered
+//! load use `nemo-service`'s open-loop driver, which admits requests at
+//! the arrival rate regardless and reports queueing delay separately.
 //!
 //! # Examples
 //!
@@ -20,6 +27,7 @@
 use nemo_engine::{CacheEngine, EngineStats};
 use nemo_flash::{Geometry, Nanos};
 use nemo_metrics::LatencyHistogram;
+pub use nemo_metrics::LatencyWindow;
 use nemo_trace::{RequestKind, TraceGenerator};
 
 /// Replay parameters.
@@ -27,7 +35,8 @@ use nemo_trace::{RequestKind, TraceGenerator};
 pub struct ReplayConfig {
     /// Total requests to replay.
     pub ops: u64,
-    /// Open-loop arrival rate in requests/second of virtual time.
+    /// Paced arrival rate in requests/second of virtual time (the
+    /// driver still blocks on each op; see the crate docs).
     pub arrival_rate: f64,
     /// Interval (in ops) between trend samples.
     pub sample_every: u64,
@@ -47,21 +56,6 @@ impl ReplayConfig {
             warmup_ops: 0,
         }
     }
-}
-
-/// One latency trend sample (a window's percentiles, in nanoseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LatencyWindow {
-    /// Ops completed at the end of this window.
-    pub ops: u64,
-    /// Virtual time at the end of this window.
-    pub at: Nanos,
-    /// Median read latency.
-    pub p50: u64,
-    /// 99th percentile.
-    pub p99: u64,
-    /// 99.99th percentile.
-    pub p9999: u64,
 }
 
 /// Everything a replay produces.
@@ -155,12 +149,24 @@ impl Replay {
                 ));
                 let minutes = now.as_secs_f64() / 60.0;
                 write_rate_series.push((minutes, d_flash as f64 / (1024.0 * 1024.0)));
+                // Closed loop: no admission queue, so service == total.
+                let (p50, p99, p9999) = (
+                    window_latency.p50(),
+                    window_latency.p99(),
+                    window_latency.p9999(),
+                );
                 latency_windows.push(LatencyWindow {
                     ops: op,
                     at: now,
-                    p50: window_latency.percentile(0.50),
-                    p99: window_latency.percentile(0.99),
-                    p9999: window_latency.percentile(0.9999),
+                    p50,
+                    p99,
+                    p9999,
+                    queue_p50: 0,
+                    queue_p99: 0,
+                    queue_p9999: 0,
+                    service_p50: p50,
+                    service_p99: p99,
+                    service_p9999: p9999,
                 });
                 window_latency.reset();
                 last = Snapshot {
@@ -224,6 +230,11 @@ mod tests {
         assert_eq!(r.wa_series.len(), 20);
         assert_eq!(r.miss_series.len(), 20);
         assert_eq!(r.latency_windows.len(), 20);
+        for w in &r.latency_windows {
+            // Closed loop: no admission queueing; service time is total.
+            assert_eq!(w.queue_p99, 0);
+            assert_eq!(w.service_p99, w.p99);
+        }
         assert!(r.sim_end > Nanos::ZERO);
         assert!(r.stats.gets + r.stats.puts >= 10_000);
     }

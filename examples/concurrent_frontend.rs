@@ -11,6 +11,11 @@
 //! (an undrained Nemo under-reports WA: its in-memory SGs haven't hit
 //! flash yet).
 //!
+//! This is the *closed-loop* way to drive a fleet (every get blocks on
+//! its shard). For latency measurement under offered load — bounded
+//! in-flight windows, queueing vs service split — see the open-loop
+//! driver in `twitter_replay` and `nemo_service::OpenLoopReplay`.
+//!
 //! ```text
 //! cargo run --release --example concurrent_frontend [--smoke]
 //! ```
