@@ -398,17 +398,20 @@ impl FairyWren {
         let addr = self.hset.location(set)?;
         let (bytes, done) = self.dev.read_pages(addr, 1, now).expect("set read");
         self.stats.flash_bytes_read += bytes.len() as u64;
+        self.stats.candidate_reads += 1;
         if codec::find_payload(&bytes, key).is_some() {
             Some(GetOutcome {
                 hit: true,
                 done_at: done,
                 flash_reads: 1,
+                set_reads: 1,
             })
         } else {
             Some(GetOutcome {
                 hit: false,
                 done_at: done,
                 flash_reads: 1,
+                set_reads: 1,
             })
         }
     }
@@ -431,10 +434,12 @@ impl CacheEngine for FairyWren {
                 Some(addr) => {
                     let (bytes, done) = self.dev.read_pages(addr, 1, now).expect("log page read");
                     self.stats.flash_bytes_read += bytes.len() as u64;
+                    self.stats.candidate_reads += 1;
                     GetOutcome {
                         hit: true,
                         done_at: done,
                         flash_reads: 1,
+                        set_reads: 1,
                     }
                 }
             };
@@ -464,6 +469,7 @@ impl CacheEngine for FairyWren {
                         hit: true,
                         done_at: latest,
                         flash_reads: reads,
+                        set_reads: reads,
                     };
                 }
             }
@@ -472,6 +478,7 @@ impl CacheEngine for FairyWren {
             hit: false,
             done_at: latest,
             flash_reads: reads,
+            set_reads: reads,
         }
     }
 

@@ -250,10 +250,12 @@ impl CacheEngine for Kangaroo {
                 Some(addr) => {
                     let (bytes, done) = self.dev.read_pages(addr, 1, now).expect("log page read");
                     self.stats.flash_bytes_read += bytes.len() as u64;
+                    self.stats.candidate_reads += 1;
                     GetOutcome {
                         hit: true,
                         done_at: done,
                         flash_reads: 1,
+                        set_reads: 1,
                     }
                 }
             };
@@ -267,18 +269,21 @@ impl CacheEngine for Kangaroo {
         };
         let (bytes, done) = self.dev.read_pages(addr, 1, now).expect("set read");
         self.stats.flash_bytes_read += bytes.len() as u64;
+        self.stats.candidate_reads += 1;
         if codec::find_payload(&bytes, key).is_some() {
             self.stats.hits += 1;
             GetOutcome {
                 hit: true,
                 done_at: done,
                 flash_reads: 1,
+                set_reads: 1,
             }
         } else {
             GetOutcome {
                 hit: false,
                 done_at: done,
                 flash_reads: 1,
+                set_reads: 1,
             }
         }
     }

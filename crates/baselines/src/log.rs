@@ -160,6 +160,7 @@ impl CacheEngine for LogCache {
             .read_pages(entry.addr, 1, now)
             .expect("indexed page must be readable");
         self.stats.flash_bytes_read += page.len() as u64;
+        self.stats.candidate_reads += 1;
         debug_assert!(
             nemo_engine::codec::find_payload(&page, key).is_some(),
             "exact index pointed at a page without the object"
@@ -169,6 +170,7 @@ impl CacheEngine for LogCache {
             hit: true,
             done_at: done,
             flash_reads: 1,
+            set_reads: 1,
         }
     }
 

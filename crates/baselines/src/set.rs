@@ -122,12 +122,14 @@ impl CacheEngine for SetCache {
         }
         let (page, done) = self.dev.read_page(set, now).expect("set read");
         self.stats.flash_bytes_read += page.len() as u64;
+        self.stats.candidate_reads += 1;
         if codec::find_payload(&page, key).is_some() {
             self.stats.hits += 1;
             GetOutcome {
                 hit: true,
                 done_at: done,
                 flash_reads: 1,
+                set_reads: 1,
             }
         } else {
             // Bloom false positive: one wasted flash read.
@@ -135,6 +137,7 @@ impl CacheEngine for SetCache {
                 hit: false,
                 done_at: done,
                 flash_reads: 1,
+                set_reads: 1,
             }
         }
     }

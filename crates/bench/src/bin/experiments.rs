@@ -3,12 +3,17 @@
 //! Usage:
 //!
 //! ```text
-//! experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K]
+//! experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K] [--smoke]
 //!
 //! ids: fig4 fig5 fig6 fig8 fig12a fig12b fig13 fig14 fig15 fig16
-//!      fig17 fig18 fig19a fig19b table5 table6 motivation
-//!      read_amplification appendix_a ablation sharded openloop all
+//!      fig17 fig18 fig19a fig19b table5 table6 motivation breakdown
+//!      read_cost sensitivity wave_sweep read_amplification appendix_a
+//!      ablation sharded openloop all
 //! ```
+//!
+//! `--smoke` shrinks the device and op counts so an experiment
+//! exercises its full code path in seconds (the CI smoke job runs the
+//! `wave_sweep` sensitivity sweep this way on every push).
 //!
 //! `openloop` replays the merged trace open loop through the sharded
 //! `nemo-service` front-end for all five systems: `--rate` sets the
@@ -21,10 +26,10 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K]\n\
+        "usage: experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K] [--smoke]\n\
          ids: fig4 fig5 fig6 fig8 fig12a fig12b fig13 fig14 fig15 fig16 fig17 fig18\n\
-         \x20     fig19a fig19b table5 table6 motivation read_amplification appendix_a\n\
-         \x20     ablation sharded openloop all"
+         \x20     fig19a fig19b table5 table6 motivation breakdown read_cost sensitivity\n\
+         \x20     wave_sweep read_amplification appendix_a ablation sharded openloop all"
     );
     std::process::exit(2);
 }
@@ -37,8 +42,12 @@ fn main() {
     let id = args[0].clone();
     let mut scale = RunScale::default();
     let mut shards = 4usize;
-    let mut rate = 40_000.0f64;
+    // Aggregate across shards: 16k per shard at the default fleet of 4,
+    // above the 16k *total* ceiling the pre-stale-filter read path
+    // could sustain on one shard.
+    let mut rate = 64_000.0f64;
     let mut inflight = 32usize;
+    let mut smoke = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -80,9 +89,16 @@ fn main() {
                     .filter(|&s| s > 0)
                     .unwrap_or_else(|| usage());
             }
+            "--smoke" => smoke = true,
             _ => usage(),
         }
         i += 1;
+    }
+    if smoke {
+        // Full code paths, toy scale: a 24 MB device and a quarter of
+        // the usual op counts keep any single experiment in CI seconds.
+        scale.flash_mb = scale.flash_mb.min(24);
+        scale.ops_mult *= 0.25;
     }
     println!(
         "# nemo experiments: {id} (flash {} MB, ops multiplier {})",
@@ -109,6 +125,10 @@ fn main() {
         }
         "fig19a" => sensitivity::fig19a(scale),
         "fig19b" => sensitivity::fig19b(scale),
+        "breakdown" => breakdown::all(scale),
+        "read_cost" => breakdown::read_cost(scale),
+        "sensitivity" => sensitivity::all(scale),
+        "wave_sweep" => sensitivity::wave_cap_sweep(scale),
         "table5" => overhead::table5(scale),
         "table6" => overhead::table6(scale),
         "read_amplification" => overhead::read_amplification(scale),

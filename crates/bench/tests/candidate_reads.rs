@@ -1,0 +1,116 @@
+//! Steady-state regression for the staged get path: on the 96 MB
+//! Fig. 15 geometry, stale copies of updated hot keys accumulate across
+//! pooled SGs, and before stale-version filtering the per-get candidate
+//! set reads grew from ~1 page on a young pool to ~6+ once eviction
+//! reached steady state (the late-run p99 drift in Fig. 15). With the
+//! supersede filter, the newest-first candidate cap, and staged wave
+//! reads, the aged-pool cost must stay at or below 2 set reads per get
+//! — without perturbing what the cache stores (hit ratio, ALWA, DLWA).
+
+use nemo_bench::common::drive;
+use nemo_bench::RunScale;
+use nemo_core::Nemo;
+use nemo_engine::{CacheEngine, EngineStats};
+
+/// Drives `fills` cache turnovers at the Fig. 15 scale and samples the
+/// cumulative (candidate_reads, gets) at each quarter of the run.
+fn run(staged: bool, scale: RunScale, ops: u64) -> (EngineStats, Vec<(u64, u64)>) {
+    let mut cfg = scale.nemo_config();
+    if !staged {
+        cfg.disable_read_staging();
+    }
+    let mut nemo = Nemo::new(cfg);
+    let mut marks = Vec::new();
+    drive(
+        &mut nemo,
+        &mut scale.merged_trace(),
+        ops,
+        (ops / 4).max(1),
+        |e, _| {
+            let s = e.stats();
+            marks.push((s.candidate_reads, s.gets));
+        },
+    );
+    (nemo.stats(), marks)
+}
+
+/// Candidate reads per get over the interval between two cumulative
+/// samples.
+fn per_get(from: (u64, u64), to: (u64, u64)) -> f64 {
+    let gets = to.1 - from.1;
+    if gets == 0 {
+        0.0
+    } else {
+        (to.0 - from.0) as f64 / gets as f64
+    }
+}
+
+#[test]
+fn aged_pool_candidate_reads_stay_bounded_on_fig15_geometry() {
+    let scale = RunScale {
+        flash_mb: 96,
+        ops_mult: 1.0,
+        dies: 8,
+    };
+    // 1.75 turnovers: the pool wraps well before the half-way mark, so
+    // the last quarter measures genuine steady-state eviction churn.
+    let ops = scale.ops_for_fills(1.75);
+    let (staged, marks) = run(true, scale, ops);
+    assert!(
+        staged.evicted_objects > 0,
+        "pool never wrapped — run too short to age the pool"
+    );
+
+    // Young pool (first quarter): roughly one candidate read per get.
+    let young = per_get((0, 0), marks[0]);
+    assert!(
+        young < 1.5,
+        "young-pool candidate reads/get {young:.2} already degenerate"
+    );
+    // Aged pool (fourth quarter, marks[2] -> marks[3]): the ISSUE's
+    // acceptance bound. `drive` appends one extra sample at `op == ops`
+    // when `ops` is not divisible by 4, so index from the front — the
+    // trailing partial interval can span as little as one op. Without
+    // the supersede filter + cap this quarter measured ~6-12 on this
+    // geometry.
+    assert!(marks.len() >= 4, "expected quarterly samples");
+    let aged = per_get(marks[2], marks[3]);
+    assert!(
+        aged <= 2.0,
+        "aged-pool candidate set-reads/get {aged:.2} exceed the 2-read bound"
+    );
+    // Whole-run mean too, for good measure.
+    assert!(
+        staged.candidate_reads_per_get() <= 2.0,
+        "mean candidate reads/get {:.2} exceed the bound",
+        staged.candidate_reads_per_get()
+    );
+
+    // A/B against the legacy burst path on the same trace: filtering
+    // stale candidates must not change what the cache stores.
+    let (burst, burst_marks) = run(false, scale, ops);
+    assert!(burst_marks.len() >= 4, "expected quarterly samples");
+    let burst_aged = per_get(burst_marks[2], burst_marks[3]);
+    assert!(
+        burst_aged > aged,
+        "burst path should age worse than the staged path \
+         (burst {burst_aged:.2} vs staged {aged:.2})"
+    );
+    let hr_staged = staged.hits as f64 / staged.gets as f64;
+    let hr_burst = burst.hits as f64 / burst.gets as f64;
+    assert!(
+        (hr_staged - hr_burst).abs() < 0.005,
+        "hit ratio must be unchanged: staged {hr_staged:.4} vs burst {hr_burst:.4}"
+    );
+    let alwa_delta = (staged.alwa() - burst.alwa()).abs() / burst.alwa();
+    assert!(
+        alwa_delta < 0.03,
+        "ALWA must be unchanged: staged {:.3} vs burst {:.3}",
+        staged.alwa(),
+        burst.alwa()
+    );
+    // Zoned devices have DLWA = 1 by construction; both paths must
+    // preserve that (device writes == application writes).
+    assert_eq!(staged.nand_bytes_written, staged.flash_bytes_written);
+    assert_eq!(burst.nand_bytes_written, burst.flash_bytes_written);
+}

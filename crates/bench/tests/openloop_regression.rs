@@ -6,9 +6,12 @@
 //! admitting the workaround: any faster and foreground reads queued
 //! behind the write-back read bursts inside `flush_front`, so the
 //! "latency trend" silently depended on the driver never offering real
-//! load. With the scan paced in bounded background slices, a rate 1.5x
+//! load. With the scan paced in bounded background slices (PR 3) *and*
+//! candidate reads staged behind the supersede filter (so aged-pool
+//! gets cost ~1 set read instead of one per stale copy), a rate 2.5x
 //! that cap must show no divergence — queueing near zero, p50 pinned at
-//! one flash read, and no window drifting upward over the run.
+//! one flash read, candidate reads bounded, and no window drifting
+//! upward over the run.
 
 use nemo_bench::RunScale;
 use nemo_service::{OpenLoopConfig, OpenLoopReplay};
@@ -24,8 +27,13 @@ fn fig15_path_holds_above_old_pacing_cap() {
         ops_mult: 1.0,
         dies: 32,
     };
-    let ops = scale.ops_for_fills(3.0); // well past pool-full, steady-state eviction
-    let mut cfg = OpenLoopConfig::new(ops, 1.5 * OLD_PACING_CAP);
+    // Well past pool-full, into steady-state eviction.
+    let ops = scale.ops_for_fills(3.0);
+    // 2.5x the old cap: the 1.5x the deferred-eviction PR held, plus
+    // the extra read headroom stale-version filtering buys (Fig. 15's
+    // default rate rose from 16k to 24k on the 64-die geometry for the
+    // same reason).
+    let mut cfg = OpenLoopConfig::new(ops, 2.5 * OLD_PACING_CAP);
     cfg.inflight = 32;
     cfg.sample_every = (ops / 12).max(1);
     cfg.warmup_ops = ops / 4;
@@ -62,7 +70,10 @@ fn fig15_path_holds_above_old_pacing_cap() {
     );
 
     // And the trend must not drift upward: every post-warm-up window's
-    // median stays flash-scale to the end of the run.
+    // median stays flash-scale to the end of the run, and its per-get
+    // candidate read cost stays near one set read (the staged path's
+    // invariant — before stale-version filtering this drifted toward
+    // one read per accumulated stale copy).
     for w in r.windows.iter().filter(|w| w.ops > ops / 4) {
         assert!(
             w.p50 < 1_000_000,
@@ -70,5 +81,16 @@ fn fig15_path_holds_above_old_pacing_cap() {
             w.ops,
             w.p50
         );
+        assert!(
+            w.set_reads_per_get() <= 2.0,
+            "window at op {} reads {:.2} candidate sets/get — stale filtering regressed",
+            w.ops,
+            w.set_reads_per_get()
+        );
     }
+    assert!(
+        r.report.stats.candidate_reads_per_get() <= 2.0,
+        "aggregate candidate reads/get {:.2} exceed the staged-path bound",
+        r.report.stats.candidate_reads_per_get()
+    );
 }

@@ -58,6 +58,35 @@ pub struct NemoConfig {
     /// foreground request). Only meaningful with
     /// [`Self::background_eviction`].
     pub scan_reads_per_slice: u32,
+    /// Candidates read per *wave* on the get path. The PBFG candidate
+    /// list is sorted newest-first and read `read_wave_width` sets at a
+    /// time, stopping at the first wave that contains the key; older
+    /// waves are touched only on a miss of all newer ones. The default
+    /// of 1 makes a hit on the newest version cost exactly one set
+    /// read; `u32::MAX` restores the pre-staging behaviour of reading
+    /// every candidate in one parallel burst.
+    pub read_wave_width: u32,
+    /// Hard cap on PBFG candidates considered per get, newest first
+    /// (0 = unlimited). The backstop behind the supersede filter: even
+    /// when stale copies of a hot key pile up across pooled SGs, a get
+    /// touches at most this many data pages. Newer-than-the-live-copy
+    /// candidates are Bloom false positives (rate `bloom_fpr` each), so
+    /// a small cap is hit-safe.
+    pub max_candidates: u32,
+    /// Maintain the per-index-group supersede filter: a compact Bloom
+    /// filter over every key a group's SGs admitted, checked at query
+    /// time so groups older than one that re-admitted the key are
+    /// skipped outright (their copies are stale). The cutoff only fires
+    /// when the group *also* produced a PBFG candidate for the key, so
+    /// a supersede false positive alone cannot drop a live old copy.
+    pub enable_stale_filter: bool,
+    /// Target false-positive rate of the supersede filters. Because the
+    /// cutoff requires a same-group PBFG match as well, a false
+    /// positive here costs a hit only in conjunction with a PBFG false
+    /// positive (joint probability ≈ `supersede_fpr · group_sgs ·
+    /// bloom_fpr`), so a coarse ~6 bits/key filter keeps the miss-ratio
+    /// perturbation in the noise while staying compact.
+    pub supersede_fpr: f64,
 }
 
 impl NemoConfig {
@@ -79,6 +108,10 @@ impl NemoConfig {
             enable_writeback: true,
             background_eviction: false,
             scan_reads_per_slice: 1,
+            read_wave_width: 1,
+            max_candidates: 4,
+            enable_stale_filter: true,
+            supersede_fpr: 0.05,
         }
     }
 
@@ -142,6 +175,26 @@ impl NemoConfig {
         }
     }
 
+    /// Keys one index group's supersede filter is sized for: the
+    /// expected object capacity of the group's SGs. Actual occupancy
+    /// runs below capacity (fill rate < 1), so the realized
+    /// false-positive rate sits at or under [`Self::supersede_fpr`].
+    pub fn supersede_keys_per_group(&self) -> u64 {
+        self.sgs_per_index_group() as u64
+            * self.sets_per_sg() as u64
+            * self.expected_objects_per_set as u64
+    }
+
+    /// Turns the staged read path back into the pre-staging behaviour —
+    /// every candidate read in one parallel burst, no supersede
+    /// filtering, no cap. The A/B baseline for the read-tail
+    /// experiments and regression tests.
+    pub fn disable_read_staging(&mut self) {
+        self.read_wave_width = u32::MAX;
+        self.max_candidates = 0;
+        self.enable_stale_filter = false;
+    }
+
     /// Zones reserved for the on-flash index pool.
     ///
     /// Each index group occupies `sets_per_sg` pages (one PBFG page per
@@ -183,6 +236,14 @@ impl NemoConfig {
         assert!(
             self.scan_reads_per_slice >= 1,
             "scan_reads_per_slice must be positive"
+        );
+        assert!(
+            self.read_wave_width >= 1,
+            "read_wave_width must be positive"
+        );
+        assert!(
+            self.supersede_fpr > 0.0 && self.supersede_fpr < 1.0,
+            "supersede_fpr must be in (0,1)"
         );
         assert!(
             self.filter_bytes() <= self.geometry.page_size(),
@@ -255,6 +316,44 @@ mod tests {
     fn bad_fpr_rejected() {
         let mut cfg = NemoConfig::small();
         cfg.bloom_fpr = 0.0;
+        cfg.validate();
+    }
+
+    #[test]
+    fn read_staging_defaults_and_off_switch() {
+        let mut cfg = NemoConfig::small();
+        assert_eq!(cfg.read_wave_width, 1, "newest-version hit = 1 set read");
+        assert!(cfg.max_candidates > 0);
+        assert!(cfg.enable_stale_filter);
+        cfg.validate();
+        cfg.disable_read_staging();
+        assert_eq!(cfg.read_wave_width, u32::MAX);
+        assert_eq!(cfg.max_candidates, 0);
+        assert!(!cfg.enable_stale_filter);
+        cfg.validate();
+        // Supersede sizing covers the group's object capacity.
+        let keys = cfg.supersede_keys_per_group();
+        assert_eq!(
+            keys,
+            cfg.sgs_per_index_group() as u64
+                * cfg.sets_per_sg() as u64
+                * cfg.expected_objects_per_set as u64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "read_wave_width")]
+    fn zero_wave_width_rejected() {
+        let mut cfg = NemoConfig::small();
+        cfg.read_wave_width = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "supersede_fpr")]
+    fn bad_supersede_fpr_rejected() {
+        let mut cfg = NemoConfig::small();
+        cfg.supersede_fpr = 1.0;
         cfg.validate();
     }
 }

@@ -7,6 +7,7 @@ use crate::memsg::MemSg;
 use nemo_engine::codec::{self, PageBuf, MIN_OBJECT_SIZE};
 use nemo_engine::{CacheEngine, EngineStats, GetOutcome, MemoryBreakdown};
 use nemo_flash::{Nanos, PageAddr, SimFlash, ZoneId, ZonedFlash};
+use nemo_metrics::CountHistogram;
 use std::collections::VecDeque;
 
 /// Metadata of one on-flash SG.
@@ -57,9 +58,16 @@ pub struct NemoReport {
     pub sacrificed_objects: u64,
     /// Objects kept alive by write-back.
     pub writeback_objects: u64,
-    /// Candidate set reads that did not contain the key (bloom false
-    /// positives or stale versions).
-    pub false_positive_reads: u64,
+    /// Candidate set reads that did not contain the key at all — PBFG
+    /// Bloom false positives (one page read wasted each).
+    pub bloom_fp_reads: u64,
+    /// Candidate set reads that contained an *older* copy of a key whose
+    /// newer version had already been found — stale versions left behind
+    /// by updates. The staged read path exists to keep this near zero.
+    pub stale_version_reads: u64,
+    /// Distribution of the post-filter candidate-list length per get
+    /// that consulted the PBFG index (memory hits excluded).
+    pub candidates_per_get: CountHistogram,
     /// Background slices executed for deferred eviction scans
     /// ([`NemoConfig::background_eviction`]).
     pub scan_slices: u64,
@@ -114,7 +122,7 @@ impl Nemo {
         let index_zones: Vec<u32> = (0..cfg.index_zones()).collect();
         let data_zones: VecDeque<u32> = (cfg.index_zones()..cfg.geometry.zone_count()).collect();
         let pool_capacity = data_zones.len();
-        let index = PbfgIndex::new(
+        let mut index = PbfgIndex::new(
             index_zones,
             cfg.sets_per_sg(),
             cfg.geometry.page_size(),
@@ -122,6 +130,10 @@ impl Nemo {
             cfg.filter_hashes(),
             cfg.sgs_per_index_group(),
         );
+        if cfg.enable_stale_filter {
+            index.enable_supersede(cfg.supersede_keys_per_group(), cfg.supersede_fpr);
+        }
+        index.set_max_candidates(cfg.max_candidates);
         let tracker = HotnessTracker::new(cfg.sets_per_sg(), 16);
         let queue: VecDeque<MemSg> = (0..cfg.effective_queue_len())
             .map(|_| Self::fresh_sg(&cfg))
@@ -250,7 +262,18 @@ impl Nemo {
         self.front_sacrifices = 0;
 
         let filters = front.take_filters();
-        let (idx_bytes, _) = self.index.add_sg(&mut self.dev, seq, zone, filters, now);
+        // Admitted keys feed the group's supersede filter (stale-version
+        // cutoff on the get path); skip the walk when filtering is off.
+        let keys: Vec<u64> = if self.cfg.enable_stale_filter {
+            (0..sets)
+                .flat_map(|s| front.set(s).entries().iter().map(|&(k, _)| k))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let (idx_bytes, _) = self
+            .index
+            .add_sg(&mut self.dev, seq, zone, filters, &keys, now);
         self.stats.flash_bytes_written += idx_bytes;
         self.bytes_since_cooling += idx_bytes;
 
@@ -478,46 +501,70 @@ impl CacheEngine for Nemo {
                 return GetOutcome::memory_hit(now);
             }
         }
-        // 2. PBFG query -> candidate SGs.
+        // 2. PBFG query -> candidate SGs (newest first, stale-filtered
+        //    and capped by the index).
         let q = self.index.candidates(&mut self.dev, set, key, now);
         self.stats.flash_bytes_read += q.bytes_read;
+        self.report
+            .candidates_per_get
+            .record(q.candidates.len() as u32);
         if q.candidates.is_empty() {
             return GetOutcome {
                 hit: false,
                 done_at: q.done_at,
                 flash_reads: q.flash_reads,
+                set_reads: 0,
             };
         }
-        // 3. Parallel reads of all candidate sets (paper §4.1: candidates
-        //    are accessed in parallel); newest version wins.
-        let addrs: Vec<PageAddr> = q
-            .candidates
-            .iter()
-            .map(|c| PageAddr::new(c.zone, set))
-            .collect();
-        let (pages, done) = self
-            .dev
-            .read_scattered(&addrs, q.done_at)
-            .expect("candidate set reads");
-        let total_reads = q.flash_reads + addrs.len() as u32;
-        self.stats.flash_bytes_read += pages.iter().map(|p| p.len() as u64).sum::<u64>();
-        for (cand, page) in q.candidates.iter().zip(&pages) {
-            if codec::find_payload(page, key).is_some() {
-                self.stats.hits += 1;
-                self.tracker.mark(cand.seq, set, key);
-                self.report.false_positive_reads += (pages.len() - 1) as u64;
-                return GetOutcome {
-                    hit: true,
-                    done_at: done,
-                    flash_reads: total_reads,
-                };
+        // 3. Staged candidate reads: the newest `read_wave_width`
+        //    candidates are read in parallel (paper §4.1's parallel
+        //    access, per wave); older waves are issued only when every
+        //    newer one missed, so a hit on the live (newest) version
+        //    never pays for the stale copies behind it.
+        let wave = self.cfg.read_wave_width.max(1) as usize;
+        let mut done = q.done_at;
+        let mut reads = 0u32;
+        let mut hit = false;
+        let mut start = 0usize;
+        while start < q.candidates.len() && !hit {
+            let end = (start + wave).min(q.candidates.len());
+            let wave_cands = &q.candidates[start..end];
+            let addrs: Vec<PageAddr> = wave_cands
+                .iter()
+                .map(|c| PageAddr::new(c.zone, set))
+                .collect();
+            let (pages, t) = self
+                .dev
+                .read_scattered(&addrs, done)
+                .expect("candidate set reads");
+            done = t;
+            reads += addrs.len() as u32;
+            self.stats.flash_bytes_read += pages.iter().map(|p| p.len() as u64).sum::<u64>();
+            for (cand, page) in wave_cands.iter().zip(&pages) {
+                if codec::find_payload(page, key).is_some() {
+                    if hit {
+                        // An older copy of a key already found in this
+                        // wave: a stale version left behind by an update.
+                        self.report.stale_version_reads += 1;
+                    } else {
+                        hit = true;
+                        self.stats.hits += 1;
+                        self.tracker.mark(cand.seq, set, key);
+                    }
+                } else {
+                    // The candidate's filter matched but the page does
+                    // not hold the key: a PBFG false positive.
+                    self.report.bloom_fp_reads += 1;
+                }
             }
+            start = end;
         }
-        self.report.false_positive_reads += pages.len() as u64;
+        self.stats.candidate_reads += reads as u64;
         GetOutcome {
-            hit: false,
+            hit,
             done_at: done,
-            flash_reads: total_reads,
+            flash_reads: q.flash_reads + reads,
+            set_reads: reads,
         }
     }
 
@@ -577,6 +624,10 @@ impl CacheEngine for Nemo {
             self.index.cache_bytes(),
         );
         m.push("index group buffer", self.index.buffer_bytes());
+        m.push(
+            "supersede filters (stale-version cutoff)",
+            self.index.supersede_bytes(),
+        );
         m.push("hotness bitmaps", self.tracker.memory_bytes());
         m.push(
             "pool metadata (seq/zone per SG)",
@@ -873,6 +924,96 @@ mod tests {
             hits > reqs.len() * 9 / 10,
             "{hits}/{} should survive deferred flushing",
             reqs.len()
+        );
+    }
+
+    #[test]
+    fn staged_read_hits_newest_version_with_one_set_read() {
+        let mut n = Nemo::new(small_cfg());
+        n.put(7, 100, Nanos::ZERO);
+        n.drain(Nanos::ZERO);
+        n.put(7, 200, Nanos::ZERO);
+        n.drain(Nanos::ZERO);
+        // Two on-flash copies; the staged path must read only the
+        // newest one (wave width 1) and never touch the stale copy.
+        let out = n.get(7, Nanos::ZERO);
+        assert!(out.hit);
+        assert_eq!(out.set_reads, 1, "newest-version hit costs one set read");
+        let r = n.report();
+        assert_eq!(r.stale_version_reads, 0);
+        assert_eq!(r.bloom_fp_reads, 0);
+        assert_eq!(n.stats().candidate_reads, 1);
+    }
+
+    #[test]
+    fn unstaged_read_pays_for_stale_copies() {
+        let mut cfg = small_cfg();
+        cfg.disable_read_staging();
+        let mut n = Nemo::new(cfg);
+        n.put(7, 100, Nanos::ZERO);
+        n.drain(Nanos::ZERO);
+        n.put(7, 200, Nanos::ZERO);
+        n.drain(Nanos::ZERO);
+        let out = n.get(7, Nanos::ZERO);
+        assert!(out.hit);
+        assert_eq!(out.set_reads, 2, "burst mode reads every candidate");
+        let r = n.report();
+        assert_eq!(r.stale_version_reads, 1, "the old copy is a stale read");
+        assert_eq!(r.bloom_fp_reads, 0);
+    }
+
+    #[test]
+    fn candidates_histogram_records_indexed_gets() {
+        let mut n = Nemo::new(small_cfg());
+        churn(&mut n, 60_000, 0.0004);
+        let r = n.report();
+        assert!(r.candidates_per_get.count() > 0);
+        assert!(r.candidates_per_get.max() >= 1);
+        // The staged path plus cap keeps the per-get set-read cost at
+        // roughly one page even under update churn.
+        let s = n.stats();
+        assert!(
+            s.candidate_reads_per_get() <= 2.0,
+            "candidate reads/get {} must stay bounded",
+            s.candidate_reads_per_get()
+        );
+    }
+
+    #[test]
+    fn stale_filtering_preserves_hits_and_wa() {
+        // A/B the staged+filtered read path against the burst path on
+        // the same churn: the write path must be byte-identical and the
+        // hit ratio unchanged (the filter only skips stale copies).
+        let run = |staged: bool| {
+            let mut cfg = small_cfg();
+            if !staged {
+                cfg.disable_read_staging();
+            }
+            let mut n = Nemo::new(cfg);
+            churn(&mut n, 120_000, 0.0004);
+            n.stats()
+        };
+        let on = run(true);
+        let off = run(false);
+        // The write path is only indirectly coupled to the read path
+        // (the PBFG cache contents feed the write-back recency gate), so
+        // WA must agree closely, not bit-for-bit.
+        let wa_delta = (on.alwa() - off.alwa()).abs() / off.alwa();
+        assert!(
+            wa_delta < 0.05,
+            "WA must be unchanged: staged {:.3} vs burst {:.3}",
+            on.alwa(),
+            off.alwa()
+        );
+        let hr_on = on.hits as f64 / on.gets as f64;
+        let hr_off = off.hits as f64 / off.gets as f64;
+        assert!(
+            (hr_on - hr_off).abs() < 0.005,
+            "hit ratio must be unchanged: staged {hr_on:.4} vs burst {hr_off:.4}"
+        );
+        assert!(
+            on.candidate_reads <= off.candidate_reads,
+            "staging can only reduce candidate reads"
         );
     }
 

@@ -24,7 +24,10 @@ pub struct SgCandidate {
 /// Outcome of a candidate query, including its I/O cost.
 #[derive(Debug, Clone)]
 pub struct CandidateQuery {
-    /// Candidate SGs, newest first.
+    /// Candidate SGs, newest first. With the supersede filter enabled,
+    /// groups older than one that re-admitted the key contribute
+    /// nothing (their copies are stale); the list is further truncated
+    /// to the configured candidate cap.
     pub candidates: Vec<SgCandidate>,
     /// PBFG pages fetched from flash to answer the query.
     pub flash_reads: u32,
@@ -32,6 +35,8 @@ pub struct CandidateQuery {
     pub bytes_read: u64,
     /// Completion time of the index fetches.
     pub done_at: Nanos,
+    /// Candidates dropped by the newest-first cap on this query.
+    pub capped: u32,
 }
 
 /// Index-cache and pool counters (Fig. 19b, §5.5).
@@ -44,6 +49,12 @@ pub struct IndexStats {
     pub cache_misses: u64,
     /// Pages written to the on-flash index pool.
     pub pool_pages_written: u64,
+    /// Queries whose group walk stopped early because a newer group's
+    /// supersede filter (plus a same-group PBFG match) marked the key
+    /// as rewritten — older groups were never probed.
+    pub superseded_cutoffs: u64,
+    /// Queries truncated by the newest-first candidate cap.
+    pub capped_queries: u64,
 }
 
 impl IndexStats {
@@ -75,6 +86,9 @@ struct PersistedGroup {
     /// Slot -> live SG, `None` once evicted.
     slots: Vec<Option<SgCandidate>>,
     live: u32,
+    /// Supersede filter: every key the group's SGs admitted. `None`
+    /// when stale-version filtering is disabled.
+    supersede: Option<BloomFilter>,
 }
 
 #[derive(Debug, Default)]
@@ -147,6 +161,13 @@ pub struct PbfgIndex {
     /// zone -> group ids with pages there (for ring recycling).
     zone_groups: HashMap<u32, Vec<u64>>,
     retired: HashMap<u64, bool>,
+    /// `(keys_per_group, fpr)` sizing of the supersede filters; `None`
+    /// disables stale-version filtering.
+    supersede_sizing: Option<(u64, f64)>,
+    /// Supersede filter of the still-building group.
+    building_supersede: Option<BloomFilter>,
+    /// Newest-first candidate cap per query (0 = unlimited).
+    max_candidates: u32,
     stats: IndexStats,
 }
 
@@ -186,8 +207,32 @@ impl PbfgIndex {
             pool_open: 0,
             zone_groups: HashMap::new(),
             retired: HashMap::new(),
+            supersede_sizing: None,
+            building_supersede: None,
+            max_candidates: 0,
             stats: IndexStats::default(),
         }
+    }
+
+    /// Enables stale-version filtering: each group keeps an in-memory
+    /// Bloom filter sized for `keys_per_group` admitted keys at `fpr`,
+    /// and [`Self::candidates`] stops its newest-first group walk at the
+    /// first group that both re-admitted the key (supersede filter) and
+    /// produced a PBFG candidate for it — everything older is stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys_per_group` is zero or `fpr` is not in `(0,1)`.
+    pub fn enable_supersede(&mut self, keys_per_group: u64, fpr: f64) {
+        assert!(keys_per_group > 0, "keys_per_group must be positive");
+        assert!(fpr > 0.0 && fpr < 1.0, "supersede fpr must be in (0,1)");
+        self.supersede_sizing = Some((keys_per_group, fpr));
+    }
+
+    /// Caps the candidates a query may return, newest first
+    /// (0 = unlimited).
+    pub fn set_max_candidates(&mut self, cap: u32) {
+        self.max_candidates = cap;
     }
 
     /// Index counters.
@@ -224,14 +269,17 @@ impl PbfgIndex {
     }
 
     /// Adds a flushed SG's filters; seals and persists the group when it
-    /// reaches `sgs_per_group`. Returns flash bytes written (0 until a
-    /// group seals) and the completion time.
+    /// reaches `sgs_per_group`. `keys` are the SG's admitted keys,
+    /// recorded in the group's supersede filter when stale-version
+    /// filtering is enabled (pass `&[]` to skip). Returns flash bytes
+    /// written (0 until a group seals) and the completion time.
     pub fn add_sg(
         &mut self,
         dev: &mut SimFlash,
         seq: u64,
         zone: u32,
         filters: Vec<BloomFilter>,
+        keys: &[u64],
         now: Nanos,
     ) -> (u64, Nanos) {
         assert_eq!(
@@ -239,6 +287,14 @@ impl PbfgIndex {
             self.sets_per_sg as usize,
             "one filter per set"
         );
+        if let Some((keys_per_group, fpr)) = self.supersede_sizing {
+            let filter = self
+                .building_supersede
+                .get_or_insert_with(|| BloomFilter::for_items(keys_per_group, fpr));
+            for &k in keys {
+                filter.insert(k);
+            }
+        }
         self.building
             .push(Some(BufferedSlot { seq, zone, filters }));
         if self.building.len() as u32 >= self.sgs_per_group {
@@ -288,6 +344,7 @@ impl PbfgIndex {
             base,
             slots,
             live,
+            supersede: self.building_supersede.take(),
         });
         (bytes.len() as u64, done)
     }
@@ -352,8 +409,16 @@ impl PbfgIndex {
         }
     }
 
-    /// Queries every live PBFG for `key` at set offset `set`, fetching
+    /// Queries live PBFGs for `key` at set offset `set`, fetching
     /// uncached PBFG pages from the index pool.
+    ///
+    /// The walk runs newest-first (building group, then persisted groups
+    /// in reverse flush order) and, with stale-version filtering
+    /// enabled, stops at the first group that both re-admitted the key
+    /// (supersede filter hit) and produced a PBFG candidate for it:
+    /// every older copy of the key is stale, so older groups are
+    /// neither probed nor fetched. The surviving list is truncated to
+    /// the newest [`Self::set_max_candidates`] entries.
     pub fn candidates(
         &mut self,
         dev: &mut SimFlash,
@@ -363,12 +428,14 @@ impl PbfgIndex {
     ) -> CandidateQuery {
         let probes = ProbeSet::for_key(key);
         let mut out = Vec::new();
-        // Building group: filters are in memory — one in-memory PBFG
-        // access for the whole group.
+        // Building group (newest): filters are in memory — one
+        // in-memory PBFG access for the whole group.
         let mut any_building = false;
+        let mut building_matched = false;
         for b in self.building.iter().flatten() {
             any_building = true;
             if b.filters[set as usize].contains_probes(&probes) {
+                building_matched = true;
                 out.push(SgCandidate {
                     seq: b.seq,
                     zone: b.zone,
@@ -378,16 +445,28 @@ impl PbfgIndex {
         if any_building {
             self.stats.cache_hits += 1;
         }
+        // Stale cutoff after the building group: a supersede hit alone
+        // could be a false positive of the coarse filter, so it must be
+        // corroborated by an actual candidate before older groups are
+        // declared stale.
+        let mut superseded = building_matched
+            && self
+                .building_supersede
+                .as_ref()
+                .is_some_and(|f| f.contains_probes(&probes));
         let mut flash_reads = 0u32;
         let mut bytes_read = 0u64;
         let mut done = now;
         let fb = self.filter_bytes as usize;
-        for gi in 0..self.groups.len() {
-            let (gid, base, addr) = {
+        for gi in (0..self.groups.len()).rev() {
+            if superseded {
+                self.stats.superseded_cutoffs += 1;
+                break;
+            }
+            let (gid, addr) = {
                 let g = &self.groups[gi];
-                (g.id, g.base, PageAddr::new(g.base.zone, g.base.page + set))
+                (g.id, PageAddr::new(g.base.zone, g.base.page + set))
             };
-            let _ = base;
             let fetched: Option<Vec<u8>> = if self.cache.contains(gid, set) {
                 self.stats.cache_hits += 1;
                 None
@@ -407,23 +486,36 @@ impl PbfgIndex {
                 Some(p) => p,
                 None => self.cache.get(gid, set).expect("checked above"),
             };
+            let mut group_matched = false;
             for (slot_idx, slot) in g.slots.iter().enumerate() {
                 let Some(cand) = slot else { continue };
                 let off = slot_idx * fb;
                 if contains_in_slice(&page[off..off + fb], self.hashes, &probes) {
+                    group_matched = true;
                     out.push(*cand);
                 }
             }
+            superseded = group_matched
+                && g.supersede
+                    .as_ref()
+                    .is_some_and(|f| f.contains_probes(&probes));
             if let Some(p) = fetched {
                 self.cache.insert(gid, set, p);
             }
         }
         out.sort_by_key(|c| std::cmp::Reverse(c.seq));
+        let mut capped = 0u32;
+        if self.max_candidates > 0 && out.len() > self.max_candidates as usize {
+            capped = (out.len() - self.max_candidates as usize) as u32;
+            out.truncate(self.max_candidates as usize);
+            self.stats.capped_queries += 1;
+        }
         CandidateQuery {
             candidates: out,
             flash_reads,
             bytes_read,
             done_at: done,
+            capped,
         }
     }
 
@@ -437,6 +529,21 @@ impl PbfgIndex {
         self.building.iter().flatten().count() as u64
             * self.sets_per_sg as u64
             * self.filter_bytes as u64
+    }
+
+    /// Resident bytes of the supersede filters (building + per group).
+    pub fn supersede_bytes(&self) -> u64 {
+        let building = self
+            .building_supersede
+            .as_ref()
+            .map_or(0, |f| f.serialized_len() as u64);
+        building
+            + self
+                .groups
+                .iter()
+                .filter_map(|g| g.supersede.as_ref())
+                .map(|f| f.serialized_len() as u64)
+                .sum::<u64>()
     }
 
     /// Number of live persisted groups.
@@ -477,7 +584,7 @@ mod tests {
     fn building_group_answers_from_memory() {
         let mut d = dev();
         let mut idx = index();
-        idx.add_sg(&mut d, 1, 10, filters_with_keys(&[8, 16]), Nanos::ZERO);
+        idx.add_sg(&mut d, 1, 10, filters_with_keys(&[8, 16]), &[], Nanos::ZERO);
         let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
         assert_eq!(q.candidates, vec![SgCandidate { seq: 1, zone: 10 }]);
         assert_eq!(q.flash_reads, 0);
@@ -494,6 +601,7 @@ mod tests {
                 seq,
                 10 + seq as u32,
                 filters_with_keys(&[seq * SETS as u64]),
+                &[],
                 Nanos::ZERO,
             );
             wrote += b;
@@ -514,6 +622,7 @@ mod tests {
                 seq,
                 10 + seq as u32,
                 filters_with_keys(&[seq + 8]), // keys 8,9,10 -> sets 0,1,2
+                &[],
                 Nanos::ZERO,
             );
         }
@@ -532,7 +641,7 @@ mod tests {
         let mut idx = index();
         idx.set_cache_capacity(0);
         for seq in 0..3u64 {
-            idx.add_sg(&mut d, seq, 10, filters_with_keys(&[1]), Nanos::ZERO);
+            idx.add_sg(&mut d, seq, 10, filters_with_keys(&[1]), &[], Nanos::ZERO);
         }
         let q1 = idx.candidates(&mut d, 1, 1, Nanos::ZERO);
         let q2 = idx.candidates(&mut d, 1, 1, Nanos::ZERO);
@@ -552,6 +661,7 @@ mod tests {
                 seq,
                 10 + seq as u32,
                 filters_with_keys(&[8]),
+                &[],
                 Nanos::ZERO,
             );
         }
@@ -574,6 +684,7 @@ mod tests {
                 seq,
                 seq as u32,
                 filters_with_keys(&[8]),
+                &[],
                 Nanos::ZERO,
             );
         }
@@ -592,7 +703,7 @@ mod tests {
         let mut seq = 0u64;
         for _ in 0..8 {
             for _ in 0..3 {
-                idx.add_sg(&mut d, seq, 10, filters_with_keys(&[1]), Nanos::ZERO);
+                idx.add_sg(&mut d, seq, 10, filters_with_keys(&[1]), &[], Nanos::ZERO);
                 seq += 1;
             }
             // Retire everything except the newest group.
@@ -604,15 +715,106 @@ mod tests {
     }
 
     #[test]
+    fn supersede_cutoff_skips_older_groups() {
+        let mut d = dev();
+        let mut idx = index();
+        idx.enable_supersede(12, 0.02);
+        // Older group (seqs 0..3) admits key 8 in seq 0; newer group
+        // (seqs 3..6) re-admits key 8 in seq 5.
+        for seq in 0..3u64 {
+            let keys: &[u64] = if seq == 0 { &[8] } else { &[seq + 16] };
+            idx.add_sg(&mut d, seq, 10, filters_with_keys(keys), keys, Nanos::ZERO);
+        }
+        for seq in 3..6u64 {
+            let keys: &[u64] = if seq == 5 { &[8] } else { &[seq + 32] };
+            idx.add_sg(&mut d, seq, 10, filters_with_keys(keys), keys, Nanos::ZERO);
+        }
+        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        let seqs: Vec<u64> = q.candidates.iter().map(|c| c.seq).collect();
+        assert_eq!(seqs, vec![5], "older group's stale copy must be dropped");
+        assert_eq!(
+            q.flash_reads, 1,
+            "the superseded older group must not even be fetched"
+        );
+        assert_eq!(idx.stats().superseded_cutoffs, 1);
+    }
+
+    #[test]
+    fn supersede_needs_candidate_corroboration() {
+        let mut d = dev();
+        let mut idx = index();
+        idx.enable_supersede(12, 0.02);
+        // Key 8 lives only in the OLDER group; the newer group admits
+        // other keys. Its supersede filter alone (even if it false-
+        // positived) may not veto the older copy without a same-group
+        // PBFG candidate.
+        for seq in 0..3u64 {
+            let keys: &[u64] = if seq == 0 { &[8] } else { &[seq + 16] };
+            idx.add_sg(&mut d, seq, 10, filters_with_keys(keys), keys, Nanos::ZERO);
+        }
+        for seq in 3..6u64 {
+            let keys: &[u64] = &[seq + 32];
+            idx.add_sg(&mut d, seq, 10, filters_with_keys(keys), keys, Nanos::ZERO);
+        }
+        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        assert_eq!(
+            q.candidates,
+            vec![SgCandidate { seq: 0, zone: 10 }],
+            "the live old copy must survive"
+        );
+        assert_eq!(idx.stats().superseded_cutoffs, 0);
+        assert!(idx.supersede_bytes() > 0, "filters must be accounted");
+    }
+
+    #[test]
+    fn building_supersede_cuts_off_persisted_groups() {
+        let mut d = dev();
+        let mut idx = index();
+        idx.enable_supersede(12, 0.02);
+        // Persisted group holds key 8; the building group re-admits it.
+        for seq in 0..3u64 {
+            idx.add_sg(&mut d, seq, 10, filters_with_keys(&[8]), &[8], Nanos::ZERO);
+        }
+        idx.add_sg(&mut d, 3, 11, filters_with_keys(&[8]), &[8], Nanos::ZERO);
+        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        let seqs: Vec<u64> = q.candidates.iter().map(|c| c.seq).collect();
+        assert_eq!(seqs, vec![3], "persisted stale copies skipped entirely");
+        assert_eq!(q.flash_reads, 0, "no index-pool fetch needed");
+        assert_eq!(idx.stats().superseded_cutoffs, 1);
+    }
+
+    #[test]
+    fn candidate_cap_keeps_newest() {
+        let mut d = dev();
+        let mut idx = index();
+        idx.set_max_candidates(2);
+        for seq in [4u64, 9, 7] {
+            idx.add_sg(
+                &mut d,
+                seq,
+                seq as u32,
+                filters_with_keys(&[8]),
+                &[],
+                Nanos::ZERO,
+            );
+        }
+        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        let seqs: Vec<u64> = q.candidates.iter().map(|c| c.seq).collect();
+        assert_eq!(seqs, vec![9, 7], "cap keeps the newest candidates");
+        assert_eq!(q.capped, 1);
+        assert_eq!(idx.stats().capped_queries, 1);
+    }
+
+    #[test]
     fn recently_active_reflects_cache_and_buffer() {
         let mut d = dev();
         let mut idx = index();
         idx.set_cache_capacity(64);
-        idx.add_sg(&mut d, 0, 10, filters_with_keys(&[8]), Nanos::ZERO);
+        idx.add_sg(&mut d, 0, 10, filters_with_keys(&[8]), &[], Nanos::ZERO);
         // Building: always "recently active".
         assert!(idx.is_recently_active(0, 0));
         for seq in 1..3u64 {
-            idx.add_sg(&mut d, seq, 10, filters_with_keys(&[8]), Nanos::ZERO);
+            idx.add_sg(&mut d, seq, 10, filters_with_keys(&[8]), &[], Nanos::ZERO);
         }
         // Persisted but not yet cached.
         assert!(!idx.is_recently_active(0, 0));

@@ -28,6 +28,10 @@ pub struct EngineStats {
     pub nand_bytes_written: u64,
     /// Bytes read from flash (objects + index + write-back reads).
     pub flash_bytes_read: u64,
+    /// Data pages read on the lookup path (candidate sets / object
+    /// pages; index-structure reads excluded). Per-get this is the
+    /// "candidate set-reads" cost Nemo's staged read path bounds.
+    pub candidate_reads: u64,
     /// Objects evicted (dropped from the cache).
     pub evicted_objects: u64,
     /// Objects currently resident on flash (approximate for approximate
@@ -74,6 +78,17 @@ impl EngineStats {
         }
     }
 
+    /// Mean candidate data-page reads per get — the per-lookup set-read
+    /// cost (Fig. 15's late-run driver for Nemo before stale-version
+    /// filtering).
+    pub fn candidate_reads_per_get(&self) -> f64 {
+        if self.gets == 0 {
+            0.0
+        } else {
+            self.candidate_reads as f64 / self.gets as f64
+        }
+    }
+
     /// Counter-wise sum `self + other`.
     ///
     /// Merging the stats of independent engines (e.g. one per shard
@@ -92,6 +107,7 @@ impl EngineStats {
             flash_bytes_written: self.flash_bytes_written + other.flash_bytes_written,
             nand_bytes_written: self.nand_bytes_written + other.nand_bytes_written,
             flash_bytes_read: self.flash_bytes_read + other.flash_bytes_read,
+            candidate_reads: self.candidate_reads + other.candidate_reads,
             evicted_objects: self.evicted_objects + other.evicted_objects,
             objects_on_flash: self.objects_on_flash + other.objects_on_flash,
             device: self.device.merge(&other.device),
@@ -250,6 +266,7 @@ mod tests {
             flash_bytes_written: 150,
             nand_bytes_written: 150,
             flash_bytes_read: 80,
+            candidate_reads: 12,
             evicted_objects: 2,
             objects_on_flash: 7,
             ..Default::default()
@@ -262,6 +279,7 @@ mod tests {
             flash_bytes_written: 330,
             nand_bytes_written: 660,
             flash_bytes_read: 40,
+            candidate_reads: 28,
             evicted_objects: 1,
             objects_on_flash: 11,
             ..Default::default()
@@ -270,6 +288,8 @@ mod tests {
         assert_eq!(m.gets, 40);
         assert_eq!(m.hits, 32);
         assert_eq!(m.objects_on_flash, 18);
+        assert_eq!(m.candidate_reads, 40);
+        assert!((m.candidate_reads_per_get() - 1.0).abs() < 1e-12);
         // Byte-weighted ALWA: (150 + 330) / (100 + 300), not the mean of
         // the two per-shard ratios (which would be (1.5 + 1.1) / 2).
         assert!((m.alwa() - 1.2).abs() < 1e-12);

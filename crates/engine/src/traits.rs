@@ -13,6 +13,12 @@ pub struct GetOutcome {
     /// Flash pages read to serve this lookup (object + index + false
     /// positives) — the per-request read amplification.
     pub flash_reads: u32,
+    /// Data-page reads among [`Self::flash_reads`]: candidate set /
+    /// object pages only, index-structure fetches excluded. For engines
+    /// with exact or fully in-memory indexes this equals `flash_reads`;
+    /// for Nemo it is the candidate-wave cost the staged read path
+    /// bounds.
+    pub set_reads: u32,
 }
 
 impl GetOutcome {
@@ -22,6 +28,7 @@ impl GetOutcome {
             hit: false,
             done_at: now,
             flash_reads: 0,
+            set_reads: 0,
         }
     }
 
@@ -31,6 +38,7 @@ impl GetOutcome {
             hit: true,
             done_at: now,
             flash_reads: 0,
+            set_reads: 0,
         }
     }
 }
@@ -103,6 +111,7 @@ mod tests {
         assert!(hit.hit);
         assert_eq!(hit.done_at, t);
         assert_eq!(hit.flash_reads, 0);
+        assert_eq!(hit.set_reads, 0);
         let miss = GetOutcome::memory_miss(t);
         assert!(!miss.hit);
     }

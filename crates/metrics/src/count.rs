@@ -1,0 +1,201 @@
+//! Compact histogram over small per-operation counts.
+
+/// A histogram for small non-negative counts (candidate sets probed per
+/// lookup, pages touched per operation, …): exact buckets for `0..=64`
+/// plus one overflow bucket, so it stays a few hundred bytes however
+/// many samples it absorbs.
+///
+/// # Examples
+///
+/// ```
+/// use nemo_metrics::CountHistogram;
+/// let mut h = CountHistogram::new();
+/// for n in [0u32, 1, 1, 2, 6] {
+///     h.record(n);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!((h.mean() - 2.0).abs() < 1e-9);
+/// assert_eq!(h.max(), 6);
+/// assert_eq!(h.quantile(0.5), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountHistogram {
+    /// `buckets[n]` counts samples of value `n`; the last bucket absorbs
+    /// everything `>= EXACT_BUCKETS`.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u32,
+}
+
+/// Values `0..EXACT_BUCKETS` get exact buckets.
+const EXACT_BUCKETS: usize = 65;
+
+impl CountHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; EXACT_BUCKETS + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u32) {
+        let idx = (value as usize).min(EXACT_BUCKETS);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples, or 0 when empty. Exact even for overflow
+    /// samples (the running sum uses the true values).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample (exact).
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+
+    /// Value at quantile `q` in `[0, 1]`; overflow samples report the
+    /// exact maximum. Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u32 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (value, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if value >= EXACT_BUCKETS {
+                    self.max
+                } else {
+                    value as u32
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Fraction of samples with value `> threshold` (e.g. "share of gets
+    /// needing more than one set read"). Exact while `threshold` is below
+    /// the overflow bucket.
+    pub fn fraction_above(&self, threshold: u32) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let above: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|&(v, _)| v > threshold as usize)
+            .map(|(_, &c)| c)
+            .sum();
+        above as f64 / self.count as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &CountHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for CountHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let h = CountHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.fraction_above(0), 0.0);
+    }
+
+    #[test]
+    fn exact_small_counts() {
+        let mut h = CountHistogram::new();
+        for n in [1u32, 1, 2, 3, 64] {
+            h.record(n);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 64);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(h.quantile(1.0), 64);
+        assert!((h.mean() - 71.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_reports_exact_max_and_mean() {
+        let mut h = CountHistogram::new();
+        h.record(1000);
+        h.record(2000);
+        assert_eq!(h.quantile(1.0), 2000);
+        assert!((h.mean() - 1500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_above_threshold() {
+        let mut h = CountHistogram::new();
+        for n in [0u32, 1, 2, 2, 5] {
+            h.record(n);
+        }
+        assert!((h.fraction_above(1) - 3.0 / 5.0).abs() < 1e-12);
+        assert!((h.fraction_above(2) - 1.0 / 5.0).abs() < 1e-12);
+        assert_eq!(h.fraction_above(5), 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = CountHistogram::new();
+        let mut b = CountHistogram::new();
+        a.record(1);
+        b.record(3);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.quantile(0.5), 3);
+        assert!((a.mean() - 104.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        CountHistogram::new().quantile(1.5);
+    }
+}

@@ -17,12 +17,14 @@
 //! ```
 
 mod cdf;
+mod count;
 mod histogram;
 mod series;
 mod wa;
 mod window;
 
 pub use cdf::{DiscreteCdf, SampleCdf};
+pub use count::CountHistogram;
 pub use histogram::LatencyHistogram;
 pub use series::TimeSeries;
 pub use wa::WaAccount;

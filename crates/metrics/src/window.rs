@@ -37,4 +37,23 @@ pub struct LatencyWindow {
     pub service_p99: u64,
     /// 99.99th percentile of service time.
     pub service_p9999: u64,
+    /// Lookups completed in this window.
+    pub get_ops: u64,
+    /// Candidate data-page (set) reads those lookups issued, summed —
+    /// divide by [`Self::get_ops`] (or call
+    /// [`Self::set_reads_per_get`]) for the per-get read cost the
+    /// staged Nemo read path is designed to bound.
+    pub set_reads: u64,
+}
+
+impl LatencyWindow {
+    /// Mean candidate set reads per lookup over the window (0 when the
+    /// window saw no lookups).
+    pub fn set_reads_per_get(&self) -> f64 {
+        if self.get_ops == 0 {
+            0.0
+        } else {
+            self.set_reads as f64 / self.get_ops as f64
+        }
+    }
 }

@@ -204,6 +204,8 @@ struct WindowAccum {
     queue: LatencyHistogram,
     service: LatencyHistogram,
     done_ops: u64,
+    get_ops: u64,
+    set_reads: u64,
 }
 
 impl WindowAccum {
@@ -220,6 +222,8 @@ impl WindowAccum {
             service_p50: self.service.p50(),
             service_p99: self.service.p99(),
             service_p9999: self.service.p9999(),
+            get_ops: self.get_ops,
+            set_reads: self.set_reads,
         }
     }
 }
@@ -256,11 +260,13 @@ fn reactor(rx: Receiver<Completion>, cfg: &OpenLoopConfig, gap: u64) -> ReactorO
         let i = ((c.seq - 1) / cfg.sample_every) as usize;
         let acc = accums[i].get_or_insert_with(Default::default);
         acc.done_ops += 1;
-        if let CompletionKind::Get { .. } = c.kind {
+        if let CompletionKind::Get { set_reads, .. } = c.kind {
             let (q, s) = (c.queueing(), c.service());
             acc.total.record(q + s);
             acc.queue.record(q);
             acc.service.record(s);
+            acc.get_ops += 1;
+            acc.set_reads += set_reads as u64;
             if c.seq > cfg.warmup_ops {
                 total.record(q + s);
                 queue.record(q);

@@ -19,6 +19,10 @@ pub enum CompletionKind {
     Get {
         /// Whether the lookup hit.
         hit: bool,
+        /// Candidate data-page reads the lookup issued
+        /// ([`GetOutcome::set_reads`]) — the per-get set-read cost the
+        /// trend windows aggregate.
+        set_reads: u32,
     },
     /// An insert.
     Put,
@@ -336,7 +340,10 @@ fn run_worker<E: CacheEngine>(mut engine: E, rx: Receiver<Command>, tuning: Work
                     arrival,
                     start,
                     done,
-                    kind: CompletionKind::Get { hit: out.hit },
+                    kind: CompletionKind::Get {
+                        hit: out.hit,
+                        set_reads: out.set_reads,
+                    },
                 });
             }
             Command::TimedPut {

@@ -139,6 +139,7 @@ impl Replay {
                 ));
                 let d_gets = s.gets - last.gets;
                 let d_hits = s.hits - last.hits;
+                let d_cand = s.candidate_reads - last.candidate_reads;
                 miss_series.push((
                     op,
                     if d_gets == 0 {
@@ -167,6 +168,8 @@ impl Replay {
                     service_p50: p50,
                     service_p99: p99,
                     service_p9999: p9999,
+                    get_ops: d_gets,
+                    set_reads: d_cand,
                 });
                 window_latency.reset();
                 last = Snapshot {
@@ -174,6 +177,7 @@ impl Replay {
                     flash: s.flash_bytes_written,
                     gets: s.gets,
                     hits: s.hits,
+                    candidate_reads: s.candidate_reads,
                 };
             }
         }
@@ -196,6 +200,7 @@ struct Snapshot {
     flash: u64,
     gets: u64,
     hits: u64,
+    candidate_reads: u64,
 }
 
 /// The standard comparison geometry: 4 KB pages, 1 MB zones, 8 dies.

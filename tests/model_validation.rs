@@ -135,6 +135,10 @@ fn pbfg_model_matches_measured_index_reads() {
     cfg.expected_objects_per_set = 16;
     cfg.index_group_sgs = 8;
     cfg.cached_pbfg_ratio = 0.0;
+    // Appendix A models the *unfiltered* walk (every live group probed
+    // per lookup); the supersede cutoff deliberately probes fewer
+    // groups, so switch it off to measure what the model predicts.
+    cfg.enable_stale_filter = false;
     let mut nemo = Nemo::new(cfg.clone());
     drive(&mut nemo, 600_000);
     let report = nemo.report();
