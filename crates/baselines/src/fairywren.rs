@@ -71,6 +71,19 @@ impl FairyWrenConfig {
     pub fn factory(self) -> impl Fn(usize) -> FairyWren + Send + Sync + Clone {
         move |_shard| FairyWren::new(self.clone())
     }
+
+    /// A shard factory over a caller-chosen device backend; see
+    /// `NemoConfig::factory_on` for the calling convention.
+    pub fn factory_on<D, G>(self, mut make_dev: G) -> impl FnMut(usize) -> FairyWren<D> + Send
+    where
+        D: ZonedFlash,
+        G: FnMut(usize, Geometry, LatencyModel) -> D + Send,
+    {
+        move |shard| {
+            let dev = make_dev(shard, self.geometry, self.latency);
+            FairyWren::with_device(self.clone(), dev)
+        }
+    }
 }
 
 /// The FairyWREN cache engine.
@@ -87,8 +100,8 @@ impl FairyWrenConfig {
 /// assert!(fw.get(1, Nanos::ZERO).hit);
 /// ```
 #[derive(Debug)]
-pub struct FairyWren {
-    dev: SimFlash,
+pub struct FairyWren<D: ZonedFlash = SimFlash> {
+    dev: D,
     log: HierLog,
     hset: HsetRegion,
     /// Cold sets are `0..n_cold`; the hot partner of cold set `c` is
@@ -117,13 +130,30 @@ pub struct FairyWren {
 }
 
 impl FairyWren {
-    /// Creates the engine and its device.
+    /// Creates the engine and its simulated device.
     ///
     /// # Panics
     ///
     /// Panics if the geometry cannot hold both tiers.
     pub fn new(cfg: FairyWrenConfig) -> Self {
         let dev = SimFlash::with_latency(cfg.geometry, cfg.latency);
+        Self::with_device(cfg, dev)
+    }
+}
+
+impl<D: ZonedFlash> FairyWren<D> {
+    /// Creates the engine over an existing device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry cannot hold both tiers or the device's
+    /// geometry differs from the configuration's.
+    pub fn with_device(cfg: FairyWrenConfig, dev: D) -> Self {
+        assert_eq!(
+            dev.geometry(),
+            cfg.geometry,
+            "device geometry must match the configuration"
+        );
         let zones = cfg.geometry.zone_count();
         let log_zones = ((zones as f64 * cfg.log_fraction).round() as u32).max(1);
         assert!(
@@ -417,7 +447,7 @@ impl FairyWren {
     }
 }
 
-impl CacheEngine for FairyWren {
+impl<D: ZonedFlash + Send> CacheEngine for FairyWren<D> {
     fn name(&self) -> &'static str {
         "fairywren"
     }

@@ -6,7 +6,7 @@
 //! `E(L_i)` of the paper's §3.2 model.
 
 use nemo_engine::codec::PageBuf;
-use nemo_flash::{Nanos, PageAddr, SimFlash, ZoneId, ZoneState, ZonedFlash};
+use nemo_flash::{Nanos, PageAddr, ZoneId, ZoneState, ZonedFlash};
 use std::collections::{HashMap, HashSet};
 
 /// One object living in the log.
@@ -107,7 +107,7 @@ impl HierLog {
 
     /// Whether an insert of `size` bytes would require reclaiming a log
     /// zone first.
-    pub fn must_reclaim_before(&self, dev: &SimFlash, size: u32) -> bool {
+    pub fn must_reclaim_before<D: ZonedFlash>(&self, dev: &D, size: u32) -> bool {
         if (size as usize) <= self.page.remaining() {
             return false;
         }
@@ -120,7 +120,7 @@ impl HierLog {
     }
 
     /// The zone that must be migrated next (ring order), if any is full.
-    pub fn oldest_full_zone(&self, dev: &SimFlash) -> Option<u32> {
+    pub fn oldest_full_zone<D: ZonedFlash>(&self, dev: &D) -> Option<u32> {
         let next = self.zone_ids[(self.open_idx + 1) % self.zone_ids.len()];
         (dev.zone_state(ZoneId(next)) == ZoneState::Full).then_some(next)
     }
@@ -131,9 +131,9 @@ impl HierLog {
     ///
     /// Panics if the log is out of space — call
     /// [`Self::must_reclaim_before`] first.
-    pub fn insert(
+    pub fn insert<D: ZonedFlash>(
         &mut self,
-        dev: &mut SimFlash,
+        dev: &mut D,
         set: u64,
         key: u64,
         size: u32,
@@ -169,7 +169,7 @@ impl HierLog {
     }
 
     /// Flushes the write buffer to flash (no-op when empty).
-    pub fn flush(&mut self, dev: &mut SimFlash, now: Nanos) -> LogInsert {
+    pub fn flush<D: ZonedFlash>(&mut self, dev: &mut D, now: Nanos) -> LogInsert {
         if self.page.is_empty() {
             return LogInsert {
                 done_at: now,
@@ -237,7 +237,7 @@ impl HierLog {
     /// # Panics
     ///
     /// Panics (in debug builds) if live objects still point into the zone.
-    pub fn release_zone(&mut self, dev: &mut SimFlash, zone: u32, now: Nanos) -> Nanos {
+    pub fn release_zone<D: ZonedFlash>(&mut self, dev: &mut D, zone: u32, now: Nanos) -> Nanos {
         debug_assert!(
             !self
                 .per_set
@@ -260,7 +260,7 @@ impl HierLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nemo_flash::{Geometry, LatencyModel};
+    use nemo_flash::{Geometry, LatencyModel, SimFlash};
 
     fn dev() -> SimFlash {
         SimFlash::with_latency(Geometry::new(512, 4, 8, 2), LatencyModel::zero())

@@ -10,7 +10,7 @@
 //! Case 3.2), so GC policy lives in the engines and this type only provides
 //! the mechanics.
 
-use nemo_flash::{Nanos, PageAddr, SimFlash, ZoneId, ZonedFlash};
+use nemo_flash::{Nanos, PageAddr, ZoneId, ZonedFlash};
 use std::collections::{HashMap, VecDeque};
 
 /// Why a set page was written — drives the paper's Fig. 4/5 accounting.
@@ -66,7 +66,7 @@ impl HsetRegion {
     }
 
     /// Total pages across the region's zones.
-    pub fn total_pages(&self, dev: &SimFlash) -> u64 {
+    pub fn total_pages<D: ZonedFlash>(&self, dev: &D) -> u64 {
         self.zone_ids.len() as u64 * dev.geometry().pages_per_zone() as u64
     }
 
@@ -77,7 +77,7 @@ impl HsetRegion {
 
     /// Whether a GC pass should run now (keeps one spare zone beyond the
     /// open frontier).
-    pub fn needs_gc(&self, dev: &SimFlash) -> bool {
+    pub fn needs_gc<D: ZonedFlash>(&self, dev: &D) -> bool {
         let frontier_room = self
             .open
             .is_some_and(|z| dev.write_pointer(ZoneId(z)) < dev.geometry().pages_per_zone());
@@ -92,9 +92,9 @@ impl HsetRegion {
     ///
     /// Panics if no frontier space is available — call [`Self::needs_gc`]
     /// and collect first — or if `set` is out of range.
-    pub fn append_set(
+    pub fn append_set<D: ZonedFlash>(
         &mut self,
-        dev: &mut SimFlash,
+        dev: &mut D,
         set: u64,
         bytes: &[u8],
         now: Nanos,
@@ -118,7 +118,7 @@ impl HsetRegion {
         (addr, done)
     }
 
-    fn frontier(&mut self, dev: &SimFlash) -> u32 {
+    fn frontier<D: ZonedFlash>(&mut self, dev: &D) -> u32 {
         if let Some(z) = self.open {
             if dev.write_pointer(ZoneId(z)) < dev.geometry().pages_per_zone() {
                 return z;
@@ -134,7 +134,7 @@ impl HsetRegion {
 
     /// Greedy GC victim: the full zone with the fewest valid pages
     /// (never the frontier). `None` if no zone is collectible.
-    pub fn victim(&self, dev: &SimFlash) -> Option<u32> {
+    pub fn victim<D: ZonedFlash>(&self, dev: &D) -> Option<u32> {
         let ppz = dev.geometry().pages_per_zone();
         self.zone_ids
             .iter()
@@ -145,7 +145,7 @@ impl HsetRegion {
     }
 
     /// Valid sets remaining in `zone`, in page order.
-    pub fn sets_in_zone(&self, dev: &SimFlash, zone: u32) -> Vec<u64> {
+    pub fn sets_in_zone<D: ZonedFlash>(&self, dev: &D, zone: u32) -> Vec<u64> {
         let geom = dev.geometry();
         (0..geom.pages_per_zone())
             .filter_map(|p| {
@@ -161,7 +161,7 @@ impl HsetRegion {
     /// # Panics
     ///
     /// Panics if the zone still has valid pages.
-    pub fn release_zone(&mut self, dev: &mut SimFlash, zone: u32, now: Nanos) -> Nanos {
+    pub fn release_zone<D: ZonedFlash>(&mut self, dev: &mut D, zone: u32, now: Nanos) -> Nanos {
         assert_eq!(
             self.zone_valid[&zone], 0,
             "releasing zone {zone} with valid sets"
@@ -183,7 +183,7 @@ impl HsetRegion {
 
     /// Fraction of valid pages across full zones — the paper's "valid sets
     /// in each erased unit is about 50% to 80%" diagnostic for Kangaroo.
-    pub fn mean_valid_fraction(&self, dev: &SimFlash) -> f64 {
+    pub fn mean_valid_fraction<D: ZonedFlash>(&self, dev: &D) -> f64 {
         let ppz = dev.geometry().pages_per_zone();
         let full: Vec<u32> = self
             .zone_ids
@@ -209,7 +209,7 @@ impl HsetRegion {
 mod tests {
     use super::*;
     use nemo_engine::codec::PageBuf;
-    use nemo_flash::{Geometry, LatencyModel};
+    use nemo_flash::{Geometry, LatencyModel, SimFlash};
 
     fn dev() -> SimFlash {
         SimFlash::with_latency(Geometry::new(512, 4, 8, 2), LatencyModel::zero())

@@ -43,6 +43,19 @@ impl KangarooConfig {
     pub fn factory(self) -> impl Fn(usize) -> Kangaroo + Send + Sync + Clone {
         move |_shard| Kangaroo::new(self.clone())
     }
+
+    /// A shard factory over a caller-chosen device backend; see
+    /// `NemoConfig::factory_on` for the calling convention.
+    pub fn factory_on<D, G>(self, mut make_dev: G) -> impl FnMut(usize) -> Kangaroo<D> + Send
+    where
+        D: ZonedFlash,
+        G: FnMut(usize, Geometry, LatencyModel) -> D + Send,
+    {
+        move |shard| {
+            let dev = make_dev(shard, self.geometry, self.latency);
+            Kangaroo::with_device(self.clone(), dev)
+        }
+    }
 }
 
 /// The Kangaroo cache engine.
@@ -59,8 +72,8 @@ impl KangarooConfig {
 /// assert!(kg.get(1, Nanos::ZERO).hit);
 /// ```
 #[derive(Debug)]
-pub struct Kangaroo {
-    dev: SimFlash,
+pub struct Kangaroo<D: ZonedFlash = SimFlash> {
+    dev: D,
     log: HierLog,
     hset: HsetRegion,
     filters: Vec<BloomFilter>,
@@ -75,13 +88,30 @@ pub struct Kangaroo {
 }
 
 impl Kangaroo {
-    /// Creates the engine and its device.
+    /// Creates the engine and its simulated device.
     ///
     /// # Panics
     ///
     /// Panics if the geometry is too small to hold both tiers.
     pub fn new(cfg: KangarooConfig) -> Self {
         let dev = SimFlash::with_latency(cfg.geometry, cfg.latency);
+        Self::with_device(cfg, dev)
+    }
+}
+
+impl<D: ZonedFlash> Kangaroo<D> {
+    /// Creates the engine over an existing device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is too small to hold both tiers or the
+    /// device's geometry differs from the configuration's.
+    pub fn with_device(cfg: KangarooConfig, dev: D) -> Self {
+        assert_eq!(
+            dev.geometry(),
+            cfg.geometry,
+            "device geometry must match the configuration"
+        );
         let zones = cfg.geometry.zone_count();
         let log_zones = ((zones as f64 * cfg.log_fraction).round() as u32).max(1);
         assert!(
@@ -234,7 +264,7 @@ impl Kangaroo {
     }
 }
 
-impl CacheEngine for Kangaroo {
+impl<D: ZonedFlash + Send> CacheEngine for Kangaroo<D> {
     fn name(&self) -> &'static str {
         "kangaroo"
     }

@@ -28,6 +28,19 @@ impl LogCacheConfig {
     pub fn factory(self) -> impl Fn(usize) -> LogCache + Send + Sync + Clone {
         move |_shard| LogCache::new(self.clone())
     }
+
+    /// A shard factory over a caller-chosen device backend; see
+    /// `NemoConfig::factory_on` for the calling convention.
+    pub fn factory_on<D, G>(self, mut make_dev: G) -> impl FnMut(usize) -> LogCache<D> + Send
+    where
+        D: ZonedFlash,
+        G: FnMut(usize, Geometry, LatencyModel) -> D + Send,
+    {
+        move |shard| {
+            let dev = make_dev(shard, self.geometry, self.latency);
+            LogCache::with_device(self.clone(), dev)
+        }
+    }
 }
 
 /// Per-object index entry. The paper prices this class of design at
@@ -58,8 +71,8 @@ struct IndexEntry {
 /// assert!(cache.stats().alwa() < 1.2);
 /// ```
 #[derive(Debug)]
-pub struct LogCache {
-    dev: SimFlash,
+pub struct LogCache<D: ZonedFlash = SimFlash> {
+    dev: D,
     index: HashMap<u64, IndexEntry>,
     /// Keys in the page currently being built (flushed together).
     pending: Vec<(u64, u32)>,
@@ -72,9 +85,25 @@ pub struct LogCache {
 }
 
 impl LogCache {
-    /// Creates the cache and its device.
+    /// Creates the cache and its simulated device.
     pub fn new(cfg: LogCacheConfig) -> Self {
         let dev = SimFlash::with_latency(cfg.geometry, cfg.latency);
+        Self::with_device(cfg, dev)
+    }
+}
+
+impl<D: ZonedFlash> LogCache<D> {
+    /// Creates the cache over an existing device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device's geometry differs from the configuration's.
+    pub fn with_device(cfg: LogCacheConfig, dev: D) -> Self {
+        assert_eq!(
+            dev.geometry(),
+            cfg.geometry,
+            "device geometry must match the configuration"
+        );
         let zone_keys = (0..cfg.geometry.zone_count()).map(|_| Vec::new()).collect();
         Self {
             dev,
@@ -135,12 +164,12 @@ impl LogCache {
     }
 
     /// Test/experiment hook: direct read access to device statistics.
-    pub fn device(&self) -> &SimFlash {
+    pub fn device(&self) -> &D {
         &self.dev
     }
 }
 
-impl CacheEngine for LogCache {
+impl<D: ZonedFlash + Send> CacheEngine for LogCache<D> {
     fn name(&self) -> &'static str {
         "log"
     }

@@ -7,7 +7,7 @@ use crate::SET_SALT;
 use nemo_bloom::BloomFilter;
 use nemo_engine::codec::{self, PageBuf, MIN_OBJECT_SIZE};
 use nemo_engine::{CacheEngine, EngineStats, GetOutcome, MemoryBreakdown};
-use nemo_flash::{ConventionalSsd, Geometry, LatencyModel, Nanos};
+use nemo_flash::{ConventionalSsd, Geometry, LatencyModel, Nanos, SimFlash, ZonedFlash};
 use nemo_util::hash_u64;
 
 /// Configuration of [`SetCache`].
@@ -40,6 +40,20 @@ impl SetCacheConfig {
     pub fn factory(self) -> impl Fn(usize) -> SetCache + Send + Sync + Clone {
         move |_shard| SetCache::new(self.clone())
     }
+
+    /// A shard factory over a caller-chosen device backend; see
+    /// `NemoConfig::factory_on` for the calling convention. The zoned
+    /// device is wrapped in the FTL this engine runs on.
+    pub fn factory_on<D, G>(self, mut make_dev: G) -> impl FnMut(usize) -> SetCache<D> + Send
+    where
+        D: ZonedFlash,
+        G: FnMut(usize, Geometry, LatencyModel) -> D + Send,
+    {
+        move |shard| {
+            let dev = make_dev(shard, self.geometry, self.latency);
+            SetCache::with_device(self.clone(), dev)
+        }
+    }
 }
 
 /// Set-associative flash cache over a conventional SSD.
@@ -63,8 +77,8 @@ impl SetCacheConfig {
 /// assert!(cache.stats().alwa() > 10.0);
 /// ```
 #[derive(Debug)]
-pub struct SetCache {
-    dev: ConventionalSsd,
+pub struct SetCache<D: ZonedFlash = SimFlash> {
+    dev: ConventionalSsd<D>,
     filters: Vec<BloomFilter>,
     bloom_geom: (u64, u32),
     n_sets: u64,
@@ -73,13 +87,32 @@ pub struct SetCache {
 }
 
 impl SetCache {
-    /// Creates the cache and its device.
+    /// Creates the cache and its simulated device.
     ///
     /// # Panics
     ///
     /// Panics if the configuration leaves no usable sets.
     pub fn new(cfg: SetCacheConfig) -> Self {
-        let dev = ConventionalSsd::new(cfg.geometry, cfg.latency, cfg.op_ratio);
+        let zoned = SimFlash::with_latency(cfg.geometry, cfg.latency);
+        Self::with_device(cfg, zoned)
+    }
+}
+
+impl<D: ZonedFlash> SetCache<D> {
+    /// Creates the cache over an existing zoned device, wrapping it in
+    /// the page-mapped FTL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration leaves no usable sets or the device's
+    /// geometry differs from the configuration's.
+    pub fn with_device(cfg: SetCacheConfig, zoned: D) -> Self {
+        assert_eq!(
+            zoned.geometry(),
+            cfg.geometry,
+            "device geometry must match the configuration"
+        );
+        let dev = ConventionalSsd::with_device(zoned, cfg.op_ratio);
         let n_sets = dev.user_page_count();
         assert!(n_sets > 0, "no sets available");
         // Expected objects per set drives the filter size.
@@ -104,12 +137,12 @@ impl SetCache {
     }
 
     /// Access to the device for DLWA reporting.
-    pub fn device(&self) -> &ConventionalSsd {
+    pub fn device(&self) -> &ConventionalSsd<D> {
         &self.dev
     }
 }
 
-impl CacheEngine for SetCache {
+impl<D: ZonedFlash + Send> CacheEngine for SetCache<D> {
     fn name(&self) -> &'static str {
         "set"
     }

@@ -1,10 +1,32 @@
-//! Flash-simulator fast-path costs: appends, reads, FTL writes with GC.
+//! Flash fast-path costs across the three backends: the in-memory
+//! simulator, the file-backed simulator (superblock + pwrite per page),
+//! and the real-I/O device (measured syscall path). FTL writes with GC
+//! ride along on the in-memory device.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use nemo_flash::{
-    ConventionalSsd, Geometry, LatencyModel, Nanos, PageAddr, SimFlash, ZoneId, ZonedFlash,
+    ConventionalSsd, Geometry, LatencyModel, Nanos, PageAddr, RealFlash, RealFlashOptions,
+    SimFlash, ZoneId, ZonedFlash,
 };
 use std::hint::black_box;
+
+/// Ring-appends one page, resetting the next zone when the ring wraps —
+/// shared drive loop for the append benchmarks of every backend.
+fn append_ring<D: ZonedFlash>(dev: &mut D, zone: &mut u32, page: &[u8]) {
+    if dev.append(ZoneId(*zone), page, Nanos::ZERO).is_err() {
+        *zone = (*zone + 1) % dev.geometry().zone_count();
+        if dev.append(ZoneId(*zone), page, Nanos::ZERO).is_err() {
+            dev.reset_zone(ZoneId(*zone), Nanos::ZERO).unwrap();
+            dev.append(ZoneId(*zone), page, Nanos::ZERO).unwrap();
+        }
+    }
+}
+
+fn bench_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("nemo_flash_bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
 
 fn bench_flash(c: &mut Criterion) {
     let mut g = c.benchmark_group("flash");
@@ -15,18 +37,7 @@ fn bench_flash(c: &mut Criterion) {
         let mut dev = SimFlash::with_latency(geom, LatencyModel::zero());
         let page = vec![7u8; 4096];
         let mut zone = 0u32;
-        b.iter(|| {
-            if dev
-                .append(ZoneId(zone), black_box(&page), Nanos::ZERO)
-                .is_err()
-            {
-                zone = (zone + 1) % geom.zone_count();
-                if dev.append(ZoneId(zone), &page, Nanos::ZERO).is_err() {
-                    dev.reset_zone(ZoneId(zone), Nanos::ZERO).unwrap();
-                    dev.append(ZoneId(zone), &page, Nanos::ZERO).unwrap();
-                }
-            }
-        });
+        b.iter(|| append_ring(&mut dev, &mut zone, black_box(&page)));
     });
 
     g.throughput(Throughput::Bytes(4096));
@@ -41,6 +52,56 @@ fn bench_flash(c: &mut Criterion) {
                 .unwrap();
             p += 1;
             black_box(data.len())
+        });
+    });
+
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("append_page_file", |b| {
+        let path = bench_dir().join("append.img");
+        let mut dev = SimFlash::file_backed(geom, LatencyModel::zero(), &path).unwrap();
+        let page = vec![7u8; 4096];
+        let mut zone = 0u32;
+        b.iter(|| append_ring(&mut dev, &mut zone, black_box(&page)));
+    });
+
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("read_page_file", |b| {
+        let path = bench_dir().join("read.img");
+        let mut dev = SimFlash::file_backed(geom, LatencyModel::zero(), &path).unwrap();
+        dev.append(ZoneId(0), &vec![7u8; 4096 * 64], Nanos::ZERO)
+            .unwrap();
+        let mut buf = vec![0u8; 4096];
+        let mut p = 0u32;
+        b.iter(|| {
+            dev.read_pages_into(PageAddr::new(0, p % 64), 1, &mut buf, Nanos::ZERO)
+                .unwrap();
+            p += 1;
+            black_box(buf[0])
+        });
+    });
+
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("append_page_real", |b| {
+        let path = bench_dir().join("append_real.img");
+        let mut dev = RealFlash::create(geom, &path, RealFlashOptions::default()).unwrap();
+        let page = vec![7u8; 4096];
+        let mut zone = 0u32;
+        b.iter(|| append_ring(&mut dev, &mut zone, black_box(&page)));
+    });
+
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("read_page_real", |b| {
+        let path = bench_dir().join("read_real.img");
+        let mut dev = RealFlash::create(geom, &path, RealFlashOptions::default()).unwrap();
+        dev.append(ZoneId(0), &vec![7u8; 4096 * 64], Nanos::ZERO)
+            .unwrap();
+        let mut buf = vec![0u8; 4096];
+        let mut p = 0u32;
+        b.iter(|| {
+            dev.read_pages_into(PageAddr::new(0, p % 64), 1, &mut buf, Nanos::ZERO)
+                .unwrap();
+            p += 1;
+            black_box(buf[0])
         });
     });
 

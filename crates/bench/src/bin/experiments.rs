@@ -8,12 +8,18 @@
 //! ids: fig4 fig5 fig6 fig8 fig12a fig12b fig13 fig14 fig15 fig16
 //!      fig17 fig18 fig19a fig19b table5 table6 motivation breakdown
 //!      read_cost sensitivity wave_sweep read_amplification appendix_a
-//!      ablation sharded openloop all
+//!      ablation sharded openloop device_validation all
 //! ```
 //!
 //! `--smoke` shrinks the device and op counts so an experiment
 //! exercises its full code path in seconds (the CI smoke job runs the
-//! `wave_sweep` sensitivity sweep this way on every push).
+//! `wave_sweep` sweep and `device_validation` this way on every push).
+//!
+//! `device_validation` replays the same trace on the modeled (in-memory
+//! and file-backed) and real-I/O backends: behavioural parity (hit
+//! ratio, ALWA/DLWA, device op counts) is asserted, and measured
+//! wall-clock read-latency CDFs print next to the modeled ones. Device
+//! images land in `$NEMO_DEV_DIR` (default: the system temp dir).
 //!
 //! `openloop` replays the merged trace open loop through the sharded
 //! `nemo-service` front-end for all five systems: `--rate` sets the
@@ -21,7 +27,10 @@
 //! per-shard in-flight window, `--shards` the fleet size; read latency
 //! is reported split into queueing delay and service time.
 
-use nemo_bench::{breakdown, main_metrics, motivation, overhead, sensitivity, sharded, RunScale};
+use nemo_bench::{
+    breakdown, device_validation, main_metrics, motivation, overhead, sensitivity, sharded,
+    RunScale,
+};
 use std::time::Instant;
 
 fn usage() -> ! {
@@ -29,7 +38,8 @@ fn usage() -> ! {
         "usage: experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K] [--smoke]\n\
          ids: fig4 fig5 fig6 fig8 fig12a fig12b fig13 fig14 fig15 fig16 fig17 fig18\n\
          \x20     fig19a fig19b table5 table6 motivation breakdown read_cost sensitivity\n\
-         \x20     wave_sweep read_amplification appendix_a ablation sharded openloop all"
+         \x20     wave_sweep read_amplification appendix_a ablation sharded openloop\n\
+         \x20     device_validation all"
     );
     std::process::exit(2);
 }
@@ -135,6 +145,7 @@ fn main() {
         "appendix_a" => overhead::appendix_a(scale),
         "sharded" => sharded::all(scale, shards),
         "openloop" => sharded::openloop_comparison(scale, shards, rate, inflight),
+        "device_validation" => device_validation::device_validation(scale),
         "all" => {
             motivation::all(scale);
             breakdown::all(scale);

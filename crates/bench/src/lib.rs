@@ -43,6 +43,7 @@
 
 pub mod breakdown;
 pub mod common;
+pub mod device_validation;
 pub mod main_metrics;
 pub mod motivation;
 pub mod overhead;

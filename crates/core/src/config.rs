@@ -1,7 +1,7 @@
 //! Nemo configuration (paper Table 3, scaled to simulation geometry).
 
 use nemo_bloom::{sizing, PackedLayout};
-use nemo_flash::{Geometry, LatencyModel};
+use nemo_flash::{Geometry, LatencyModel, ZonedFlash};
 
 /// Configuration of the [`crate::Nemo`] engine.
 ///
@@ -143,6 +143,22 @@ impl NemoConfig {
     /// write a custom closure for heterogeneous fleets.
     pub fn factory(self) -> impl Fn(usize) -> crate::Nemo + Send + Sync + Clone {
         move |_shard| crate::Nemo::new(self.clone())
+    }
+
+    /// A shard factory over a caller-chosen device backend: `make_dev`
+    /// receives `(shard, geometry, latency)` and returns the shard's
+    /// device (e.g. a `RealFlash` over a per-shard file, or an `AnyFlash`
+    /// from `nemo_service::DeviceBackend`). This is the generic
+    /// counterpart of [`Self::factory`] behind runtime backend selection.
+    pub fn factory_on<D, G>(self, mut make_dev: G) -> impl FnMut(usize) -> crate::Nemo<D> + Send
+    where
+        D: ZonedFlash,
+        G: FnMut(usize, Geometry, LatencyModel) -> D + Send,
+    {
+        move |shard| {
+            let dev = make_dev(shard, self.geometry, self.latency);
+            crate::Nemo::with_device(self.clone(), dev)
+        }
     }
 
     /// Sets per SG — one set per page of the SG's zone.

@@ -79,12 +79,14 @@ pub struct NemoReport {
     pub index: crate::index::IndexStats,
 }
 
-/// The Nemo engine. See the crate docs for the architecture and
-/// [`NemoConfig`] for the knobs.
+/// The Nemo engine, generic over its flash device (`D`): the modeled
+/// [`SimFlash`] by default, the measuring `RealFlash` — or anything else
+/// implementing [`ZonedFlash`] — via [`Nemo::with_device`]. See the
+/// crate docs for the architecture and [`NemoConfig`] for the knobs.
 #[derive(Debug)]
-pub struct Nemo {
+pub struct Nemo<D: ZonedFlash = SimFlash> {
     cfg: NemoConfig,
-    dev: SimFlash,
+    dev: D,
     /// Buffered in-memory SGs; front (index 0) is flushed first.
     queue: VecDeque<MemSg>,
     /// Objects sacrificed since the last flush (count-based p-policy).
@@ -108,6 +110,10 @@ pub struct Nemo {
     report: NemoReport,
     bytes_since_cooling: u64,
     cooling_threshold: u64,
+    /// Reused buffer for candidate-wave set reads (get path).
+    wave_buf: Vec<u8>,
+    /// Reused buffer for write-back scan page reads.
+    scan_buf: Vec<u8>,
 }
 
 impl Nemo {
@@ -117,8 +123,27 @@ impl Nemo {
     ///
     /// Panics if the configuration is invalid ([`NemoConfig::validate`]).
     pub fn new(cfg: NemoConfig) -> Self {
-        cfg.validate();
         let dev = SimFlash::with_latency(cfg.geometry, cfg.latency);
+        Self::with_device(cfg, dev)
+    }
+}
+
+impl<D: ZonedFlash> Nemo<D> {
+    /// Creates the engine over an existing device — the generic entry
+    /// point behind backend selection (`cfg.latency` only matters for
+    /// modeled devices; a measuring device ignores it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid ([`NemoConfig::validate`])
+    /// or the device's geometry differs from `cfg.geometry`.
+    pub fn with_device(cfg: NemoConfig, dev: D) -> Self {
+        cfg.validate();
+        assert_eq!(
+            dev.geometry(),
+            cfg.geometry,
+            "device geometry must match the configuration"
+        );
         let index_zones: Vec<u32> = (0..cfg.index_zones()).collect();
         let data_zones: VecDeque<u32> = (cfg.index_zones()..cfg.geometry.zone_count()).collect();
         let pool_capacity = data_zones.len();
@@ -156,6 +181,8 @@ impl Nemo {
             report: NemoReport::default(),
             bytes_since_cooling: 0,
             cooling_threshold: cooling_threshold.max(1),
+            wave_buf: Vec::new(),
+            scan_buf: Vec::new(),
             cfg,
         }
     }
@@ -196,7 +223,7 @@ impl Nemo {
     }
 
     /// Direct device access for experiments.
-    pub fn device(&self) -> &SimFlash {
+    pub fn device(&self) -> &D {
         &self.dev
     }
 
@@ -420,12 +447,13 @@ impl Nemo {
             return false;
         }
         let addr = PageAddr::new(victim.zone, set);
-        let (page, _) = self
-            .dev
-            .read_pages(addr, 1, now)
+        let psz = self.cfg.geometry.page_size() as usize;
+        self.scan_buf.resize(psz, 0);
+        self.dev
+            .read_pages_into(addr, 1, &mut self.scan_buf, now)
             .expect("victim SG page read");
-        self.stats.flash_bytes_read += self.cfg.geometry.page_size() as u64;
-        for (k, s) in codec::parse_entries(&page) {
+        self.stats.flash_bytes_read += psz as u64;
+        for (k, s) in codec::parse_entries(&self.scan_buf) {
             if self.tracker.is_hot(victim.seq, set, k) {
                 out.push((set, k, s));
             }
@@ -486,7 +514,7 @@ impl Nemo {
     }
 }
 
-impl CacheEngine for Nemo {
+impl<D: ZonedFlash + Send> CacheEngine for Nemo<D> {
     fn name(&self) -> &'static str {
         "nemo"
     }
@@ -522,6 +550,8 @@ impl CacheEngine for Nemo {
         //    newer one missed, so a hit on the live (newest) version
         //    never pays for the stale copies behind it.
         let wave = self.cfg.read_wave_width.max(1) as usize;
+        let psz = self.cfg.geometry.page_size() as usize;
+        let mut addrs: Vec<PageAddr> = Vec::with_capacity(wave.min(q.candidates.len()));
         let mut done = q.done_at;
         let mut reads = 0u32;
         let mut hit = false;
@@ -529,18 +559,18 @@ impl CacheEngine for Nemo {
         while start < q.candidates.len() && !hit {
             let end = (start + wave).min(q.candidates.len());
             let wave_cands = &q.candidates[start..end];
-            let addrs: Vec<PageAddr> = wave_cands
-                .iter()
-                .map(|c| PageAddr::new(c.zone, set))
-                .collect();
-            let (pages, t) = self
+            addrs.clear();
+            addrs.extend(wave_cands.iter().map(|c| PageAddr::new(c.zone, set)));
+            // Read the wave into the engine's reused buffer: the get path
+            // issues no per-wave allocation.
+            self.wave_buf.resize(addrs.len() * psz, 0);
+            done = self
                 .dev
-                .read_scattered(&addrs, done)
+                .read_scattered_into(&addrs, &mut self.wave_buf, done)
                 .expect("candidate set reads");
-            done = t;
             reads += addrs.len() as u32;
-            self.stats.flash_bytes_read += pages.iter().map(|p| p.len() as u64).sum::<u64>();
-            for (cand, page) in wave_cands.iter().zip(&pages) {
+            self.stats.flash_bytes_read += self.wave_buf.len() as u64;
+            for (cand, page) in wave_cands.iter().zip(self.wave_buf.chunks_exact(psz)) {
                 if codec::find_payload(page, key).is_some() {
                     if hit {
                         // An older copy of a key already found in this

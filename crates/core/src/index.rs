@@ -9,7 +9,7 @@
 //! stay in memory until the group is sealed.
 
 use nemo_bloom::{contains_in_slice, BloomFilter, ProbeSet};
-use nemo_flash::{Nanos, PageAddr, SimFlash, ZoneId, ZoneState, ZonedFlash};
+use nemo_flash::{Nanos, PageAddr, ZoneId, ZoneState, ZonedFlash};
 use std::collections::{HashMap, VecDeque};
 
 /// A candidate location returned by a PBFG query.
@@ -273,9 +273,9 @@ impl PbfgIndex {
     /// recorded in the group's supersede filter when stale-version
     /// filtering is enabled (pass `&[]` to skip). Returns flash bytes
     /// written (0 until a group seals) and the completion time.
-    pub fn add_sg(
+    pub fn add_sg<D: ZonedFlash>(
         &mut self,
-        dev: &mut SimFlash,
+        dev: &mut D,
         seq: u64,
         zone: u32,
         filters: Vec<BloomFilter>,
@@ -306,7 +306,7 @@ impl PbfgIndex {
 
     /// Serializes the building group into packed PBFG pages and appends
     /// them to the index pool.
-    fn persist_building(&mut self, dev: &mut SimFlash, now: Nanos) -> (u64, Nanos) {
+    fn persist_building<D: ZonedFlash>(&mut self, dev: &mut D, now: Nanos) -> (u64, Nanos) {
         let group_id = self.next_group_id;
         self.next_group_id += 1;
         let psz = self.page_size as usize;
@@ -350,7 +350,7 @@ impl PbfgIndex {
     }
 
     /// Finds (recycling if needed) a pool zone with room for one group.
-    fn pool_zone_with_room(&mut self, dev: &mut SimFlash, now: Nanos) -> u32 {
+    fn pool_zone_with_room<D: ZonedFlash>(&mut self, dev: &mut D, now: Nanos) -> u32 {
         let ppz = dev.geometry().pages_per_zone();
         for _ in 0..=self.pool_zones.len() {
             let zone = self.pool_zones[self.pool_open];
@@ -419,9 +419,9 @@ impl PbfgIndex {
     /// every older copy of the key is stale, so older groups are
     /// neither probed nor fetched. The surviving list is truncated to
     /// the newest [`Self::set_max_candidates`] entries.
-    pub fn candidates(
+    pub fn candidates<D: ZonedFlash>(
         &mut self,
-        dev: &mut SimFlash,
+        dev: &mut D,
         set: u32,
         key: u64,
         now: Nanos,
@@ -555,7 +555,7 @@ impl PbfgIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nemo_flash::{Geometry, LatencyModel};
+    use nemo_flash::{Geometry, LatencyModel, SimFlash};
 
     const SETS: u32 = 8;
 

@@ -1,0 +1,125 @@
+//! Pluggable time sources for devices that *measure* operation latency.
+//!
+//! [`SimFlash`](crate::SimFlash) never reads a clock: its completion times
+//! come from the per-die latency model, which is what makes simulations
+//! deterministic and wall-clock-free. [`RealFlash`](crate::RealFlash)
+//! issues actual I/O, so its completion times are *measured*: each device
+//! operation samples a [`Clock`] before and after the syscall and reports
+//! `now + elapsed`. The trait exists so tests can substitute a
+//! deterministic source ([`TickClock`]) and still exercise the measured
+//! path end to end.
+
+use crate::time::Nanos;
+use std::time::Instant;
+
+/// A monotonic time source read by measuring devices.
+///
+/// Readings are nanoseconds since an arbitrary per-clock epoch; only
+/// differences between readings are meaningful. Implementations must be
+/// monotonic (a later call never returns a smaller value).
+pub trait Clock: std::fmt::Debug + Send {
+    /// Current monotonic reading.
+    fn monotonic(&mut self) -> Nanos;
+}
+
+/// The production clock: [`Instant`]-based wall-clock time.
+///
+/// # Examples
+///
+/// ```
+/// use nemo_flash::{Clock, WallClock};
+///
+/// let mut clock = WallClock::new();
+/// let a = clock.monotonic();
+/// let b = clock.monotonic();
+/// assert!(b >= a);
+/// ```
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// Creates a clock whose epoch is "now".
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn monotonic(&mut self) -> Nanos {
+        Nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+}
+
+/// A deterministic clock that advances a fixed `tick` on every reading.
+///
+/// Under a `TickClock`, every measured interval spanning one operation
+/// comes out to exactly `tick`, so tests of the measured-latency path
+/// (e.g. the cross-backend differential suite) stay reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use nemo_flash::{Clock, Nanos, TickClock};
+///
+/// let mut clock = TickClock::new(Nanos::from_micros(5));
+/// let a = clock.monotonic();
+/// let b = clock.monotonic();
+/// assert_eq!(b - a, Nanos::from_micros(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TickClock {
+    now: Nanos,
+    tick: Nanos,
+}
+
+impl TickClock {
+    /// Creates a clock advancing `tick` per reading.
+    pub fn new(tick: Nanos) -> Self {
+        Self {
+            now: Nanos::ZERO,
+            tick,
+        }
+    }
+}
+
+impl Clock for TickClock {
+    fn monotonic(&mut self) -> Nanos {
+        let t = self.now;
+        self.now += self.tick;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let mut c = WallClock::new();
+        let mut last = c.monotonic();
+        for _ in 0..100 {
+            let t = c.monotonic();
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn tick_clock_is_exact() {
+        let mut c = TickClock::new(Nanos(7));
+        assert_eq!(c.monotonic(), Nanos(0));
+        assert_eq!(c.monotonic(), Nanos(7));
+        assert_eq!(c.monotonic(), Nanos(14));
+    }
+}

@@ -37,7 +37,9 @@ impl FtlStats {
     }
 }
 
-/// A page-mapped conventional SSD with greedy GC.
+/// A page-mapped conventional SSD with greedy GC, generic over the
+/// zoned substrate it manages (modeled [`SimFlash`] by default; any
+/// [`ZonedFlash`] — including the real-I/O device — works).
 ///
 /// The device exposes `user_page_count()` logical pages — the raw capacity
 /// minus the over-provisioning fraction. Logical overwrites invalidate the
@@ -59,8 +61,8 @@ impl FtlStats {
 /// # Ok::<(), nemo_flash::FlashError>(())
 /// ```
 #[derive(Debug)]
-pub struct ConventionalSsd {
-    flash: SimFlash,
+pub struct ConventionalSsd<D: ZonedFlash = SimFlash> {
+    flash: D,
     user_pages: u64,
     /// lpn -> physical page.
     map: Vec<Option<PageAddr>>,
@@ -75,14 +77,29 @@ pub struct ConventionalSsd {
 }
 
 impl ConventionalSsd {
-    /// Creates a device exposing `(1 - op_ratio)` of the raw capacity.
+    /// Creates a device over a fresh in-memory [`SimFlash`], exposing
+    /// `(1 - op_ratio)` of the raw capacity.
     ///
     /// # Panics
     ///
     /// Panics if `op_ratio` is not in `[0, 1)` or leaves less than two
     /// zones of slack (greedy GC needs headroom to make progress).
     pub fn new(geom: Geometry, lat: LatencyModel, op_ratio: f64) -> Self {
+        Self::with_device(SimFlash::with_latency(geom, lat), op_ratio)
+    }
+}
+
+impl<D: ZonedFlash> ConventionalSsd<D> {
+    /// Wraps an existing zoned device (which must be freshly reset) in
+    /// the FTL, exposing `(1 - op_ratio)` of the raw capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op_ratio` is not in `[0, 1)` or leaves less than two
+    /// zones of slack (greedy GC needs headroom to make progress).
+    pub fn with_device(flash: D, op_ratio: f64) -> Self {
         assert!((0.0..1.0).contains(&op_ratio), "op_ratio must be in [0,1)");
+        let geom = flash.geometry();
         let total = geom.total_pages();
         let user_pages = ((total as f64) * (1.0 - op_ratio)).floor() as u64;
         let slack_pages = total - user_pages;
@@ -93,7 +110,6 @@ impl ConventionalSsd {
             slack_pages,
             2 * geom.pages_per_zone()
         );
-        let flash = SimFlash::with_latency(geom, lat);
         Self {
             flash,
             user_pages,

@@ -43,6 +43,9 @@ pub enum FlashError {
     GcStalled,
     /// Backing-file I/O failed (file-backed devices only).
     Io(String),
+    /// A backed device file's superblock is missing, corrupt, or does not
+    /// match the file (reopen of a non-device or truncated file).
+    BadSuperblock(String),
 }
 
 impl fmt::Display for FlashError {
@@ -80,6 +83,7 @@ impl fmt::Display for FlashError {
                 write!(f, "garbage collection stalled: no reclaimable space")
             }
             FlashError::Io(msg) => write!(f, "backing-file i/o error: {msg}"),
+            FlashError::BadSuperblock(msg) => write!(f, "bad device superblock: {msg}"),
         }
     }
 }

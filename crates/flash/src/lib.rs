@@ -14,16 +14,28 @@
 //! — and accounts every host/NAND byte so application-level and
 //! device-level write amplification can be measured exactly.
 //!
-//! Two devices are provided:
+//! Three devices are provided:
 //!
 //! * [`SimFlash`]: the zoned device (ZNS-style). Host placement decisions are
 //!   explicit, so device-level WA is 1.0 by construction, exactly like the
 //!   log-structured devices the paper targets. Data can live in memory or in
-//!   a backing file ([`SimFlash::file_backed`]).
+//!   a backing file ([`SimFlash::file_backed`]) behind a persistent
+//!   superblock, so file-backed devices survive process restarts
+//!   ([`SimFlash::open_file_backed`]). Completion times come from the
+//!   per-die latency *model*.
+//! * [`RealFlash`]: the real-I/O zoned device — `pread`/`pwrite` against a
+//!   preallocated file or raw block device, software-enforced zone
+//!   semantics, fsync barriers on zone finish/reset, and *measured*
+//!   wall-clock completion times via a pluggable [`Clock`]. This is the
+//!   backend that validates the modeled latency claims end to end.
 //! * [`ConventionalSsd`]: a block device built on top of [`SimFlash`] with a
 //!   page-mapped FTL, greedy garbage collection and configurable
 //!   over-provisioning. Used by the set-associative baseline, which the
 //!   paper runs with 50 % OP, and for DLWA studies.
+//!
+//! [`AnyFlash`] wraps the two zoned devices in one concrete type for
+//! runtime backend selection (engines themselves are generic over
+//! [`ZonedFlash`]).
 //!
 //! # Examples
 //!
@@ -39,18 +51,25 @@
 //! # Ok::<(), nemo_flash::FlashError>(())
 //! ```
 
+mod backend;
+mod clock;
 mod conventional;
 mod dies;
 mod error;
 mod geometry;
+mod real;
 mod stats;
+mod superblock;
 mod time;
 mod zoned;
 
+pub use backend::AnyFlash;
+pub use clock::{Clock, TickClock, WallClock};
 pub use conventional::{ConventionalSsd, FtlStats};
 pub use dies::{DieTimeline, LatencyModel};
 pub use error::FlashError;
 pub use geometry::{Geometry, PageAddr, ZoneId};
+pub use real::{RealFlash, RealFlashOptions};
 pub use stats::DeviceStats;
 pub use time::Nanos;
 pub use zoned::{SimFlash, ZoneState, ZonedFlash};

@@ -1,0 +1,232 @@
+//! On-device superblock + zone map for file-backed devices.
+//!
+//! A file-backed device ([`crate::SimFlash::file_backed`] and
+//! [`crate::RealFlash`]) reserves a page-aligned metadata region at the
+//! head of its backing file: a fixed header recording the geometry
+//! followed by one record per zone (write pointer, finished flag, reset
+//! count). Zone records are rewritten in place whenever the zone's state
+//! changes, so the zone map survives a process restart and
+//! `open`-flavoured constructors can restore the device exactly where it
+//! left off. Page data starts at [`data_offset`], keeping payload offsets
+//! page-aligned for direct I/O.
+
+use crate::error::FlashError;
+use crate::geometry::Geometry;
+use std::fs::File;
+use std::io;
+use std::os::unix::fs::FileExt;
+
+/// Magic + format version at byte 0 of every backed device file.
+const MAGIC: &[u8; 8] = b"NEMOSB01";
+/// Fixed header bytes before the zone records.
+const HEADER_BYTES: u64 = 64;
+/// Bytes per zone record.
+const ZONE_RECORD_BYTES: u64 = 16;
+
+/// Persistent state of one zone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct ZoneRecord {
+    /// Next page offset to be written.
+    pub write_ptr: u32,
+    /// Whether the zone was explicitly finished.
+    pub finished: bool,
+    /// Times the zone has been reset (wear indicator).
+    pub resets: u64,
+}
+
+/// Bytes of the metadata region (header + zone map), before alignment.
+fn meta_bytes(zone_count: u32) -> u64 {
+    HEADER_BYTES + zone_count as u64 * ZONE_RECORD_BYTES
+}
+
+/// Offset at which page data starts: the metadata region rounded up to a
+/// whole number of pages, so every payload offset stays page-aligned.
+pub(crate) fn data_offset(geom: &Geometry) -> u64 {
+    let psz = geom.page_size() as u64;
+    meta_bytes(geom.zone_count()).div_ceil(psz) * psz
+}
+
+/// Total file length for a device of this geometry.
+pub(crate) fn file_len(geom: &Geometry) -> u64 {
+    data_offset(geom) + geom.total_bytes()
+}
+
+fn encode_header(geom: &Geometry) -> [u8; HEADER_BYTES as usize] {
+    let mut buf = [0u8; HEADER_BYTES as usize];
+    buf[0..8].copy_from_slice(MAGIC);
+    buf[8..12].copy_from_slice(&geom.page_size().to_le_bytes());
+    buf[12..16].copy_from_slice(&geom.pages_per_zone().to_le_bytes());
+    buf[16..20].copy_from_slice(&geom.zone_count().to_le_bytes());
+    buf[20..24].copy_from_slice(&geom.dies().to_le_bytes());
+    buf
+}
+
+fn encode_record(rec: &ZoneRecord) -> [u8; ZONE_RECORD_BYTES as usize] {
+    let mut buf = [0u8; ZONE_RECORD_BYTES as usize];
+    buf[0..4].copy_from_slice(&rec.write_ptr.to_le_bytes());
+    buf[4] = u8::from(rec.finished);
+    buf[8..16].copy_from_slice(&rec.resets.to_le_bytes());
+    buf
+}
+
+fn u32_at(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().expect("4-byte slice"))
+}
+
+/// Writes the full superblock (header + every zone record).
+pub(crate) fn write_full(file: &File, geom: &Geometry, zones: &[ZoneRecord]) -> io::Result<()> {
+    file.write_all_at(&encode_header(geom), 0)?;
+    let mut map = Vec::with_capacity(zones.len() * ZONE_RECORD_BYTES as usize);
+    for rec in zones {
+        map.extend_from_slice(&encode_record(rec));
+    }
+    file.write_all_at(&map, HEADER_BYTES)
+}
+
+/// Rewrites the record of one zone in place.
+pub(crate) fn write_zone(file: &File, zone: u32, rec: &ZoneRecord) -> io::Result<()> {
+    let off = HEADER_BYTES + zone as u64 * ZONE_RECORD_BYTES;
+    file.write_all_at(&encode_record(rec), off)
+}
+
+/// Reads and validates the superblock, returning the recorded geometry
+/// and zone map.
+pub(crate) fn read(file: &File) -> Result<(Geometry, Vec<ZoneRecord>), FlashError> {
+    let mut header = [0u8; HEADER_BYTES as usize];
+    file.read_exact_at(&mut header, 0)
+        .map_err(|e| FlashError::BadSuperblock(format!("header unreadable: {e}")))?;
+    if &header[0..8] != MAGIC {
+        return Err(FlashError::BadSuperblock(
+            "bad magic: not a nemo device file (or a pre-superblock image)".into(),
+        ));
+    }
+    let page_size = u32_at(&header, 8);
+    let pages_per_zone = u32_at(&header, 12);
+    let zone_count = u32_at(&header, 16);
+    let dies = u32_at(&header, 20);
+    if page_size == 0 || pages_per_zone == 0 || zone_count == 0 || dies == 0 {
+        return Err(FlashError::BadSuperblock(format!(
+            "degenerate geometry: {page_size} B pages, {pages_per_zone} pages/zone, \
+             {zone_count} zones, {dies} dies"
+        )));
+    }
+    // Header fields are untrusted until the file's actual length vouches
+    // for them: compute the expected length in u128 (u32 factors cannot
+    // overflow there) and only then construct the Geometry, whose u64
+    // size math is safe for anything a real file can back.
+    let actual = file
+        .metadata()
+        .map_err(|e| FlashError::BadSuperblock(format!("metadata unreadable: {e}")))?
+        .len();
+    let psz = page_size as u128;
+    let meta = meta_bytes(zone_count) as u128;
+    let expect = meta.div_ceil(psz) * psz + psz * pages_per_zone as u128 * zone_count as u128;
+    if (actual as u128) < expect {
+        return Err(FlashError::BadSuperblock(format!(
+            "file truncated: {actual} bytes, recorded geometry needs {expect}"
+        )));
+    }
+    let geom = Geometry::new(page_size, pages_per_zone, zone_count, dies);
+    let mut map = vec![0u8; zone_count as usize * ZONE_RECORD_BYTES as usize];
+    file.read_exact_at(&mut map, HEADER_BYTES)
+        .map_err(|e| FlashError::BadSuperblock(format!("zone map unreadable: {e}")))?;
+    let zones = (0..zone_count as usize)
+        .map(|z| {
+            let rec = &map[z * ZONE_RECORD_BYTES as usize..];
+            ZoneRecord {
+                write_ptr: u32_at(rec, 0),
+                finished: rec[4] != 0,
+                resets: u64::from_le_bytes(rec[8..16].try_into().expect("8-byte slice")),
+            }
+        })
+        .collect();
+    Ok((geom, zones))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("nemo_superblock_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_geometry_and_zone_map() {
+        let geom = Geometry::new(512, 8, 5, 2);
+        let path = tmp("roundtrip.img");
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        file.set_len(file_len(&geom)).unwrap();
+        let mut zones = vec![ZoneRecord::default(); 5];
+        zones[2] = ZoneRecord {
+            write_ptr: 3,
+            finished: false,
+            resets: 7,
+        };
+        write_full(&file, &geom, &zones).unwrap();
+        write_zone(
+            &file,
+            4,
+            &ZoneRecord {
+                write_ptr: 8,
+                finished: true,
+                resets: 1,
+            },
+        )
+        .unwrap();
+        let (g, z) = read(&file).unwrap();
+        assert_eq!(g, geom);
+        assert_eq!(z[2].write_ptr, 3);
+        assert_eq!(z[2].resets, 7);
+        assert_eq!(z[4].write_ptr, 8);
+        assert!(z[4].finished);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn data_offset_is_page_aligned() {
+        let geom = Geometry::new(4096, 256, 64, 8);
+        assert_eq!(data_offset(&geom) % 4096, 0);
+        assert!(data_offset(&geom) >= meta_bytes(64));
+        // 64 + 64*16 = 1088 -> one 4 KB page.
+        assert_eq!(data_offset(&geom), 4096);
+    }
+
+    #[test]
+    fn absurd_recorded_geometry_rejected_without_allocating() {
+        // A valid magic with overflow-scale geometry fields must come
+        // back as BadSuperblock — not a giant zone-map allocation or a
+        // u64 overflow panic — because the small file cannot vouch for
+        // it.
+        let path = tmp("absurd.img");
+        let mut header = vec![0u8; 4096];
+        header[0..8].copy_from_slice(MAGIC);
+        header[8..12].copy_from_slice(&0x0010_0000u32.to_le_bytes()); // 1 MB pages
+        header[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        header[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        header[20..24].copy_from_slice(&8u32.to_le_bytes());
+        std::fs::write(&path, &header).unwrap();
+        let file = File::open(&path).unwrap();
+        let err = read(&file).unwrap_err();
+        assert!(matches!(err, FlashError::BadSuperblock(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_file_rejected() {
+        let path = tmp("garbage.img");
+        std::fs::write(&path, vec![0xAAu8; 4096]).unwrap();
+        let file = File::open(&path).unwrap();
+        let err = read(&file).unwrap_err();
+        assert!(matches!(err, FlashError::BadSuperblock(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,208 @@
+//! Differential property test of the three zoned backends: the same
+//! deterministic op sequence against in-memory `SimFlash`, file-backed
+//! `SimFlash`, and `RealFlash` must yield byte-identical page contents,
+//! identical per-op outcomes (including the *kind* of error), identical
+//! zone states/write pointers, and identical `DeviceStats` op counts.
+//! Only time may differ — the simulators model it, `RealFlash` measures
+//! it (pinned to a `TickClock` here so the run is reproducible).
+
+use nemo_flash::{
+    FlashError, Geometry, LatencyModel, Nanos, PageAddr, RealFlash, RealFlashOptions, SimFlash,
+    TickClock, ZoneId, ZonedFlash,
+};
+use proptest::prelude::*;
+
+/// One decoded device operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Append { zone: u32, fill: u8, pages: u32 },
+    Read { zone: u32, page: u32 },
+    Reset { zone: u32 },
+    Finish { zone: u32 },
+}
+
+const ZONES: u32 = 4;
+const PAGES_PER_ZONE: u32 = 4;
+const PAGE: usize = 512;
+
+fn decode(raw: (u8, u32, u8, u32)) -> Op {
+    let (kind, zone, fill, pages) = raw;
+    match kind % 6 {
+        // Appends dominate so zones actually fill and overflow/reset
+        // paths get exercised.
+        0..=2 => Op::Append { zone, fill, pages },
+        3 => Op::Read {
+            zone,
+            page: pages % PAGES_PER_ZONE,
+        },
+        4 => Op::Reset { zone },
+        _ => Op::Finish { zone },
+    }
+}
+
+/// Outcome signature of one op, comparable across backends: payload and
+/// error kind, with all times stripped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Outcome {
+    Appended(PageAddr),
+    ReadBytes(Vec<u8>),
+    Done,
+    Failed(&'static str),
+}
+
+fn error_kind(e: &FlashError) -> &'static str {
+    match e {
+        FlashError::BadZone(_) => "bad-zone",
+        FlashError::BadAddress(_) => "bad-address",
+        FlashError::ZoneOverflow { .. } => "overflow",
+        FlashError::ReadBeyondWritePointer { .. } => "beyond-wp",
+        FlashError::UnalignedLength { .. } => "unaligned",
+        FlashError::ZoneNotWritable(_) => "not-writable",
+        _ => "other",
+    }
+}
+
+fn apply<D: ZonedFlash>(dev: &mut D, op: Op) -> Outcome {
+    match op {
+        Op::Append { zone, fill, pages } => {
+            let data = vec![fill; pages as usize * PAGE];
+            match dev.append(ZoneId(zone), &data, Nanos::ZERO) {
+                Ok((addr, _)) => Outcome::Appended(addr),
+                Err(e) => Outcome::Failed(error_kind(&e)),
+            }
+        }
+        Op::Read { zone, page } => {
+            match dev.read_pages(PageAddr::new(zone, page), 1, Nanos::ZERO) {
+                Ok((bytes, _)) => Outcome::ReadBytes(bytes),
+                Err(e) => Outcome::Failed(error_kind(&e)),
+            }
+        }
+        Op::Reset { zone } => match dev.reset_zone(ZoneId(zone), Nanos::ZERO) {
+            Ok(_) => Outcome::Done,
+            Err(e) => Outcome::Failed(error_kind(&e)),
+        },
+        Op::Finish { zone } => match dev.finish_zone(ZoneId(zone)) {
+            Ok(()) => Outcome::Done,
+            Err(e) => Outcome::Failed(error_kind(&e)),
+        },
+    }
+}
+
+fn tmp(name: String) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("nemo_differential_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The cross-backend contract behind `experiments device_validation`:
+    /// backends may change time, never behaviour.
+    #[test]
+    fn backends_are_behaviourally_identical(
+        raw_ops in prop::collection::vec((0u8..=255, 0u32..ZONES + 1, 0u8..=255, 1u32..4), 20..120),
+        case_id in 0u64..u64::MAX
+    ) {
+        let geom = Geometry::new(PAGE as u32, PAGES_PER_ZONE, ZONES, 2);
+        let file_path = tmp(format!("sim-{case_id}.img"));
+        let real_path = tmp(format!("real-{case_id}.img"));
+        let mut mem = SimFlash::with_latency(geom, LatencyModel::zero());
+        let mut file = SimFlash::file_backed(geom, LatencyModel::zero(), &file_path)
+            .expect("file-backed device");
+        let mut real = RealFlash::create_with_clock(
+            geom,
+            &real_path,
+            RealFlashOptions::default(),
+            TickClock::new(Nanos::from_micros(1)),
+        )
+        .expect("real device");
+
+        for (i, &raw) in raw_ops.iter().enumerate() {
+            let op = decode(raw);
+            let a = apply(&mut mem, op);
+            let b = apply(&mut file, op);
+            let c = apply(&mut real, op);
+            prop_assert_eq!(&a, &b, "mem vs file diverged at op {} ({:?})", i, op);
+            prop_assert_eq!(&a, &c, "mem vs real diverged at op {} ({:?})", i, op);
+        }
+
+        // Final zone map parity.
+        for z in 0..ZONES {
+            let zone = ZoneId(z);
+            prop_assert_eq!(mem.zone_state(zone), file.zone_state(zone));
+            prop_assert_eq!(mem.zone_state(zone), real.zone_state(zone));
+            prop_assert_eq!(mem.write_pointer(zone), file.write_pointer(zone));
+            prop_assert_eq!(mem.write_pointer(zone), real.write_pointer(zone));
+        }
+
+        // Byte-identical contents of every readable page.
+        for z in 0..ZONES {
+            for p in 0..mem.write_pointer(ZoneId(z)) {
+                let addr = PageAddr::new(z, p);
+                let (da, _) = mem.read_pages(addr, 1, Nanos::ZERO).expect("mem read");
+                let (db, _) = file.read_pages(addr, 1, Nanos::ZERO).expect("file read");
+                let (dc, _) = real.read_pages(addr, 1, Nanos::ZERO).expect("real read");
+                prop_assert_eq!(&da, &db, "file contents diverged at {}", addr);
+                prop_assert_eq!(&da, &dc, "real contents diverged at {}", addr);
+            }
+        }
+
+        // Identical DeviceStats op counts (times excluded: busy_time is
+        // modeled on the simulators and measured on RealFlash).
+        let (sa, sb, sc) = (mem.stats(), file.stats(), real.stats());
+        let counts = |s: &nemo_flash::DeviceStats| {
+            (
+                s.pages_written,
+                s.bytes_written,
+                s.pages_read,
+                s.bytes_read,
+                s.zone_resets,
+                s.append_ops,
+                s.read_ops,
+            )
+        };
+        prop_assert_eq!(counts(&sa), counts(&sb), "file op counts diverged");
+        prop_assert_eq!(counts(&sa), counts(&sc), "real op counts diverged");
+
+        std::fs::remove_file(&file_path).ok();
+        std::fs::remove_file(&real_path).ok();
+    }
+}
+
+/// Reopen-and-read smoke test spanning both persistent backends: write
+/// through one process "lifetime", reopen, and keep using the device.
+#[test]
+fn persistent_backends_survive_reopen_and_continue() {
+    let geom = Geometry::new(512, 4, 3, 2);
+    let sim_path = tmp("reopen-sim.img".into());
+    let real_path = tmp("reopen-real.img".into());
+    let payload: Vec<u8> = (0..512u32).map(|i| (i * 37 % 251) as u8).collect();
+
+    {
+        let mut sim = SimFlash::file_backed(geom, LatencyModel::zero(), &sim_path).unwrap();
+        let mut real = RealFlash::create(geom, &real_path, RealFlashOptions::default()).unwrap();
+        for dev in [&mut sim as &mut dyn ZonedFlash, &mut real] {
+            dev.append(ZoneId(0), &payload, Nanos::ZERO).unwrap();
+            dev.append(ZoneId(1), &vec![9u8; 512 * 4], Nanos::ZERO)
+                .unwrap();
+            dev.finish_zone(ZoneId(0)).unwrap();
+        }
+    }
+
+    let mut sim = SimFlash::open_file_backed(LatencyModel::zero(), &sim_path).unwrap();
+    let mut real = RealFlash::open(&real_path, RealFlashOptions::default()).unwrap();
+    for dev in [&mut sim as &mut dyn ZonedFlash, &mut real] {
+        assert_eq!(dev.geometry(), geom);
+        let (back, _) = dev.read_pages(PageAddr::new(0, 0), 1, Nanos::ZERO).unwrap();
+        assert_eq!(back, payload, "payload must survive reopen");
+        assert_eq!(dev.write_pointer(ZoneId(1)), 4, "write pointer restored");
+        // The finished zone still rejects appends; zone 2 still works.
+        assert!(dev.append(ZoneId(0), &vec![1u8; 512], Nanos::ZERO).is_err());
+        dev.append(ZoneId(2), &vec![3u8; 512], Nanos::ZERO).unwrap();
+        dev.reset_zone(ZoneId(1), Nanos::ZERO).unwrap();
+        dev.append(ZoneId(1), &vec![4u8; 512], Nanos::ZERO).unwrap();
+    }
+    std::fs::remove_file(&sim_path).ok();
+    std::fs::remove_file(&real_path).ok();
+}

@@ -1,0 +1,169 @@
+//! Runtime device-backend selection for shard fleets.
+//!
+//! Engines are generic over `ZonedFlash`; a service picks the backend at
+//! run time (a CLI flag, a deployment config). [`DeviceBackend`] is that
+//! switch: it opens one device per shard — modeled in-memory, modeled
+//! file-backed, or real-I/O with measured completion times — all behind
+//! the single concrete [`AnyFlash`] type, so a whole fleet shares one
+//! engine type regardless of backend. Wire it to a config's
+//! `factory_on` via [`DeviceBackend::device_factory`]:
+//!
+//! ```
+//! use nemo_core::NemoConfig;
+//! use nemo_service::{DeviceBackend, ShardedCacheBuilder};
+//! use nemo_flash::Nanos;
+//!
+//! let backend = DeviceBackend::Modeled; // or ::real(dir) for real I/O
+//! let cache = ShardedCacheBuilder::new(2)
+//!     .spawn(NemoConfig::small().factory_on(backend.device_factory("doc")));
+//! cache.put(7, 250, Nanos::ZERO);
+//! assert!(cache.get(7, Nanos::ZERO).hit);
+//! ```
+
+use nemo_flash::{
+    AnyFlash, FlashError, Geometry, LatencyModel, RealFlash, RealFlashOptions, SimFlash,
+};
+use std::path::PathBuf;
+
+/// Which device every shard of a fleet runs on.
+#[derive(Debug, Clone)]
+pub enum DeviceBackend {
+    /// In-memory [`SimFlash`]: modeled completion times, no files. The
+    /// default everywhere.
+    Modeled,
+    /// File-backed [`SimFlash`] in `dir`: modeled completion times, page
+    /// data and zone map persisted per shard.
+    ModeledFile {
+        /// Directory holding one device image per shard.
+        dir: PathBuf,
+    },
+    /// [`RealFlash`] device files in `dir`: real `pread`/`pwrite` I/O
+    /// with *measured* wall-clock completion times.
+    Real {
+        /// Directory holding one device image per shard.
+        dir: PathBuf,
+        /// Direct-I/O / fsync tuning.
+        options: RealFlashOptions,
+    },
+}
+
+impl DeviceBackend {
+    /// A file-backed modeled backend rooted at `dir`.
+    pub fn modeled_file(dir: impl Into<PathBuf>) -> Self {
+        DeviceBackend::ModeledFile { dir: dir.into() }
+    }
+
+    /// A real-I/O backend rooted at `dir` with default options (buffered
+    /// I/O, fsync barriers on zone finish/reset).
+    pub fn real(dir: impl Into<PathBuf>) -> Self {
+        DeviceBackend::Real {
+            dir: dir.into(),
+            options: RealFlashOptions::default(),
+        }
+    }
+
+    /// Short label for experiment output ("modeled", "file", "real").
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeviceBackend::Modeled => "modeled",
+            DeviceBackend::ModeledFile { .. } => "file",
+            DeviceBackend::Real { .. } => "real",
+        }
+    }
+
+    /// Whether completion times from this backend are measured wall
+    /// clock (as opposed to the simulator's modeled timeline).
+    pub fn is_measured(&self) -> bool {
+        matches!(self, DeviceBackend::Real { .. })
+    }
+
+    /// Opens shard `shard`'s device for a fleet tagged `tag` (the tag
+    /// keeps concurrently running fleets from colliding on image paths).
+    /// Backed variants create `dir` and a fresh `"{tag}-shard{N}.img"`
+    /// per shard — any prior image is truncated; use
+    /// [`RealFlash::open`] / [`SimFlash::open_file_backed`] directly to
+    /// resume an existing device.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the image directory or file cannot be created.
+    pub fn open(
+        &self,
+        tag: &str,
+        shard: usize,
+        geom: Geometry,
+        lat: LatencyModel,
+    ) -> Result<AnyFlash, FlashError> {
+        match self {
+            DeviceBackend::Modeled => Ok(AnyFlash::from(SimFlash::with_latency(geom, lat))),
+            DeviceBackend::ModeledFile { dir } => {
+                std::fs::create_dir_all(dir)?;
+                let path = dir.join(format!("{tag}-shard{shard}.img"));
+                Ok(AnyFlash::from(SimFlash::file_backed(geom, lat, &path)?))
+            }
+            DeviceBackend::Real { dir, options } => {
+                std::fs::create_dir_all(dir)?;
+                let path = dir.join(format!("{tag}-shard{shard}.img"));
+                Ok(AnyFlash::from(RealFlash::create(
+                    geom,
+                    &path,
+                    options.clone(),
+                )?))
+            }
+        }
+    }
+
+    /// A device factory in the shape every config's `factory_on` expects.
+    /// Device-creation failures panic — factories run at fleet spawn
+    /// time, where an unusable backing directory is unrecoverable.
+    pub fn device_factory(
+        &self,
+        tag: &str,
+    ) -> impl FnMut(usize, Geometry, LatencyModel) -> AnyFlash + Send {
+        let backend = self.clone();
+        let tag = tag.to_string();
+        move |shard, geom, lat| {
+            backend
+                .open(&tag, shard, geom, lat)
+                .expect("device backend must open shard devices")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemo_flash::{Nanos, ZoneId, ZonedFlash};
+
+    fn tmp(sub: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("nemo_service_backend_test")
+            .join(sub);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn all_backends_open_and_write() {
+        let geom = Geometry::new(512, 4, 2, 2);
+        for backend in [
+            DeviceBackend::Modeled,
+            DeviceBackend::modeled_file(tmp("file")),
+            DeviceBackend::real(tmp("real")),
+        ] {
+            let mut dev = backend
+                .open("t", 0, geom, LatencyModel::zero())
+                .unwrap_or_else(|e| panic!("{} backend failed: {e}", backend.label()));
+            dev.append(ZoneId(0), &[3u8; 512], Nanos::ZERO).unwrap();
+            assert_eq!(dev.write_pointer(ZoneId(0)), 1, "{}", backend.label());
+        }
+    }
+
+    #[test]
+    fn labels_and_measured_flag() {
+        assert_eq!(DeviceBackend::Modeled.label(), "modeled");
+        assert!(!DeviceBackend::Modeled.is_measured());
+        assert!(DeviceBackend::real("/tmp/x").is_measured());
+        assert_eq!(DeviceBackend::modeled_file("/tmp/x").label(), "file");
+    }
+}

@@ -15,7 +15,10 @@
 //!
 //! Any engine implementing [`nemo_engine::CacheEngine`] can be sharded;
 //! the configs in `nemo-core` and `nemo-baselines` all provide a
-//! `.factory()` for uniform fleets. The front-end itself implements
+//! `.factory()` for uniform fleets — and a `.factory_on(..)` that takes
+//! a per-shard device builder, which [`DeviceBackend`] supplies for
+//! runtime backend selection (modeled in-memory, modeled file-backed,
+//! or real-I/O with measured latency). The front-end itself implements
 //! `CacheEngine` too, so harnesses like `nemo_sim::Replay` drive a shard
 //! fleet exactly like a single engine.
 //!
@@ -71,10 +74,12 @@
 //! assert!(result.report.stats.gets > 0);
 //! ```
 
+mod backend;
 pub mod openloop;
 mod routing;
 mod sharded;
 
+pub use backend::DeviceBackend;
 pub use openloop::{OpenLoopConfig, OpenLoopReplay, OpenLoopResult};
 pub use routing::shard_of;
 pub use sharded::{Completion, CompletionKind, ShardedCache, ShardedCacheBuilder, ShardedReport};

@@ -10,6 +10,13 @@
 //! load use `nemo-service`'s open-loop driver, which admits requests at
 //! the arrival rate regardless and reports queueing delay separately.
 //!
+//! The latency each operation reports is `done_at - now`, whatever the
+//! engine's device says that is: on modeled `SimFlash` backends it is
+//! the virtual per-die timeline, while an engine over `RealFlash`
+//! returns *measured* wall-clock durations — the same harness then
+//! produces measured latency histograms (how `nemo-bench`'s
+//! `device_validation` experiment compares the two side by side).
+//!
 //! # Examples
 //!
 //! ```

@@ -1,0 +1,94 @@
+//! Run Nemo on the real-I/O backend and watch measured wall-clock
+//! latency next to the modeled numbers — the zero-setup version of the
+//! `experiments device_validation` methodology.
+//!
+//! ```text
+//! cargo run --release --example real_device [--smoke] [device-dir]
+//! ```
+//!
+//! `device-dir` is where the device image lives (default: the system
+//! temp dir, usually tmpfs — point it at a mount on a real SSD to
+//! measure actual hardware). `--smoke` (or `NEMO_SMOKE=1`) shrinks the
+//! run for CI smoke tests.
+
+use nemo_repro::core::{Nemo, NemoConfig};
+use nemo_repro::engine::CacheEngine;
+use nemo_repro::flash::{Geometry, Nanos, RealFlash, RealFlashOptions, ZonedFlash};
+use std::path::PathBuf;
+
+fn smoke() -> bool {
+    std::env::var_os("NEMO_SMOKE").is_some_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--smoke")
+}
+
+fn main() {
+    let dir: PathBuf = std::env::args()
+        .skip(1)
+        .find(|a| a != "--smoke")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    std::fs::create_dir_all(&dir).expect("device directory");
+    let path = dir.join("nemo_real_device_example.img");
+
+    let flash_mb = if smoke() { 16 } else { 64 };
+    let objects: u64 = if smoke() { 60_000 } else { 600_000 };
+
+    let mut cfg = NemoConfig::new(Geometry::new(4096, 256, flash_mb, 8));
+    cfg.flush_threshold = 4;
+    cfg.expected_objects_per_set = 16;
+
+    // The engine is generic over its device: same config, real I/O.
+    let dev = RealFlash::create(cfg.geometry, &path, RealFlashOptions::default())
+        .expect("create device file");
+    let mut cache = Nemo::with_device(cfg, dev);
+    println!(
+        "device : {} ({} MB preallocated, buffered I/O, fsync on zone finish/reset)",
+        path.display(),
+        flash_mb
+    );
+
+    // Demand-fill churn; every get's completion time is *measured*: the
+    // device returns now + the wall-clock duration of its syscalls.
+    let mut read_lat = nemo_repro::metrics::LatencyHistogram::new();
+    let mut hits = 0u64;
+    for key in 0..objects {
+        let k = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (objects / 2).max(1);
+        let out = cache.get(k, Nanos::ZERO);
+        if out.hit {
+            hits += 1;
+            if out.flash_reads > 0 {
+                read_lat.record(out.done_at.0);
+            }
+        } else {
+            cache.put(k, 200 + (k % 100) as u32, Nanos::ZERO);
+        }
+    }
+
+    let stats = cache.stats();
+    let dev_stats = cache.device().stats();
+    println!("gets                  : {} ({} hits)", stats.gets, hits);
+    println!("application-level WA  : {:.3}", stats.alwa());
+    println!(
+        "flash-read gets       : {} measured on the device",
+        read_lat.count()
+    );
+    println!(
+        "measured read latency : p50 {:.1}us  p99 {:.1}us  max {:.1}us",
+        read_lat.p50() as f64 / 1000.0,
+        read_lat.p99() as f64 / 1000.0,
+        read_lat.max() as f64 / 1000.0
+    );
+    println!(
+        "device I/O            : {} page writes, {} page reads, {} zone resets, {:.1} ms busy",
+        dev_stats.pages_written,
+        dev_stats.pages_read,
+        dev_stats.zone_resets,
+        dev_stats.busy_time.0 as f64 / 1e6
+    );
+    println!("(modeled reference: 70us page read, 14us page append, 2ms zone reset)");
+    assert!(
+        stats.alwa() < 3.0,
+        "Nemo's WA character must hold on real I/O"
+    );
+    std::fs::remove_file(&path).ok();
+}

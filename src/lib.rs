@@ -35,7 +35,7 @@ pub use nemo_bloom as bloom;
 pub use nemo_core as core;
 /// The shared engine trait, stats and on-flash codec.
 pub use nemo_engine as engine;
-/// Flash-device simulators.
+/// Flash devices: modeled simulators and the real-I/O backend.
 pub use nemo_flash as flash;
 /// Measurement utilities.
 pub use nemo_metrics as metrics;
