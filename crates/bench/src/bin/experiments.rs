@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K] [--smoke]
+//! experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K] [--smoke] [--restart]
 //!
 //! ids: fig4 fig5 fig6 fig8 fig12a fig12b fig13 fig14 fig15 fig16
 //!      fig17 fig18 fig19a fig19b table5 table6 motivation breakdown
@@ -19,7 +19,12 @@
 //! and file-backed) and real-I/O backends: behavioural parity (hit
 //! ratio, ALWA/DLWA, device op counts) is asserted, and measured
 //! wall-clock read-latency CDFs print next to the modeled ones. Device
-//! images land in `$NEMO_DEV_DIR` (default: the system temp dir).
+//! images land in `$NEMO_DEV_DIR` (default: the system temp dir). With
+//! `--restart` it instead runs the warm-restart scenario: fill a
+//! file-backed shard fleet to steady state, checkpoint it, and compare
+//! a warm checkpoint reopen (asserted: zero foreground flash writes,
+//! ≥95 % of the steady-state hit ratio) against a cold zone-scan reopen
+//! with the checkpoints deleted.
 //!
 //! `openloop` replays the merged trace open loop through the sharded
 //! `nemo-service` front-end for all five systems: `--rate` sets the
@@ -35,7 +40,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K] [--smoke]\n\
+        "usage: experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K] [--smoke] [--restart]\n\
          ids: fig4 fig5 fig6 fig8 fig12a fig12b fig13 fig14 fig15 fig16 fig17 fig18\n\
          \x20     fig19a fig19b table5 table6 motivation breakdown read_cost sensitivity\n\
          \x20     wave_sweep read_amplification appendix_a ablation sharded openloop\n\
@@ -58,6 +63,7 @@ fn main() {
     let mut rate = 64_000.0f64;
     let mut inflight = 32usize;
     let mut smoke = false;
+    let mut restart = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -100,6 +106,7 @@ fn main() {
                     .unwrap_or_else(|| usage());
             }
             "--smoke" => smoke = true,
+            "--restart" => restart = true,
             _ => usage(),
         }
         i += 1;
@@ -145,7 +152,13 @@ fn main() {
         "appendix_a" => overhead::appendix_a(scale),
         "sharded" => sharded::all(scale, shards),
         "openloop" => sharded::openloop_comparison(scale, shards, rate, inflight),
-        "device_validation" => device_validation::device_validation(scale),
+        "device_validation" => {
+            if restart {
+                device_validation::restart_validation(scale)
+            } else {
+                device_validation::device_validation(scale)
+            }
+        }
         "all" => {
             motivation::all(scale);
             breakdown::all(scale);

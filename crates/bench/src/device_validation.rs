@@ -30,13 +30,14 @@
 //! caller-supplied directory — point it at a file on a real SSD, or at a
 //! raw block device, to measure actual hardware.
 
-use crate::common::{f2, f3, print_table, write_csv, RunScale};
-use nemo_core::Nemo;
+use crate::common::{drive, f2, f3, print_table, write_csv, RunScale};
+use nemo_core::{Nemo, RecoveryMode};
 use nemo_engine::CacheEngine;
-use nemo_flash::{AnyFlash, ZonedFlash};
+use nemo_flash::{AnyFlash, Nanos, ZonedFlash};
 use nemo_metrics::LatencyHistogram;
-use nemo_service::DeviceBackend;
+use nemo_service::{checkpoint_fleet, DeviceBackend, ShardedCache, ShardedCacheBuilder};
 use nemo_sim::{Replay, ReplayConfig};
+use nemo_trace::TraceGenerator;
 use std::path::PathBuf;
 
 /// One backend's replay outcome.
@@ -214,6 +215,164 @@ pub fn device_validation(scale: RunScale) {
     );
 }
 
+/// One gets-only probe window's outcome.
+struct ProbeRun {
+    hit_ratio: f64,
+    flash_bytes_written: u64,
+    flash_bytes_read: u64,
+}
+
+/// Replays `ops` lookups from `trace` without demand fill, so the probe
+/// reads the cache's recovered contents but never writes to it.
+fn probe(cache: &ShardedCache<Nemo<AnyFlash>>, trace: &mut TraceGenerator, ops: u64) -> ProbeRun {
+    let before = cache.stats();
+    let mut hits = 0u64;
+    for _ in 0..ops {
+        let r = trace.next_request();
+        if cache.get(r.key, Nanos::ZERO).hit {
+            hits += 1;
+        }
+    }
+    let after = cache.stats();
+    ProbeRun {
+        hit_ratio: hits as f64 / ops.max(1) as f64,
+        flash_bytes_written: after.flash_bytes_written - before.flash_bytes_written,
+        flash_bytes_read: after.flash_bytes_read - before.flash_bytes_read,
+    }
+}
+
+/// Warm-restart validation: a shard fleet on the file-backed modeled
+/// backend is filled to steady state, checkpointed, and reopened twice —
+/// once warm from the checkpoints (the restart path this repo's warm
+/// restart exists for) and once cold after the checkpoints are deleted
+/// (the zone-scan fallback). Both reopened fleets serve a gets-only
+/// probe window from the same trace; the warm reopen must reach at
+/// least 95 % of the first life's steady-state hit ratio with *zero*
+/// foreground flash writes, instead of refilling from the backing
+/// store.
+///
+/// # Panics
+///
+/// Panics if any shard fails to recover in the expected tier, if the
+/// warm probe writes to flash, or if the warm hit ratio falls below
+/// 95 % of the steady-state hit ratio.
+pub fn restart_validation(scale: RunScale) {
+    println!("\n### Restart validation — warm checkpoint reopen vs cold zone scan");
+    let dir = device_dir();
+    println!("device images: {}", dir.display());
+    let backend = DeviceBackend::modeled_file(dir);
+    let cfg = scale.nemo_config();
+    let shards = 2usize;
+    let tag = "restart";
+    let ops = scale.ops_for_fills(1.5);
+    let probe_ops = (ops / 10).max(1_000);
+
+    // --- first life: fill to steady state, measure the steady window ---
+    let mut trace = scale.merged_trace();
+    let mut fleet =
+        ShardedCacheBuilder::new(shards).spawn(cfg.clone().factory_on(backend.device_factory(tag)));
+    let sample_every = (ops / 10).max(1);
+    let steady_from = 8 * sample_every;
+    let mut steady_base = None;
+    drive(&mut fleet, &mut trace, ops, sample_every, |e, op| {
+        if op >= steady_from && steady_base.is_none() {
+            steady_base = Some(e.stats());
+        }
+    });
+    let report = fleet.finish(Nanos::ZERO);
+    let base = steady_base.expect("steady window sampled");
+    let steady_hit =
+        (report.stats.hits - base.hits) as f64 / (report.stats.gets - base.gets).max(1) as f64;
+    checkpoint_fleet(&backend, tag, &report.engines).expect("persist fleet checkpoints");
+
+    // --- warm reopen: recovered from checkpoints, gets-only probe ------
+    let (warm, recoveries) = ShardedCacheBuilder::new(shards)
+        .open_existing(&cfg, &backend, tag)
+        .expect("warm reopen");
+    assert!(
+        recoveries.iter().all(|r| r.mode == RecoveryMode::Warm),
+        "checkpointed reopen must be warm on every shard: {recoveries:?}"
+    );
+    let warm_probe = probe(&warm, &mut trace, probe_ops);
+    // Drop without draining so the images stay exactly as checkpointed
+    // for the cold reopen below (the probe never wrote to them).
+    drop(warm);
+
+    // --- cold reopen: checkpoints deleted, zone-scan rebuild -----------
+    for shard in 0..shards {
+        let path = backend.checkpoint_path(tag, shard).expect("file backend");
+        std::fs::remove_file(path).expect("remove checkpoint");
+    }
+    let (cold, recoveries) = ShardedCacheBuilder::new(shards)
+        .open_existing(&cfg, &backend, tag)
+        .expect("cold reopen");
+    assert!(
+        recoveries.iter().all(|r| r.mode == RecoveryMode::Cold),
+        "checkpoint-less reopen must cold-scan on every shard: {recoveries:?}"
+    );
+    let zones_scanned: u32 = recoveries.iter().map(|r| r.zones_scanned).sum();
+    let pages_read: u64 = recoveries.iter().map(|r| r.pages_read).sum();
+    let objects_recovered: u64 = recoveries.iter().map(|r| r.objects_recovered).sum();
+    let cold_probe = probe(&cold, &mut trace, probe_ops);
+    drop(cold);
+
+    // --- report + acceptance -------------------------------------------
+    let headers = [
+        "phase",
+        "recovery",
+        "zones scanned",
+        "recovery pages read",
+        "probe hit ratio",
+        "probe flash writes (B)",
+        "probe flash reads (B)",
+    ];
+    let rows = vec![
+        vec![
+            "first life (steady)".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            f3(steady_hit),
+            "-".to_string(),
+            "-".to_string(),
+        ],
+        vec![
+            "warm reopen".to_string(),
+            "warm".to_string(),
+            "0".to_string(),
+            "0".to_string(),
+            f3(warm_probe.hit_ratio),
+            warm_probe.flash_bytes_written.to_string(),
+            warm_probe.flash_bytes_read.to_string(),
+        ],
+        vec![
+            "scan reopen".to_string(),
+            "cold".to_string(),
+            zones_scanned.to_string(),
+            pages_read.to_string(),
+            f3(cold_probe.hit_ratio),
+            cold_probe.flash_bytes_written.to_string(),
+            cold_probe.flash_bytes_read.to_string(),
+        ],
+    ];
+    print_table("restart", &headers, &rows);
+    write_csv("restart_validation", &headers, &rows);
+    println!(
+        "   cold scan re-indexed {objects_recovered} objects from {zones_scanned} zones \
+         ({pages_read} pages); the warm reopen read nothing"
+    );
+
+    assert_eq!(
+        warm_probe.flash_bytes_written, 0,
+        "a warm reopen must serve reads without foreground flash writes"
+    );
+    assert!(
+        warm_probe.hit_ratio >= 0.95 * steady_hit,
+        "warm reopen hit ratio {:.4} fell below 95% of steady state {steady_hit:.4}",
+        warm_probe.hit_ratio
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +387,17 @@ mod tests {
             dies: 8,
         };
         device_validation(scale);
+    }
+
+    #[test]
+    fn restart_smoke_recovers_warm_and_cold() {
+        // Asserts internally: warm reopen on every shard, zero probe
+        // flash writes, >= 95% of the steady-state hit ratio.
+        let scale = RunScale {
+            flash_mb: 8,
+            ops_mult: 0.05,
+            dies: 8,
+        };
+        restart_validation(scale);
     }
 }

@@ -1,12 +1,14 @@
 //! The Nemo cache engine (paper §4).
 
+use crate::checkpoint;
 use crate::config::NemoConfig;
 use crate::hotness::HotnessTracker;
 use crate::index::PbfgIndex;
 use crate::memsg::MemSg;
+use nemo_bloom::BloomFilter;
 use nemo_engine::codec::{self, PageBuf, MIN_OBJECT_SIZE};
 use nemo_engine::{CacheEngine, EngineStats, GetOutcome, MemoryBreakdown};
-use nemo_flash::{Nanos, PageAddr, SimFlash, ZoneId, ZonedFlash};
+use nemo_flash::{Nanos, PageAddr, SimFlash, ZoneId, ZoneState, ZonedFlash};
 use nemo_metrics::CountHistogram;
 use std::collections::VecDeque;
 
@@ -77,6 +79,91 @@ pub struct NemoReport {
     pub forced_scan_finishes: u64,
     /// PBFG cache hits/misses and pool writes.
     pub index: crate::index::IndexStats,
+}
+
+/// How [`Nemo::recover`] rebuilt the engine after a restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// The checkpoint matched the device exactly (same superblock
+    /// generation, no changed or suspect zones): every in-memory
+    /// structure was restored bit-identically, with zero flash reads.
+    Warm,
+    /// The checkpoint was valid but stale: the state was restored, then
+    /// every zone written, reset or marked suspect since the checkpoint
+    /// was reconciled by a bounded zone scan.
+    Partial,
+    /// No usable checkpoint (absent, corrupt, config mismatch, or an
+    /// index-pool zone changed underneath it): the index was rebuilt by
+    /// scanning every non-empty data zone.
+    Cold,
+}
+
+/// Outcome of [`Nemo::recover`]: which tier ran and what it cost.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// The recovery tier that produced the engine.
+    pub mode: RecoveryMode,
+    /// Data zones whose set headers were re-read from flash.
+    pub zones_scanned: u32,
+    /// Flash pages read by the recovery scan.
+    pub pages_read: u64,
+    /// Objects re-indexed by the recovery scan (warm restores recover
+    /// everything from the checkpoint, so this stays 0).
+    pub objects_recovered: u64,
+    /// Why the checkpoint could not be used verbatim (`None` for warm
+    /// restores and checkpoint-less cold opens).
+    pub checkpoint_error: Option<String>,
+}
+
+impl RecoveryReport {
+    fn new(mode: RecoveryMode, checkpoint_error: Option<String>) -> Self {
+        Self {
+            mode,
+            zones_scanned: 0,
+            pages_read: 0,
+            objects_recovered: 0,
+            checkpoint_error,
+        }
+    }
+}
+
+/// Decoded checkpoint state awaiting reconciliation with the device.
+struct Restored {
+    generation: u64,
+    /// Per-zone `(write_pointer, reset_count)` at checkpoint time.
+    zones: Vec<(u32, u64)>,
+    next_seq: u64,
+    stall_count: u32,
+    front_sacrifices: u64,
+    bytes_since_cooling: u64,
+    stats: EngineStats,
+    pool: VecDeque<FlashSg>,
+    free_zones: VecDeque<u32>,
+    staged_writebacks: Vec<(u32, u64, u32)>,
+    scan: Option<EvictScan>,
+    queue: VecDeque<MemSg>,
+    index: PbfgIndex,
+    tracker: HotnessTracker,
+}
+
+fn expect_u32(r: &mut checkpoint::Reader<'_>, name: &str, want: u32) -> Result<(), String> {
+    let got = r.u32()?;
+    if got != want {
+        return Err(format!(
+            "config fingerprint mismatch: {name} {got} != {want}"
+        ));
+    }
+    Ok(())
+}
+
+fn expect_u64(r: &mut checkpoint::Reader<'_>, name: &str, want: u64) -> Result<(), String> {
+    let got = r.u64()?;
+    if got != want {
+        return Err(format!(
+            "config fingerprint mismatch: {name} {got} != {want}"
+        ));
+    }
+    Ok(())
 }
 
 /// The Nemo engine, generic over its flash device (`D`): the modeled
@@ -511,6 +598,522 @@ impl<D: ZonedFlash> Nemo<D> {
             }
         }
         false
+    }
+
+    // --- warm restart -----------------------------------------------------
+
+    /// Consumes the engine and returns its device — the handoff point of
+    /// a checkpoint-then-reopen flow (serialize with
+    /// [`Self::checkpoint_bytes`], keep the device, rebuild with
+    /// [`Self::recover`]).
+    pub fn into_device(self) -> D {
+        self.dev
+    }
+
+    /// Serializes the complete in-memory state (buffered SGs, PBFG index,
+    /// supersede filters, hotness bitmaps, pool/free-zone bookkeeping,
+    /// eviction-scan progress and counters) plus the device's superblock
+    /// generation and zone map, CRC-sealed. Feed the bytes to
+    /// [`Self::recover`] after a restart. The PBFG cache is not included:
+    /// it refills from the on-flash index pool on demand, and recovery
+    /// treats uncached PBFGs as not-recently-active — a conservative
+    /// recency signal that only delays write-back, never loses data.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut w = checkpoint::Writer::new();
+        Self::fingerprint_encode(&self.cfg, &mut w);
+        w.u64(self.dev.generation());
+        for z in 0..self.cfg.geometry.zone_count() {
+            w.u32(self.dev.write_pointer(ZoneId(z)));
+            w.u64(self.dev.reset_count(ZoneId(z)));
+        }
+        w.u64(self.next_seq);
+        w.u32(self.stall_count);
+        w.u64(self.front_sacrifices);
+        w.u64(self.bytes_since_cooling);
+        let s = &self.stats;
+        for v in [
+            s.gets,
+            s.hits,
+            s.puts,
+            s.logical_bytes,
+            s.flash_bytes_written,
+            s.nand_bytes_written,
+            s.flash_bytes_read,
+            s.candidate_reads,
+            s.evicted_objects,
+            s.objects_on_flash,
+        ] {
+            w.u64(v);
+        }
+        w.u32(self.pool.len() as u32);
+        for sg in &self.pool {
+            w.u64(sg.seq);
+            w.u32(sg.zone);
+            w.u64(sg.objects);
+        }
+        w.u32(self.free_zones.len() as u32);
+        for &z in &self.free_zones {
+            w.u32(z);
+        }
+        w.u32(self.staged_writebacks.len() as u32);
+        for &(set, key, size) in &self.staged_writebacks {
+            w.u32(set);
+            w.u64(key);
+            w.u32(size);
+        }
+        match &self.scan {
+            Some(scan) => {
+                w.u8(1);
+                w.u64(scan.victim.seq);
+                w.u32(scan.victim.zone);
+                w.u64(scan.victim.objects);
+                w.u32(scan.next_set);
+                w.u32(scan.staged.len() as u32);
+                for &(set, key, size) in &scan.staged {
+                    w.u32(set);
+                    w.u64(key);
+                    w.u32(size);
+                }
+            }
+            None => w.u8(0),
+        }
+        w.u32(self.queue.len() as u32);
+        for sg in &self.queue {
+            sg.checkpoint_encode(&mut w);
+        }
+        self.index.checkpoint_encode(&mut w);
+        self.tracker.checkpoint_encode(&mut w);
+        w.finish()
+    }
+
+    /// Rebuilds the engine over a reopened device.
+    ///
+    /// Three tiers, always succeeding on a geometry-valid device:
+    ///
+    /// - **Warm** — the checkpoint's superblock generation and zone map
+    ///   match the device exactly: every structure is restored
+    ///   bit-identically with zero flash I/O.
+    /// - **Partial** — the checkpoint is valid but the device moved on
+    ///   (e.g. the process died after the checkpoint was written, or a
+    ///   torn superblock record left zones suspect): restore, then
+    ///   reconcile only the changed zones by scanning their set headers.
+    /// - **Cold** — the checkpoint is absent, corrupt, from a different
+    ///   configuration, or an index-pool zone changed underneath it:
+    ///   rebuild the index by scanning every non-empty data zone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid ([`NemoConfig::validate`])
+    /// or the device's geometry differs from `cfg.geometry` — the same
+    /// contract as [`Self::with_device`]. A *checkpoint* problem never
+    /// panics; it degrades the recovery tier.
+    pub fn recover(cfg: NemoConfig, dev: D, checkpoint: Option<&[u8]>) -> (Self, RecoveryReport) {
+        cfg.validate();
+        assert_eq!(
+            dev.geometry(),
+            cfg.geometry,
+            "device geometry must match the configuration"
+        );
+        let Some(bytes) = checkpoint else {
+            return Self::cold_scan(cfg, dev, None);
+        };
+        match Self::try_restore(&cfg, bytes) {
+            Ok(st) => Self::finish_restore(cfg, dev, st),
+            Err(e) => Self::cold_scan(cfg, dev, Some(e)),
+        }
+    }
+
+    fn fingerprint_encode(cfg: &NemoConfig, w: &mut checkpoint::Writer) {
+        let g = cfg.geometry;
+        w.u32(g.page_size());
+        w.u32(g.pages_per_zone());
+        w.u32(g.zone_count());
+        w.u32(g.dies());
+        w.u32(cfg.filter_bytes());
+        w.u32(cfg.filter_hashes());
+        w.u32(cfg.sgs_per_index_group());
+        w.u32(cfg.expected_objects_per_set);
+        w.u64(cfg.bloom_fpr.to_bits());
+        w.u32(u32::from(cfg.enable_stale_filter));
+        w.u64(cfg.supersede_fpr.to_bits());
+        w.u32(cfg.effective_queue_len());
+        w.u32(cfg.index_zones());
+        w.u32(cfg.max_candidates);
+    }
+
+    /// Verifies the checkpoint was produced under a compatible
+    /// configuration — anything that changes the on-flash layout or the
+    /// shape of a serialized structure must match exactly.
+    fn fingerprint_check(cfg: &NemoConfig, r: &mut checkpoint::Reader<'_>) -> Result<(), String> {
+        let g = cfg.geometry;
+        expect_u32(r, "page_size", g.page_size())?;
+        expect_u32(r, "pages_per_zone", g.pages_per_zone())?;
+        expect_u32(r, "zone_count", g.zone_count())?;
+        expect_u32(r, "dies", g.dies())?;
+        expect_u32(r, "filter_bytes", cfg.filter_bytes())?;
+        expect_u32(r, "filter_hashes", cfg.filter_hashes())?;
+        expect_u32(r, "sgs_per_index_group", cfg.sgs_per_index_group())?;
+        expect_u32(r, "expected_objects_per_set", cfg.expected_objects_per_set)?;
+        expect_u64(r, "bloom_fpr", cfg.bloom_fpr.to_bits())?;
+        expect_u32(r, "enable_stale_filter", u32::from(cfg.enable_stale_filter))?;
+        expect_u64(r, "supersede_fpr", cfg.supersede_fpr.to_bits())?;
+        expect_u32(r, "queue_len", cfg.effective_queue_len())?;
+        expect_u32(r, "index_zones", cfg.index_zones())?;
+        expect_u32(r, "max_candidates", cfg.max_candidates)?;
+        Ok(())
+    }
+
+    /// Parses and validates a checkpoint into [`Restored`] state. Any
+    /// corruption, fingerprint mismatch or broken invariant is an `Err`
+    /// (→ cold scan), never a panic.
+    fn try_restore(cfg: &NemoConfig, bytes: &[u8]) -> Result<Restored, String> {
+        let mut r = checkpoint::Reader::parse(bytes)?;
+        Self::fingerprint_check(cfg, &mut r)?;
+        let generation = r.u64()?;
+        let zone_count = cfg.geometry.zone_count();
+        let mut zones = Vec::with_capacity(zone_count as usize);
+        for _ in 0..zone_count {
+            zones.push((r.u32()?, r.u64()?));
+        }
+        let next_seq = r.u64()?;
+        let stall_count = r.u32()?;
+        let front_sacrifices = r.u64()?;
+        let bytes_since_cooling = r.u64()?;
+        let stats = EngineStats {
+            gets: r.u64()?,
+            hits: r.u64()?,
+            puts: r.u64()?,
+            logical_bytes: r.u64()?,
+            flash_bytes_written: r.u64()?,
+            nand_bytes_written: r.u64()?,
+            flash_bytes_read: r.u64()?,
+            candidate_reads: r.u64()?,
+            evicted_objects: r.u64()?,
+            objects_on_flash: r.u64()?,
+            ..EngineStats::default()
+        };
+        let npool = r.len(20)?;
+        let mut pool = VecDeque::with_capacity(npool);
+        for _ in 0..npool {
+            pool.push_back(FlashSg {
+                seq: r.u64()?,
+                zone: r.u32()?,
+                objects: r.u64()?,
+            });
+        }
+        let nfree = r.len(4)?;
+        let mut free_zones = VecDeque::with_capacity(nfree);
+        for _ in 0..nfree {
+            free_zones.push_back(r.u32()?);
+        }
+        let nstaged = r.len(16)?;
+        let mut staged_writebacks = Vec::with_capacity(nstaged);
+        for _ in 0..nstaged {
+            staged_writebacks.push((r.u32()?, r.u64()?, r.u32()?));
+        }
+        let scan = if r.u8()? != 0 {
+            let victim = FlashSg {
+                seq: r.u64()?,
+                zone: r.u32()?,
+                objects: r.u64()?,
+            };
+            let next_set = r.u32()?;
+            let n = r.len(16)?;
+            let mut staged = Vec::with_capacity(n);
+            for _ in 0..n {
+                staged.push((r.u32()?, r.u64()?, r.u32()?));
+            }
+            Some(EvictScan {
+                victim,
+                next_set,
+                staged,
+            })
+        } else {
+            None
+        };
+        let nqueue = r.len(1)?;
+        let mut queue = VecDeque::with_capacity(nqueue);
+        for _ in 0..nqueue {
+            queue.push_back(MemSg::checkpoint_decode(&mut r)?);
+        }
+        let index = PbfgIndex::checkpoint_decode(
+            &mut r,
+            (0..cfg.index_zones()).collect(),
+            cfg.sets_per_sg(),
+            cfg.geometry.page_size(),
+            cfg.filter_bytes(),
+            cfg.filter_hashes(),
+            cfg.sgs_per_index_group(),
+        )?;
+        let tracker = HotnessTracker::checkpoint_decode(&mut r)?;
+        r.done()?;
+        let st = Restored {
+            generation,
+            zones,
+            next_seq,
+            stall_count,
+            front_sacrifices,
+            bytes_since_cooling,
+            stats,
+            pool,
+            free_zones,
+            staged_writebacks,
+            scan,
+            queue,
+            index,
+            tracker,
+        };
+        st.check_invariants(cfg)?;
+        Ok(st)
+    }
+
+    /// Reconciles restored state with the device: warm if nothing moved
+    /// since the checkpoint, otherwise a partial rescan of the changed
+    /// zones — or a cold scan if an index-pool zone is among them (the
+    /// persisted PBFG pages can no longer be trusted).
+    fn finish_restore(cfg: NemoConfig, dev: D, st: Restored) -> (Self, RecoveryReport) {
+        let mut changed: Vec<u32> = (0..cfg.geometry.zone_count())
+            .filter(|&z| {
+                let id = ZoneId(z);
+                (dev.write_pointer(id), dev.reset_count(id)) != st.zones[z as usize]
+            })
+            .collect();
+        for &z in dev.suspect_zones() {
+            if !changed.contains(&z.0) {
+                changed.push(z.0);
+            }
+        }
+        changed.sort_unstable();
+        if let Some(&z) = changed.iter().find(|&&z| z < cfg.index_zones()) {
+            return Self::cold_scan(
+                cfg,
+                dev,
+                Some(format!(
+                    "index-pool zone {z} changed since the checkpoint; persisted PBFGs untrusted"
+                )),
+            );
+        }
+        let warm = st.generation == dev.generation() && changed.is_empty();
+        let mut engine = Self::from_restored(cfg, dev, st);
+        if warm {
+            return (engine, RecoveryReport::new(RecoveryMode::Warm, None));
+        }
+        let mut report = RecoveryReport::new(RecoveryMode::Partial, None);
+        for z in changed {
+            engine.reconcile_zone(z, &mut report);
+        }
+        let cap =
+            (engine.index.persisted_pages() as f64 * engine.cfg.cached_pbfg_ratio).round() as usize;
+        engine.index.set_cache_capacity(cap);
+        (engine, report)
+    }
+
+    /// Assembles an engine from restored state (the warm-restore core).
+    fn from_restored(cfg: NemoConfig, dev: D, st: Restored) -> Self {
+        let pool_capacity = cfg.data_zones() as usize;
+        let cooling_threshold = (cfg.geometry.total_bytes() as f64 * cfg.cooling_period) as u64;
+        let mut index = st.index;
+        let cap = (index.persisted_pages() as f64 * cfg.cached_pbfg_ratio).round() as usize;
+        index.set_cache_capacity(cap);
+        Self {
+            dev,
+            queue: st.queue,
+            stall_count: st.stall_count,
+            front_sacrifices: st.front_sacrifices,
+            pool: st.pool,
+            free_zones: st.free_zones,
+            pool_capacity,
+            scan: st.scan,
+            staged_writebacks: st.staged_writebacks,
+            index,
+            tracker: st.tracker,
+            next_seq: st.next_seq,
+            stats: st.stats,
+            report: NemoReport::default(),
+            bytes_since_cooling: st.bytes_since_cooling,
+            cooling_threshold: cooling_threshold.max(1),
+            wave_buf: Vec::new(),
+            scan_buf: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Partial-recovery reconciliation of one changed data zone: the
+    /// checkpointed SG there (if any) is evicted from every structure,
+    /// then whatever the device actually holds is rescanned into the pool
+    /// under a fresh sequence number.
+    fn reconcile_zone(&mut self, zone: u32, report: &mut RecoveryReport) {
+        if let Some(pos) = self.pool.iter().position(|sg| sg.zone == zone) {
+            let stale = self.pool.remove(pos).expect("position just found");
+            self.index.on_evict(stale.seq);
+            self.tracker.untrack(stale.seq);
+            self.stats.evicted_objects += stale.objects;
+            // An in-flight eviction scan of the stale SG is meaningless
+            // now; its staged candidates die with it.
+            if self
+                .scan
+                .as_ref()
+                .is_some_and(|s| s.victim.seq == stale.seq)
+            {
+                self.scan = None;
+            }
+        }
+        self.free_zones.retain(|&f| f != zone);
+        if self.dev.write_pointer(ZoneId(zone)) > 0 {
+            self.scan_zone_into_pool(zone, report);
+        } else {
+            self.free_zones.push_back(zone);
+        }
+    }
+
+    /// Cold recovery: a fresh engine whose index is rebuilt by scanning
+    /// the set headers of every non-empty data zone, ascending. Leftover
+    /// index-pool zones are reset (their PBFG pages are superseded by the
+    /// rebuild); empty data zones stay free.
+    fn cold_scan(
+        cfg: NemoConfig,
+        dev: D,
+        checkpoint_error: Option<String>,
+    ) -> (Self, RecoveryReport) {
+        let mut engine = Self::with_device(cfg, dev);
+        let mut report = RecoveryReport::new(RecoveryMode::Cold, checkpoint_error);
+        for z in 0..engine.cfg.index_zones() {
+            if engine.dev.zone_state(ZoneId(z)) != ZoneState::Empty {
+                engine
+                    .dev
+                    .reset_zone(ZoneId(z), Nanos::ZERO)
+                    .expect("stale index zone reset");
+            }
+        }
+        for z in engine.cfg.index_zones()..engine.cfg.geometry.zone_count() {
+            if engine.dev.zone_state(ZoneId(z)) == ZoneState::Empty {
+                continue;
+            }
+            engine.free_zones.retain(|&f| f != z);
+            engine.scan_zone_into_pool(z, &mut report);
+        }
+        let cap =
+            (engine.index.persisted_pages() as f64 * engine.cfg.cached_pbfg_ratio).round() as usize;
+        engine.index.set_cache_capacity(cap);
+        (engine, report)
+    }
+
+    /// Re-reads one data zone's pages, rebuilds per-set Bloom filters
+    /// from the entry headers, and registers the zone as an SG under a
+    /// fresh sequence number. A zone that parses to zero objects (torn
+    /// append, never-completed SG) is reset and returned to the free
+    /// list. Recovery I/O is reported, not charged to [`EngineStats`] —
+    /// it is restart cost, not workload cost.
+    fn scan_zone_into_pool(&mut self, zone: u32, report: &mut RecoveryReport) {
+        let wp = self.dev.write_pointer(ZoneId(zone));
+        debug_assert!(wp > 0, "only non-empty zones are scanned");
+        let psz = self.cfg.geometry.page_size() as usize;
+        let mut buf = std::mem::take(&mut self.scan_buf);
+        buf.resize(wp as usize * psz, 0);
+        self.dev
+            .read_pages_into(PageAddr::new(zone, 0), wp, &mut buf, Nanos::ZERO)
+            .expect("recovery zone scan");
+        report.zones_scanned += 1;
+        report.pages_read += wp as u64;
+        let sets = self.cfg.sets_per_sg();
+        let mut filters: Vec<BloomFilter> = (0..sets)
+            .map(|_| {
+                BloomFilter::for_items(self.cfg.expected_objects_per_set as u64, self.cfg.bloom_fpr)
+            })
+            .collect();
+        let mut keys = Vec::new();
+        let mut objects = 0u64;
+        for (set, page) in buf.chunks_exact(psz).enumerate() {
+            for (key, _size) in codec::parse_entries(page) {
+                filters[set].insert(key);
+                keys.push(key);
+                objects += 1;
+            }
+        }
+        self.scan_buf = buf;
+        if objects == 0 {
+            self.dev
+                .reset_zone(ZoneId(zone), Nanos::ZERO)
+                .expect("reset of a recovered-empty zone");
+            self.free_zones.push_back(zone);
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let keys_ref: &[u64] = if self.cfg.enable_stale_filter {
+            &keys
+        } else {
+            &[]
+        };
+        self.index
+            .add_sg(&mut self.dev, seq, zone, filters, keys_ref, Nanos::ZERO);
+        self.pool.push_back(FlashSg { seq, zone, objects });
+        report.objects_recovered += objects;
+    }
+}
+
+impl Restored {
+    /// Structural consistency of a decoded checkpoint. The CRC already
+    /// rules out bit rot; these checks rule out a *logically* impossible
+    /// snapshot (a bug or a forged file) before it can corrupt a run.
+    fn check_invariants(&self, cfg: &NemoConfig) -> Result<(), String> {
+        if self.queue.len() != cfg.effective_queue_len() as usize {
+            return Err(format!(
+                "checkpoint corrupt: {} buffered SGs, config wants {}",
+                self.queue.len(),
+                cfg.effective_queue_len()
+            ));
+        }
+        let mut owned = vec![0u32; cfg.geometry.zone_count() as usize];
+        let mut last_seq = None;
+        for sg in &self.pool {
+            if sg.seq >= self.next_seq {
+                return Err(format!(
+                    "checkpoint corrupt: pooled SG seq {} >= next_seq {}",
+                    sg.seq, self.next_seq
+                ));
+            }
+            if last_seq.is_some_and(|p| p >= sg.seq) {
+                return Err("checkpoint corrupt: pool seqs not increasing".into());
+            }
+            last_seq = Some(sg.seq);
+            let Some(slot) = owned.get_mut(sg.zone as usize) else {
+                return Err(format!("checkpoint corrupt: pooled zone {}", sg.zone));
+            };
+            *slot += 1;
+        }
+        for &z in &self.free_zones {
+            let Some(slot) = owned.get_mut(z as usize) else {
+                return Err(format!("checkpoint corrupt: free zone {z}"));
+            };
+            *slot += 1;
+        }
+        for z in 0..cfg.geometry.zone_count() {
+            let want = u32::from(z >= cfg.index_zones());
+            if owned[z as usize] != want {
+                return Err(format!(
+                    "checkpoint corrupt: zone {z} owned {} times, expected {want}",
+                    owned[z as usize]
+                ));
+            }
+        }
+        let pool_seqs: std::collections::HashSet<u64> = self.pool.iter().map(|sg| sg.seq).collect();
+        for seq in self.index.live_seqs() {
+            if !pool_seqs.contains(&seq) {
+                return Err(format!("checkpoint corrupt: index references SG {seq}"));
+            }
+        }
+        for seq in self.tracker.tracked_seqs() {
+            if !pool_seqs.contains(&seq) {
+                return Err(format!("checkpoint corrupt: hotness tracks SG {seq}"));
+            }
+        }
+        if let Some(scan) = &self.scan {
+            if self.pool.front().map(|sg| sg.seq) != Some(scan.victim.seq) {
+                return Err("checkpoint corrupt: scan victim is not the pool front".into());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1045,6 +1648,221 @@ mod tests {
             on.candidate_reads <= off.candidate_reads,
             "staging can only reduce candidate reads"
         );
+    }
+
+    // --- warm restart ---------------------------------------------------
+
+    #[test]
+    fn warm_restore_is_bit_identical() {
+        let mut n = Nemo::new(small_cfg());
+        churn(&mut n, 60_000, 0.0004);
+        let before = n.stats();
+        let ckpt = n.checkpoint_bytes();
+        let dev = n.into_device();
+        let (warm, rec) = Nemo::recover(small_cfg(), dev, Some(&ckpt));
+        assert_eq!(rec.mode, RecoveryMode::Warm);
+        assert_eq!(rec.zones_scanned, 0);
+        assert_eq!(rec.pages_read, 0);
+        assert!(rec.checkpoint_error.is_none());
+        // Every counter — device included — must come back exactly: a
+        // warm reopen does zero flash I/O.
+        assert_eq!(warm.stats(), before);
+        assert_eq!(warm.pool_len(), warm.pool_len());
+    }
+
+    #[test]
+    fn warm_restart_preserves_hit_ratio_and_wa() {
+        // A/B: one unbroken run vs the same trace with a checkpoint +
+        // warm reopen in the middle. Only the PBFG cache restarts cold
+        // (by design), so the aggregates must agree closely, not
+        // bit-for-bit.
+        let run = |restart: bool| {
+            let mut n = Nemo::new(small_cfg());
+            let mut gen = TraceGenerator::new(TraceConfig::twitter_merged(0.0004));
+            for _ in 0..80_000 {
+                let r = gen.next_request();
+                if !n.get(r.key, Nanos::ZERO).hit {
+                    n.put(r.key, r.size, Nanos::ZERO);
+                }
+            }
+            if restart {
+                let ckpt = n.checkpoint_bytes();
+                let dev = n.into_device();
+                let (n2, rec) = Nemo::recover(small_cfg(), dev, Some(&ckpt));
+                assert_eq!(rec.mode, RecoveryMode::Warm);
+                n = n2;
+            }
+            for _ in 0..40_000 {
+                let r = gen.next_request();
+                if !n.get(r.key, Nanos::ZERO).hit {
+                    n.put(r.key, r.size, Nanos::ZERO);
+                }
+            }
+            n.stats()
+        };
+        let split = run(true);
+        let whole = run(false);
+        let hr = |s: &EngineStats| s.hits as f64 / s.gets as f64;
+        assert!(
+            (hr(&split) - hr(&whole)).abs() < 0.005,
+            "hit ratio must survive a warm restart: {} vs {}",
+            hr(&split),
+            hr(&whole)
+        );
+        let wa_delta = (split.alwa() - whole.alwa()).abs() / whole.alwa();
+        assert!(
+            wa_delta < 0.05,
+            "WA must survive a warm restart: {} vs {}",
+            split.alwa(),
+            whole.alwa()
+        );
+    }
+
+    #[test]
+    fn warm_restore_preserves_deferred_scan_state() {
+        let mut n = Nemo::new(background_cfg());
+        let mut gen = TraceGenerator::new(TraceConfig::twitter_merged(0.0004));
+        let mut ops = 0u64;
+        // Drive (pacing one slice per op) until a scan is mid-flight.
+        while !(n.background_pending() && ops > 50_000) {
+            let r = gen.next_request();
+            if !n.get(r.key, Nanos::ZERO).hit {
+                n.put(r.key, r.size, Nanos::ZERO);
+            }
+            if n.background_pending() && ops % 2 == 0 {
+                n.background_slice(Nanos::ZERO);
+            }
+            ops += 1;
+            assert!(ops < 500_000, "no deferred scan ever started");
+        }
+        let before = n.stats();
+        let ckpt = n.checkpoint_bytes();
+        let dev = n.into_device();
+        let (mut warm, rec) = Nemo::recover(background_cfg(), dev, Some(&ckpt));
+        assert_eq!(rec.mode, RecoveryMode::Warm);
+        assert_eq!(warm.stats(), before);
+        assert!(
+            Nemo::background_pending(&warm),
+            "the in-flight eviction scan must survive"
+        );
+        while Nemo::background_pending(&warm) {
+            Nemo::background_slice(&mut warm, Nanos::ZERO);
+        }
+        churn(&mut warm, 20_000, 0.0004);
+    }
+
+    #[test]
+    fn partial_recovery_rescans_zones_written_after_the_checkpoint() {
+        let cfg = small_cfg();
+        let mut n = Nemo::new(cfg.clone());
+        churn(&mut n, 40_000, 0.0004);
+        let ckpt = n.checkpoint_bytes();
+        let mut dev = n.into_device();
+        // Crash-window work the checkpoint never saw: one whole-SG
+        // append to a free data zone, laid out exactly like flush_front
+        // writes it.
+        let zone = (cfg.index_zones()..cfg.geometry.zone_count())
+            .find(|&z| dev.write_pointer(ZoneId(z)) == 0)
+            .expect("a free data zone");
+        let sets = cfg.sets_per_sg();
+        let psz = cfg.geometry.page_size() as usize;
+        let mut pages: Vec<PageBuf> = (0..sets).map(|_| PageBuf::new(psz)).collect();
+        let mut written = Vec::new();
+        for i in 0..4000u64 {
+            let key = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let set = MemSg::set_index_of(key, sets) as usize;
+            if pages[set].try_push(key, 200) {
+                written.push(key);
+            }
+        }
+        let bytes: Vec<u8> = pages.into_iter().flat_map(PageBuf::finish).collect();
+        dev.append(ZoneId(zone), &bytes, Nanos::ZERO).unwrap();
+        let (mut e, rec) = Nemo::recover(cfg.clone(), dev, Some(&ckpt));
+        assert_eq!(rec.mode, RecoveryMode::Partial);
+        assert_eq!(rec.zones_scanned, 1, "only the changed zone is read");
+        assert_eq!(rec.pages_read, sets as u64);
+        assert_eq!(rec.objects_recovered, written.len() as u64);
+        let hits = written
+            .iter()
+            .filter(|&&k| e.get(k, Nanos::ZERO).hit)
+            .count();
+        assert_eq!(hits, written.len(), "every crash-window object found");
+        churn(&mut e, 20_000, 0.0004); // the engine stays healthy
+    }
+
+    #[test]
+    fn partial_recovery_drops_sgs_whose_zone_was_recycled() {
+        let cfg = small_cfg();
+        let mut n = Nemo::new(cfg.clone());
+        churn(&mut n, 60_000, 0.0004);
+        assert!(n.pool_len() > 0);
+        let evicted_before = n.stats().evicted_objects;
+        let ckpt = n.checkpoint_bytes();
+        let mut dev = n.into_device();
+        // Crash-window eviction: a pooled SG's zone was reset and the
+        // process died before the next checkpoint.
+        let zone = (cfg.index_zones()..cfg.geometry.zone_count())
+            .find(|&z| dev.write_pointer(ZoneId(z)) > 0)
+            .expect("a pooled zone");
+        dev.reset_zone(ZoneId(zone), Nanos::ZERO).unwrap();
+        let (mut e, rec) = Nemo::recover(cfg, dev, Some(&ckpt));
+        assert_eq!(rec.mode, RecoveryMode::Partial);
+        assert_eq!(rec.zones_scanned, 0, "an emptied zone needs no scan");
+        assert!(
+            e.stats().evicted_objects > evicted_before,
+            "the recycled SG's objects count as evicted"
+        );
+        churn(&mut e, 20_000, 0.0004);
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_checkpoints_degrade_to_cold_scan() {
+        let cfg = small_cfg();
+        let mut n = Nemo::new(cfg.clone());
+        let reqs: Vec<_> = SyntheticInsertTrace::paper_synthetic(5)
+            .take(3000)
+            .collect();
+        for r in &reqs {
+            n.put(r.key, r.size, Nanos::ZERO);
+        }
+        n.drain(Nanos::ZERO);
+        let mut ckpt = n.checkpoint_bytes();
+        ckpt[40] ^= 0x01; // payload bit flip -> CRC failure
+        let dev = n.into_device();
+        let (mut cold, rec) = Nemo::recover(cfg.clone(), dev, Some(&ckpt));
+        assert_eq!(rec.mode, RecoveryMode::Cold);
+        assert!(rec.checkpoint_error.as_deref().unwrap().contains("CRC"));
+        assert!(rec.zones_scanned > 0 && rec.objects_recovered > 0);
+        // The zone scan re-indexes everything that reached flash.
+        let hits = reqs
+            .iter()
+            .filter(|r| cold.get(r.key, Nanos::ZERO).hit)
+            .count();
+        assert!(
+            hits > reqs.len() * 9 / 10,
+            "{hits}/{} should survive a cold rebuild",
+            reqs.len()
+        );
+        churn(&mut cold, 20_000, 0.0004);
+
+        // A checkpoint from a different configuration is refused by the
+        // fingerprint, not mis-decoded.
+        let mut n2 = Nemo::new(cfg.clone());
+        n2.put(1, 100, Nanos::ZERO);
+        let ckpt2 = n2.checkpoint_bytes();
+        let dev2 = n2.into_device();
+        let mut other = cfg.clone();
+        other.expected_objects_per_set = 20;
+        let (_e, rec2) = Nemo::recover(other, dev2, Some(&ckpt2));
+        assert_eq!(rec2.mode, RecoveryMode::Cold);
+        assert!(rec2.checkpoint_error.unwrap().contains("fingerprint"));
+
+        // No checkpoint at all: cold, with nothing to complain about.
+        let n3 = Nemo::new(cfg.clone());
+        let dev3 = n3.into_device();
+        let (_e, rec3) = Nemo::recover(cfg, dev3, None);
+        assert_eq!(rec3.mode, RecoveryMode::Cold);
+        assert!(rec3.checkpoint_error.is_none());
     }
 
     #[test]

@@ -118,6 +118,52 @@ impl HotnessTracker {
     pub fn memory_bytes(&self) -> u64 {
         self.maps.len() as u64 * self.sets_per_sg as u64 * 8
     }
+
+    /// Sequence numbers of every tracked SG — for recovery invariant
+    /// checks.
+    pub(crate) fn tracked_seqs(&self) -> Vec<u64> {
+        self.maps.keys().copied().collect()
+    }
+
+    /// Serializes every tracked bitmap (sorted by SG sequence so the
+    /// encoding is deterministic despite the hash map).
+    pub(crate) fn checkpoint_encode(&self, w: &mut crate::checkpoint::Writer) {
+        w.u32(self.sets_per_sg);
+        w.u32(self.slots_per_set);
+        let mut seqs: Vec<u64> = self.maps.keys().copied().collect();
+        seqs.sort_unstable();
+        w.u32(seqs.len() as u32);
+        for seq in seqs {
+            w.u64(seq);
+            for &word in &self.maps[&seq] {
+                w.u64(word);
+            }
+        }
+    }
+
+    /// Rebuilds a tracker from [`HotnessTracker::checkpoint_encode`] bytes.
+    pub(crate) fn checkpoint_decode(r: &mut crate::checkpoint::Reader<'_>) -> Result<Self, String> {
+        let sets_per_sg = r.u32()?;
+        let slots_per_set = r.u32()?;
+        if sets_per_sg == 0 || !(1..=64).contains(&slots_per_set) {
+            return Err(format!(
+                "checkpoint corrupt: hotness geometry {sets_per_sg}x{slots_per_set}"
+            ));
+        }
+        let mut t = Self::new(sets_per_sg, slots_per_set);
+        let tracked = r.len(8 + 8 * sets_per_sg as usize)?;
+        for _ in 0..tracked {
+            let seq = r.u64()?;
+            let mut words = Vec::with_capacity(sets_per_sg as usize);
+            for _ in 0..sets_per_sg {
+                words.push(r.u64()?);
+            }
+            if t.maps.insert(seq, words).is_some() {
+                return Err(format!("checkpoint corrupt: duplicate hotness SG {seq}"));
+            }
+        }
+        Ok(t)
+    }
 }
 
 #[cfg(test)]

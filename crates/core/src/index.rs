@@ -550,6 +550,203 @@ impl PbfgIndex {
     pub fn group_count(&self) -> usize {
         self.groups.len()
     }
+
+    /// Sequence numbers of every SG the index still references (persisted
+    /// groups plus the building group) — for recovery invariant checks.
+    pub(crate) fn live_seqs(&self) -> Vec<u64> {
+        let mut seqs: Vec<u64> = self.sg_group.keys().copied().collect();
+        seqs.extend(self.building.iter().flatten().map(|b| b.seq));
+        seqs
+    }
+
+    /// Serializes the full index state (building group, persisted group
+    /// directory, supersede filters, pool-ring position and counters) for
+    /// a warm-restart checkpoint. The PBFG *cache* is deliberately not
+    /// checkpointed: it restarts cold and refills from the on-flash pool,
+    /// which only costs reads. Hash maps are emitted in sorted order so
+    /// the encoding is deterministic.
+    pub(crate) fn checkpoint_encode(&self, w: &mut crate::checkpoint::Writer) {
+        w.u64(self.next_group_id);
+        w.u32(self.pool_open as u32);
+        w.u32(self.max_candidates);
+        match self.supersede_sizing {
+            Some((keys, fpr)) => {
+                w.u8(1);
+                w.u64(keys);
+                w.f64(fpr);
+            }
+            None => w.u8(0),
+        }
+        w.u64(self.stats.cache_hits);
+        w.u64(self.stats.cache_misses);
+        w.u64(self.stats.pool_pages_written);
+        w.u64(self.stats.superseded_cutoffs);
+        w.u64(self.stats.capped_queries);
+        w.u32(self.building.len() as u32);
+        for slot in &self.building {
+            match slot {
+                Some(b) => {
+                    w.u8(1);
+                    w.u64(b.seq);
+                    w.u32(b.zone);
+                    for f in &b.filters {
+                        w.filter_opt(Some(f));
+                    }
+                }
+                None => w.u8(0),
+            }
+        }
+        w.filter_opt(self.building_supersede.as_ref());
+        w.u32(self.groups.len() as u32);
+        for g in &self.groups {
+            w.u64(g.id);
+            w.u32(g.base.zone);
+            w.u32(g.base.page);
+            w.u32(g.slots.len() as u32);
+            for slot in &g.slots {
+                match slot {
+                    Some(c) => {
+                        w.u8(1);
+                        w.u64(c.seq);
+                        w.u32(c.zone);
+                    }
+                    None => w.u8(0),
+                }
+            }
+            w.filter_opt(g.supersede.as_ref());
+        }
+        let mut zones: Vec<u32> = self.zone_groups.keys().copied().collect();
+        zones.sort_unstable();
+        w.u32(zones.len() as u32);
+        for z in zones {
+            w.u32(z);
+            let ids = &self.zone_groups[&z];
+            w.u32(ids.len() as u32);
+            for &id in ids {
+                w.u64(id);
+            }
+        }
+        let mut ids: Vec<u64> = self.retired.keys().copied().collect();
+        ids.sort_unstable();
+        w.u32(ids.len() as u32);
+        for id in ids {
+            w.u64(id);
+            w.u8(u8::from(self.retired[&id]));
+        }
+    }
+
+    /// Rebuilds an index from [`PbfgIndex::checkpoint_encode`] bytes. The
+    /// structural parameters come from the (fingerprint-checked) config,
+    /// not the checkpoint; `sg_group` and per-group live counts are
+    /// recomputed from the slot directory. The cache starts empty — the
+    /// caller re-applies its capacity.
+    pub(crate) fn checkpoint_decode(
+        r: &mut crate::checkpoint::Reader<'_>,
+        pool_zones: Vec<u32>,
+        sets_per_sg: u32,
+        page_size: u32,
+        filter_bytes: u32,
+        hashes: u32,
+        sgs_per_group: u32,
+    ) -> Result<Self, String> {
+        let mut idx = Self::new(
+            pool_zones,
+            sets_per_sg,
+            page_size,
+            filter_bytes,
+            hashes,
+            sgs_per_group,
+        );
+        idx.next_group_id = r.u64()?;
+        let pool_open = r.u32()? as usize;
+        if pool_open >= idx.pool_zones.len() {
+            return Err(format!("checkpoint corrupt: pool_open {pool_open}"));
+        }
+        idx.pool_open = pool_open;
+        idx.max_candidates = r.u32()?;
+        if r.u8()? != 0 {
+            idx.supersede_sizing = Some((r.u64()?, r.f64()?));
+        }
+        idx.stats = IndexStats {
+            cache_hits: r.u64()?,
+            cache_misses: r.u64()?,
+            pool_pages_written: r.u64()?,
+            superseded_cutoffs: r.u64()?,
+            capped_queries: r.u64()?,
+        };
+        let building = r.len(1)?;
+        if building > sgs_per_group as usize {
+            return Err(format!("checkpoint corrupt: building group of {building}"));
+        }
+        for _ in 0..building {
+            if r.u8()? != 0 {
+                let seq = r.u64()?;
+                let zone = r.u32()?;
+                let mut filters = Vec::with_capacity(sets_per_sg as usize);
+                for _ in 0..sets_per_sg {
+                    filters
+                        .push(r.filter_opt()?.ok_or_else(|| {
+                            "checkpoint corrupt: missing PBFG filter".to_string()
+                        })?);
+                }
+                idx.building.push(Some(BufferedSlot { seq, zone, filters }));
+            } else {
+                idx.building.push(None);
+            }
+        }
+        idx.building_supersede = r.filter_opt()?;
+        let groups = r.len(1)?;
+        for _ in 0..groups {
+            let id = r.u64()?;
+            let zone = r.u32()?;
+            let page = r.u32()?;
+            let base = PageAddr::new(zone, page);
+            let nslots = r.len(1)?;
+            if nslots > sgs_per_group as usize {
+                return Err(format!("checkpoint corrupt: group with {nslots} slots"));
+            }
+            let mut slots = Vec::with_capacity(nslots);
+            let mut live = 0;
+            for _ in 0..nslots {
+                if r.u8()? != 0 {
+                    let seq = r.u64()?;
+                    let zone = r.u32()?;
+                    if idx.sg_group.insert(seq, id).is_some() {
+                        return Err(format!("checkpoint corrupt: SG {seq} in two groups"));
+                    }
+                    slots.push(Some(SgCandidate { seq, zone }));
+                    live += 1;
+                } else {
+                    slots.push(None);
+                }
+            }
+            let supersede = r.filter_opt()?;
+            idx.groups.push_back(PersistedGroup {
+                id,
+                base,
+                slots,
+                live,
+                supersede,
+            });
+        }
+        let nz = r.len(8)?;
+        for _ in 0..nz {
+            let zone = r.u32()?;
+            let n = r.len(8)?;
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(r.u64()?);
+            }
+            idx.zone_groups.insert(zone, ids);
+        }
+        let nr = r.len(9)?;
+        for _ in 0..nr {
+            let id = r.u64()?;
+            let retired = r.u8()? != 0;
+            idx.retired.insert(id, retired);
+        }
+        Ok(idx)
+    }
 }
 
 #[cfg(test)]

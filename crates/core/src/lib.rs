@@ -35,6 +35,7 @@
 //! assert!(cache.get(42, Nanos::ZERO).hit);
 //! ```
 
+mod checkpoint;
 mod config;
 mod engine;
 pub mod hotness;
@@ -42,5 +43,5 @@ pub mod index;
 mod memsg;
 
 pub use config::NemoConfig;
-pub use engine::{Nemo, NemoReport, SgFlushInfo};
+pub use engine::{Nemo, NemoReport, RecoveryMode, RecoveryReport, SgFlushInfo};
 pub use memsg::{MemSg, SetBuffer};

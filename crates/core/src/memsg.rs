@@ -273,6 +273,64 @@ impl MemSg {
     pub fn any_set_full(&self, typical_size: u32) -> bool {
         self.sets.iter().any(|s| !s.has_room(typical_size))
     }
+
+    /// Serializes the SG (entry lists in insertion order plus raw filter
+    /// bits) for a warm-restart checkpoint.
+    pub(crate) fn checkpoint_encode(&self, w: &mut crate::checkpoint::Writer) {
+        w.u32(self.sets.len() as u32);
+        w.u32(self.sets[0].capacity as u32);
+        for s in &self.sets {
+            w.u32(s.entries.len() as u32);
+            for &(key, size) in &s.entries {
+                w.u64(key);
+                w.u32(size);
+            }
+        }
+        w.u8(u8::from(!self.filters.is_empty()));
+        for f in &self.filters {
+            w.filter_opt(Some(f));
+        }
+    }
+
+    /// Rebuilds an SG from [`MemSg::checkpoint_encode`] bytes. Entries are
+    /// replayed through [`MemSg::insert_at`] (so FIFO order and byte
+    /// accounting are exact), then the filter bits are restored verbatim.
+    pub(crate) fn checkpoint_decode(r: &mut crate::checkpoint::Reader<'_>) -> Result<Self, String> {
+        let sets = r.len(4)? as u32;
+        let capacity = r.u32()? as usize;
+        if sets == 0 || capacity <= PAGE_HEADER {
+            return Err(format!(
+                "checkpoint corrupt: SG with {sets} sets of {capacity} bytes"
+            ));
+        }
+        let mut sg = Self {
+            sets: (0..sets).map(|_| SetBuffer::new(capacity)).collect(),
+            filters: Vec::new(),
+            objects: 0,
+            bytes: 0,
+        };
+        for set in 0..sets {
+            let n = r.len(12)?;
+            for _ in 0..n {
+                let key = r.u64()?;
+                let size = r.u32()?;
+                if !sg.insert_at(set, key, size) {
+                    return Err(format!("checkpoint corrupt: set {set} overflows its page"));
+                }
+            }
+        }
+        if r.u8()? != 0 {
+            let mut filters = Vec::with_capacity(sets as usize);
+            for _ in 0..sets {
+                filters.push(
+                    r.filter_opt()?
+                        .ok_or_else(|| "checkpoint corrupt: missing set filter".to_string())?,
+                );
+            }
+            sg.filters = filters;
+        }
+        Ok(sg)
+    }
 }
 
 #[cfg(test)]

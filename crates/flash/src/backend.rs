@@ -124,6 +124,18 @@ impl ZonedFlash for AnyFlash {
     fn stats(&self) -> DeviceStats {
         delegate!(self, dev => dev.stats())
     }
+
+    fn generation(&self) -> u64 {
+        delegate!(self, dev => dev.generation())
+    }
+
+    fn reset_count(&self, zone: ZoneId) -> u64 {
+        delegate!(self, dev => dev.reset_count(zone))
+    }
+
+    fn suspect_zones(&self) -> &[ZoneId] {
+        delegate!(self, dev => dev.suspect_zones())
+    }
 }
 
 #[cfg(test)]

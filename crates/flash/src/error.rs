@@ -46,6 +46,15 @@ pub enum FlashError {
     /// A backed device file's superblock is missing, corrupt, or does not
     /// match the file (reopen of a non-device or truncated file).
     BadSuperblock(String),
+    /// A reopened device's recorded geometry disagrees with the geometry
+    /// the caller's configuration expects — the image belongs to a
+    /// different deployment and must not be silently reinterpreted.
+    GeometryMismatch {
+        /// Geometry the caller expected (engine configuration).
+        expected: crate::geometry::Geometry,
+        /// Geometry recorded in the device superblock.
+        found: crate::geometry::Geometry,
+    },
 }
 
 impl fmt::Display for FlashError {
@@ -84,6 +93,11 @@ impl fmt::Display for FlashError {
             }
             FlashError::Io(msg) => write!(f, "backing-file i/o error: {msg}"),
             FlashError::BadSuperblock(msg) => write!(f, "bad device superblock: {msg}"),
+            FlashError::GeometryMismatch { expected, found } => write!(
+                f,
+                "device geometry mismatch: configuration expects {expected:?} but the \
+                 image records {found:?}"
+            ),
         }
     }
 }

@@ -129,6 +129,11 @@ pub struct RealFlash<C: Clock = WallClock> {
     clock: C,
     staging: AlignedBuf,
     stats: DeviceStats,
+    /// Mutation counter, persisted in the superblock header.
+    generation: u64,
+    /// Zones whose superblock record was torn at reopen; see
+    /// [`ZonedFlash::suspect_zones`].
+    suspect: Vec<ZoneId>,
 }
 
 impl RealFlash<WallClock> {
@@ -145,13 +150,19 @@ impl RealFlash<WallClock> {
 
     /// Reopens a device created by [`Self::create`] (or by file-backed
     /// [`crate::SimFlash`] — same superblock format), restoring zone
-    /// states and write pointers.
+    /// states, write pointers and the device generation. `geom` is the
+    /// geometry the caller's configuration expects: a CRC-valid
+    /// superblock recording a different geometry is rejected with
+    /// [`FlashError::GeometryMismatch`], and a torn header (bad CRC)
+    /// falls back to `geom` with generation 0, which upstream recovery
+    /// treats as "any checkpoint is stale".
     ///
     /// # Errors
     ///
-    /// Fails if the file cannot be opened or its superblock is invalid.
-    pub fn open(path: &Path, opts: RealFlashOptions) -> Result<Self, FlashError> {
-        Self::open_with_clock(path, opts, WallClock::new())
+    /// Fails if the file cannot be opened, is not a device image, or its
+    /// recorded geometry disagrees with `geom`.
+    pub fn open(geom: Geometry, path: &Path, opts: RealFlashOptions) -> Result<Self, FlashError> {
+        Self::open_with_clock(geom, path, opts, WallClock::new())
     }
 }
 
@@ -175,7 +186,7 @@ impl<C: Clock> RealFlash<C> {
             .open(path)?;
         meta.set_len(superblock::file_len(&geom))?;
         let zones = vec![ZoneRecord::default(); geom.zone_count() as usize];
-        superblock::write_full(&meta, &geom, &zones)?;
+        superblock::write_full(&meta, &geom, &zones, 0)?;
         let data = Self::open_data(path, &opts)?;
         Ok(Self {
             geom,
@@ -187,6 +198,8 @@ impl<C: Clock> RealFlash<C> {
             clock,
             staging: AlignedBuf::default(),
             stats: DeviceStats::default(),
+            generation: 0,
+            suspect: Vec::new(),
         })
     }
 
@@ -196,23 +209,31 @@ impl<C: Clock> RealFlash<C> {
     ///
     /// Same as [`RealFlash::open`].
     pub fn open_with_clock(
+        geom: Geometry,
         path: &Path,
         opts: RealFlashOptions,
         clock: C,
     ) -> Result<Self, FlashError> {
         let meta = OpenOptions::new().read(true).write(true).open(path)?;
-        let (geom, zones) = superblock::read(&meta)?;
+        let sb = superblock::read(&meta, Some(geom))?;
+        if !sb.header_trusted {
+            // Torn header: repair it in place (with the conservative zone
+            // map just restored) so the next reopen is clean.
+            superblock::write_full(&meta, &sb.geom, &sb.zones, sb.generation)?;
+        }
         let data = Self::open_data(path, &opts)?;
         Ok(Self {
-            geom,
+            geom: sb.geom,
             data,
             meta,
-            data_offset: superblock::data_offset(&geom),
-            zones,
+            data_offset: superblock::data_offset(&sb.geom),
+            zones: sb.zones,
             opts,
             clock,
             staging: AlignedBuf::default(),
             stats: DeviceStats::default(),
+            generation: sb.generation,
+            suspect: sb.suspect_zones.iter().copied().map(ZoneId).collect(),
         })
     }
 
@@ -231,11 +252,6 @@ impl<C: Clock> RealFlash<C> {
         &self.opts
     }
 
-    /// Number of times each zone has been reset — a wear indicator.
-    pub fn reset_count(&self, zone: ZoneId) -> u64 {
-        self.zones[zone.0 as usize].resets
-    }
-
     fn check_zone(&self, zone: ZoneId) -> Result<(), FlashError> {
         if zone.0 >= self.geom.zone_count() {
             return Err(FlashError::BadZone(zone));
@@ -249,14 +265,17 @@ impl<C: Clock> RealFlash<C> {
 
     fn persist_zone(&self, zone: u32) -> Result<(), FlashError> {
         superblock::write_zone(&self.meta, zone, &self.zones[zone as usize])?;
+        superblock::write_header(&self.meta, &self.geom, self.generation)?;
         Ok(())
     }
 
     /// Fsync barrier (fsync is per file, so the buffered handle covers
-    /// writes issued on either handle).
-    fn barrier(&self) -> Result<(), FlashError> {
+    /// writes issued on either handle). Counts in
+    /// [`DeviceStats::superblock_syncs`] when it actually syncs.
+    fn barrier(&mut self) -> Result<(), FlashError> {
         if self.opts.sync_on_barrier {
             self.meta.sync_all()?;
+            self.stats.superblock_syncs += 1;
         }
         Ok(())
     }
@@ -298,6 +317,7 @@ impl<C: Clock> ZonedFlash for RealFlash<C> {
         // ZTL, not part of the append a real zoned device services —
         // keep it outside the measured window.
         self.zones[zone.0 as usize].write_ptr += pages;
+        self.generation += 1;
         self.persist_zone(zone.0)?;
         self.stats.pages_written += pages as u64;
         self.stats.bytes_written += data.len() as u64;
@@ -378,6 +398,7 @@ impl<C: Clock> ZonedFlash for RealFlash<C> {
     fn finish_zone(&mut self, zone: ZoneId) -> Result<(), FlashError> {
         self.check_zone(zone)?;
         self.zones[zone.0 as usize].finished = true;
+        self.generation += 1;
         self.persist_zone(zone.0)?;
         self.barrier()?;
         Ok(())
@@ -392,6 +413,7 @@ impl<C: Clock> ZonedFlash for RealFlash<C> {
             z.finished = false;
             z.resets += 1;
         }
+        self.generation += 1;
         self.persist_zone(zone.0)?;
         // The barrier orders the state transition behind the zone's data
         // writes, like a ZTL would before declaring the zone erasable.
@@ -404,6 +426,18 @@ impl<C: Clock> ZonedFlash for RealFlash<C> {
 
     fn stats(&self) -> DeviceStats {
         self.stats
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn reset_count(&self, zone: ZoneId) -> u64 {
+        self.zones[zone.0 as usize].resets
+    }
+
+    fn suspect_zones(&self) -> &[ZoneId] {
+        &self.suspect
     }
 }
 
@@ -495,13 +529,31 @@ mod tests {
             dev.finish_zone(ZoneId(1)).unwrap();
             dev.reset_zone(ZoneId(2), Nanos::ZERO).unwrap();
         }
-        let mut dev = RealFlash::open(&path, RealFlashOptions::default()).unwrap();
+        let mut dev = RealFlash::open(geom, &path, RealFlashOptions::default()).unwrap();
         assert_eq!(dev.geometry(), geom);
         assert_eq!(dev.write_pointer(ZoneId(0)), 1);
         assert_eq!(dev.zone_state(ZoneId(1)), ZoneState::Full);
         assert_eq!(dev.reset_count(ZoneId(2)), 1);
+        assert_eq!(dev.generation(), 3, "generation survives reopen");
         let (back, _) = dev.read_pages(PageAddr::new(0, 0), 1, Nanos::ZERO).unwrap();
         assert_eq!(back, data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_with_wrong_geometry_is_a_descriptive_error() {
+        let path = tmp("geom_mismatch.img");
+        let geom = Geometry::new(512, 4, 3, 2);
+        RealFlash::create(geom, &path, RealFlashOptions::default()).unwrap();
+        let other = Geometry::new(512, 8, 3, 2);
+        let err = RealFlash::open(other, &path, RealFlashOptions::default()).unwrap_err();
+        match err {
+            FlashError::GeometryMismatch { expected, found } => {
+                assert_eq!(expected, other);
+                assert_eq!(found, geom);
+            }
+            e => panic!("expected GeometryMismatch, got {e:?}"),
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -24,6 +24,9 @@ pub struct DeviceStats {
     pub append_ops: u64,
     /// Number of read operations.
     pub read_ops: u64,
+    /// Metadata fsync barriers issued after state-changing superblock
+    /// writes (zone finish/reset on backed devices; 0 for in-memory).
+    pub superblock_syncs: u64,
     /// Total device-busy time accumulated over all dies.
     pub busy_time: Nanos,
 }
@@ -43,6 +46,7 @@ impl DeviceStats {
             zone_resets: self.zone_resets - earlier.zone_resets,
             append_ops: self.append_ops - earlier.append_ops,
             read_ops: self.read_ops - earlier.read_ops,
+            superblock_syncs: self.superblock_syncs - earlier.superblock_syncs,
             busy_time: self.busy_time.saturating_sub(earlier.busy_time),
         }
     }
@@ -58,6 +62,7 @@ impl DeviceStats {
             zone_resets: self.zone_resets + other.zone_resets,
             append_ops: self.append_ops + other.append_ops,
             read_ops: self.read_ops + other.read_ops,
+            superblock_syncs: self.superblock_syncs + other.superblock_syncs,
             busy_time: self.busy_time + other.busy_time,
         }
     }
@@ -77,6 +82,7 @@ mod tests {
             zone_resets: 1,
             append_ops: 2,
             read_ops: 3,
+            superblock_syncs: 1,
             busy_time: Nanos(500),
         };
         let b = DeviceStats {
@@ -100,6 +106,7 @@ mod tests {
             zone_resets: 1,
             append_ops: 2,
             read_ops: 3,
+            superblock_syncs: 2,
             busy_time: Nanos(500),
         };
         let b = DeviceStats {

@@ -2,26 +2,54 @@
 //!
 //! A file-backed device ([`crate::SimFlash::file_backed`] and
 //! [`crate::RealFlash`]) reserves a page-aligned metadata region at the
-//! head of its backing file: a fixed header recording the geometry
-//! followed by one record per zone (write pointer, finished flag, reset
-//! count). Zone records are rewritten in place whenever the zone's state
-//! changes, so the zone map survives a process restart and
-//! `open`-flavoured constructors can restore the device exactly where it
-//! left off. Page data starts at [`data_offset`], keeping payload offsets
-//! page-aligned for direct I/O.
+//! head of its backing file: a fixed header recording the geometry and a
+//! device *generation* counter, followed by one record per zone (write
+//! pointer, finished flag, reset count). Zone records are rewritten in
+//! place whenever the zone's state changes, so the zone map survives a
+//! process restart and `open`-flavoured constructors can restore the
+//! device exactly where it left off. Page data starts at [`data_offset`],
+//! keeping payload offsets page-aligned for direct I/O.
+//!
+//! # Crash consistency (format v2)
+//!
+//! Header and zone records each carry a CRC-32 ([`nemo_util::crc32`])
+//! over their payload bytes, and devices fsync the metadata after
+//! state-changing writes (zone finish/reset, creation), so the zone map
+//! is never *older* than data a barrier already made durable. In-place
+//! rewrites are still not atomic — a torn write is *detected*, not
+//! prevented:
+//!
+//! * a torn **header** is recoverable when the caller knows the expected
+//!   geometry ([`read`] with `expected`): the device opens with
+//!   `generation = 0`, which makes any engine checkpoint look stale and
+//!   forces the zone-scan recovery path;
+//! * a torn **zone record** degrades to a conservative "suspect" record
+//!   (write pointer at zone capacity, finished) so recovery rescans the
+//!   whole zone instead of trusting a half-written pointer. Unwritten
+//!   pages read back as zeros, which the object codec parses as empty.
+//!
+//! The device generation increments on every mutating operation and is
+//! persisted with the header; an engine checkpoint stamps the generation
+//! it saw, so recovery can tell "nothing changed since the checkpoint"
+//! (warm restore) from "the device moved on" (reconcile or rescan).
 
 use crate::error::FlashError;
 use crate::geometry::Geometry;
+use nemo_util::crc32::crc32;
 use std::fs::File;
 use std::io;
 use std::os::unix::fs::FileExt;
 
 /// Magic + format version at byte 0 of every backed device file.
-const MAGIC: &[u8; 8] = b"NEMOSB01";
+const MAGIC: &[u8; 8] = b"NEMOSB02";
 /// Fixed header bytes before the zone records.
 const HEADER_BYTES: u64 = 64;
-/// Bytes per zone record.
-const ZONE_RECORD_BYTES: u64 = 16;
+/// Bytes per zone record (v2: 16 payload bytes + CRC-32).
+const ZONE_RECORD_BYTES: u64 = 20;
+/// Header bytes covered by the header CRC (the CRC occupies 60..64).
+const HEADER_CRC_COVER: usize = 60;
+/// Record bytes covered by the record CRC (the CRC occupies 16..20).
+const RECORD_CRC_COVER: usize = 16;
 
 /// Persistent state of one zone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -32,6 +60,37 @@ pub(crate) struct ZoneRecord {
     pub finished: bool,
     /// Times the zone has been reset (wear indicator).
     pub resets: u64,
+}
+
+impl ZoneRecord {
+    /// The conservative stand-in for a zone whose on-disk record failed
+    /// its CRC: claim every page written so reads stay in bounds and
+    /// recovery rescans the full zone rather than trusting a torn write.
+    pub fn suspect(geom: &Geometry) -> Self {
+        ZoneRecord {
+            write_ptr: geom.pages_per_zone(),
+            finished: true,
+            resets: 0,
+        }
+    }
+}
+
+/// Everything [`read`] recovers from a device file.
+#[derive(Debug, Clone)]
+pub(crate) struct Superblock {
+    /// Device geometry (from the header, or the caller's expectation when
+    /// the header CRC failed).
+    pub geom: Geometry,
+    /// Persisted device generation; 0 when the header was untrusted.
+    pub generation: u64,
+    /// Per-zone records (suspect records substituted where torn).
+    pub zones: Vec<ZoneRecord>,
+    /// Zones whose records failed their CRC and were replaced by
+    /// [`ZoneRecord::suspect`].
+    pub suspect_zones: Vec<u32>,
+    /// Whether the header CRC validated (false means the geometry came
+    /// from the caller and the generation was reset to 0).
+    pub header_trusted: bool,
 }
 
 /// Bytes of the metadata region (header + zone map), before alignment.
@@ -51,13 +110,16 @@ pub(crate) fn file_len(geom: &Geometry) -> u64 {
     data_offset(geom) + geom.total_bytes()
 }
 
-fn encode_header(geom: &Geometry) -> [u8; HEADER_BYTES as usize] {
+fn encode_header(geom: &Geometry, generation: u64) -> [u8; HEADER_BYTES as usize] {
     let mut buf = [0u8; HEADER_BYTES as usize];
     buf[0..8].copy_from_slice(MAGIC);
     buf[8..12].copy_from_slice(&geom.page_size().to_le_bytes());
     buf[12..16].copy_from_slice(&geom.pages_per_zone().to_le_bytes());
     buf[16..20].copy_from_slice(&geom.zone_count().to_le_bytes());
     buf[20..24].copy_from_slice(&geom.dies().to_le_bytes());
+    buf[24..32].copy_from_slice(&generation.to_le_bytes());
+    let crc = crc32(&buf[..HEADER_CRC_COVER]);
+    buf[60..64].copy_from_slice(&crc.to_le_bytes());
     buf
 }
 
@@ -66,6 +128,8 @@ fn encode_record(rec: &ZoneRecord) -> [u8; ZONE_RECORD_BYTES as usize] {
     buf[0..4].copy_from_slice(&rec.write_ptr.to_le_bytes());
     buf[4] = u8::from(rec.finished);
     buf[8..16].copy_from_slice(&rec.resets.to_le_bytes());
+    let crc = crc32(&buf[..RECORD_CRC_COVER]);
+    buf[16..20].copy_from_slice(&crc.to_le_bytes());
     buf
 }
 
@@ -73,74 +137,147 @@ fn u32_at(buf: &[u8], off: usize) -> u32 {
     u32::from_le_bytes(buf[off..off + 4].try_into().expect("4-byte slice"))
 }
 
-/// Writes the full superblock (header + every zone record).
-pub(crate) fn write_full(file: &File, geom: &Geometry, zones: &[ZoneRecord]) -> io::Result<()> {
-    file.write_all_at(&encode_header(geom), 0)?;
+fn u64_at(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().expect("8-byte slice"))
+}
+
+/// Writes the full superblock (header + every zone record) and fsyncs it
+/// so a fresh device is durable before any data lands.
+pub(crate) fn write_full(
+    file: &File,
+    geom: &Geometry,
+    zones: &[ZoneRecord],
+    generation: u64,
+) -> io::Result<()> {
+    file.write_all_at(&encode_header(geom, generation), 0)?;
     let mut map = Vec::with_capacity(zones.len() * ZONE_RECORD_BYTES as usize);
     for rec in zones {
         map.extend_from_slice(&encode_record(rec));
     }
-    file.write_all_at(&map, HEADER_BYTES)
+    file.write_all_at(&map, HEADER_BYTES)?;
+    file.sync_all()
 }
 
-/// Rewrites the record of one zone in place.
+/// Rewrites the header in place (geometry is immutable; this persists the
+/// generation counter). Not fsynced — callers sync at barriers.
+pub(crate) fn write_header(file: &File, geom: &Geometry, generation: u64) -> io::Result<()> {
+    file.write_all_at(&encode_header(geom, generation), 0)
+}
+
+/// Rewrites the record of one zone in place. Not fsynced — callers sync
+/// at barriers ([`sync`]).
 pub(crate) fn write_zone(file: &File, zone: u32, rec: &ZoneRecord) -> io::Result<()> {
     let off = HEADER_BYTES + zone as u64 * ZONE_RECORD_BYTES;
     file.write_all_at(&encode_record(rec), off)
 }
 
-/// Reads and validates the superblock, returning the recorded geometry
-/// and zone map.
-pub(crate) fn read(file: &File) -> Result<(Geometry, Vec<ZoneRecord>), FlashError> {
+/// Fsyncs outstanding metadata (and data) writes — the barrier after
+/// state-changing record writes.
+pub(crate) fn sync(file: &File) -> io::Result<()> {
+    file.sync_data()
+}
+
+/// Reads and validates the superblock.
+///
+/// With `expected` geometry supplied (every engine-facing open path), a
+/// header that fails its CRC degrades instead of failing: the expected
+/// geometry is used, the generation reports 0 (forcing checkpoint
+/// staleness upstream) and every zone record is still recovered through
+/// its own CRC. A CRC-valid header whose geometry disagrees with
+/// `expected` is a configuration error ([`FlashError::GeometryMismatch`]).
+pub(crate) fn read(file: &File, expected: Option<Geometry>) -> Result<Superblock, FlashError> {
     let mut header = [0u8; HEADER_BYTES as usize];
     file.read_exact_at(&mut header, 0)
         .map_err(|e| FlashError::BadSuperblock(format!("header unreadable: {e}")))?;
     if &header[0..8] != MAGIC {
         return Err(FlashError::BadSuperblock(
-            "bad magic: not a nemo device file (or a pre-superblock image)".into(),
+            "bad magic: not a nemo device file (or a pre-v2 image)".into(),
         ));
     }
-    let page_size = u32_at(&header, 8);
-    let pages_per_zone = u32_at(&header, 12);
-    let zone_count = u32_at(&header, 16);
-    let dies = u32_at(&header, 20);
-    if page_size == 0 || pages_per_zone == 0 || zone_count == 0 || dies == 0 {
-        return Err(FlashError::BadSuperblock(format!(
-            "degenerate geometry: {page_size} B pages, {pages_per_zone} pages/zone, \
-             {zone_count} zones, {dies} dies"
-        )));
-    }
-    // Header fields are untrusted until the file's actual length vouches
-    // for them: compute the expected length in u128 (u32 factors cannot
-    // overflow there) and only then construct the Geometry, whose u64
-    // size math is safe for anything a real file can back.
     let actual = file
         .metadata()
         .map_err(|e| FlashError::BadSuperblock(format!("metadata unreadable: {e}")))?
         .len();
-    let psz = page_size as u128;
-    let meta = meta_bytes(zone_count) as u128;
-    let expect = meta.div_ceil(psz) * psz + psz * pages_per_zone as u128 * zone_count as u128;
-    if (actual as u128) < expect {
-        return Err(FlashError::BadSuperblock(format!(
-            "file truncated: {actual} bytes, recorded geometry needs {expect}"
-        )));
-    }
-    let geom = Geometry::new(page_size, pages_per_zone, zone_count, dies);
+    let header_trusted = u32_at(&header, 60) == crc32(&header[..HEADER_CRC_COVER]);
+    let (geom, generation) = if header_trusted {
+        let page_size = u32_at(&header, 8);
+        let pages_per_zone = u32_at(&header, 12);
+        let zone_count = u32_at(&header, 16);
+        let dies = u32_at(&header, 20);
+        if page_size == 0 || pages_per_zone == 0 || zone_count == 0 || dies == 0 {
+            return Err(FlashError::BadSuperblock(format!(
+                "degenerate geometry: {page_size} B pages, {pages_per_zone} pages/zone, \
+                 {zone_count} zones, {dies} dies"
+            )));
+        }
+        // Header fields are untrusted until the file's actual length
+        // vouches for them: compute the expected length in u128 (u32
+        // factors cannot overflow there) and only then construct the
+        // Geometry, whose u64 size math is safe for anything a real file
+        // can back.
+        let psz = page_size as u128;
+        let meta = meta_bytes(zone_count) as u128;
+        let expect = meta.div_ceil(psz) * psz + psz * pages_per_zone as u128 * zone_count as u128;
+        if (actual as u128) < expect {
+            return Err(FlashError::BadSuperblock(format!(
+                "file truncated: {actual} bytes, recorded geometry needs {expect}"
+            )));
+        }
+        let geom = Geometry::new(page_size, pages_per_zone, zone_count, dies);
+        if let Some(exp) = expected {
+            if exp != geom {
+                return Err(FlashError::GeometryMismatch {
+                    expected: exp,
+                    found: geom,
+                });
+            }
+        }
+        (geom, u64_at(&header, 24))
+    } else {
+        // Torn header. Only the caller's expectation can shape the zone
+        // map now; without one this file is unusable.
+        let Some(geom) = expected else {
+            return Err(FlashError::BadSuperblock(
+                "header checksum mismatch (torn write?) and no expected geometry to fall \
+                 back on"
+                    .into(),
+            ));
+        };
+        if actual < file_len(&geom) {
+            return Err(FlashError::BadSuperblock(format!(
+                "file truncated: {actual} bytes, expected geometry needs {}",
+                file_len(&geom)
+            )));
+        }
+        (geom, 0)
+    };
+    let zone_count = geom.zone_count();
     let mut map = vec![0u8; zone_count as usize * ZONE_RECORD_BYTES as usize];
     file.read_exact_at(&mut map, HEADER_BYTES)
         .map_err(|e| FlashError::BadSuperblock(format!("zone map unreadable: {e}")))?;
+    let mut suspect_zones = Vec::new();
     let zones = (0..zone_count as usize)
         .map(|z| {
-            let rec = &map[z * ZONE_RECORD_BYTES as usize..];
-            ZoneRecord {
-                write_ptr: u32_at(rec, 0),
-                finished: rec[4] != 0,
-                resets: u64::from_le_bytes(rec[8..16].try_into().expect("8-byte slice")),
+            let rec = &map[z * ZONE_RECORD_BYTES as usize..(z + 1) * ZONE_RECORD_BYTES as usize];
+            if u32_at(rec, 16) == crc32(&rec[..RECORD_CRC_COVER]) {
+                ZoneRecord {
+                    write_ptr: u32_at(rec, 0).min(geom.pages_per_zone()),
+                    finished: rec[4] != 0,
+                    resets: u64_at(rec, 8),
+                }
+            } else {
+                suspect_zones.push(z as u32);
+                ZoneRecord::suspect(&geom)
             }
         })
         .collect();
-    Ok((geom, zones))
+    Ok(Superblock {
+        geom,
+        generation,
+        zones,
+        suspect_zones,
+        header_trusted,
+    })
 }
 
 #[cfg(test)]
@@ -153,25 +290,29 @@ mod tests {
         dir.join(name)
     }
 
-    #[test]
-    fn roundtrip_preserves_geometry_and_zone_map() {
-        let geom = Geometry::new(512, 8, 5, 2);
-        let path = tmp("roundtrip.img");
+    fn fresh(name: &str, geom: &Geometry, zones: &[ZoneRecord], generation: u64) -> File {
         let file = File::options()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
-            .open(&path)
+            .open(tmp(name))
             .unwrap();
-        file.set_len(file_len(&geom)).unwrap();
+        file.set_len(file_len(geom)).unwrap();
+        write_full(&file, geom, zones, generation).unwrap();
+        file
+    }
+
+    #[test]
+    fn roundtrip_preserves_geometry_zone_map_and_generation() {
+        let geom = Geometry::new(512, 8, 5, 2);
         let mut zones = vec![ZoneRecord::default(); 5];
         zones[2] = ZoneRecord {
             write_ptr: 3,
             finished: false,
             resets: 7,
         };
-        write_full(&file, &geom, &zones).unwrap();
+        let file = fresh("roundtrip.img", &geom, &zones, 41);
         write_zone(
             &file,
             4,
@@ -182,13 +323,19 @@ mod tests {
             },
         )
         .unwrap();
-        let (g, z) = read(&file).unwrap();
-        assert_eq!(g, geom);
-        assert_eq!(z[2].write_ptr, 3);
-        assert_eq!(z[2].resets, 7);
-        assert_eq!(z[4].write_ptr, 8);
-        assert!(z[4].finished);
-        std::fs::remove_file(&path).ok();
+        write_header(&file, &geom, 42).unwrap();
+        sync(&file).unwrap();
+        let sb = read(&file, Some(geom)).unwrap();
+        assert_eq!(sb.geom, geom);
+        assert_eq!(sb.generation, 42);
+        assert!(sb.header_trusted);
+        assert!(sb.suspect_zones.is_empty());
+        assert_eq!(sb.zones[2].write_ptr, 3);
+        assert_eq!(sb.zones[2].resets, 7);
+        assert_eq!(sb.zones[4].write_ptr, 8);
+        assert!(sb.zones[4].finished);
+        // Reading without an expectation works too (tools, inspection).
+        assert_eq!(read(&file, None).unwrap().generation, 42);
     }
 
     #[test]
@@ -196,15 +343,15 @@ mod tests {
         let geom = Geometry::new(4096, 256, 64, 8);
         assert_eq!(data_offset(&geom) % 4096, 0);
         assert!(data_offset(&geom) >= meta_bytes(64));
-        // 64 + 64*16 = 1088 -> one 4 KB page.
+        // 64 + 64*20 = 1344 -> one 4 KB page.
         assert_eq!(data_offset(&geom), 4096);
     }
 
     #[test]
     fn absurd_recorded_geometry_rejected_without_allocating() {
-        // A valid magic with overflow-scale geometry fields must come
-        // back as BadSuperblock — not a giant zone-map allocation or a
-        // u64 overflow panic — because the small file cannot vouch for
+        // A valid magic + CRC with overflow-scale geometry fields must
+        // come back as BadSuperblock — not a giant zone-map allocation or
+        // a u64 overflow panic — because the small file cannot vouch for
         // it.
         let path = tmp("absurd.img");
         let mut header = vec![0u8; 4096];
@@ -213,9 +360,11 @@ mod tests {
         header[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
         header[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
         header[20..24].copy_from_slice(&8u32.to_le_bytes());
+        let crc = crc32(&header[..HEADER_CRC_COVER]);
+        header[60..64].copy_from_slice(&crc.to_le_bytes());
         std::fs::write(&path, &header).unwrap();
         let file = File::open(&path).unwrap();
-        let err = read(&file).unwrap_err();
+        let err = read(&file, None).unwrap_err();
         assert!(matches!(err, FlashError::BadSuperblock(_)), "{err}");
         std::fs::remove_file(&path).ok();
     }
@@ -225,8 +374,66 @@ mod tests {
         let path = tmp("garbage.img");
         std::fs::write(&path, vec![0xAAu8; 4096]).unwrap();
         let file = File::open(&path).unwrap();
-        let err = read(&file).unwrap_err();
+        let err = read(&file, None).unwrap_err();
         assert!(matches!(err, FlashError::BadSuperblock(_)), "{err}");
+        let err = read(&file, Some(Geometry::new(512, 4, 2, 1))).unwrap_err();
+        assert!(matches!(err, FlashError::BadSuperblock(_)), "magic gate");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn geometry_mismatch_is_descriptive() {
+        let geom = Geometry::new(512, 8, 5, 2);
+        let file = fresh("mismatch.img", &geom, &[ZoneRecord::default(); 5], 0);
+        let other = Geometry::new(512, 8, 6, 2);
+        let err = read(&file, Some(other)).unwrap_err();
+        match err {
+            FlashError::GeometryMismatch { expected, found } => {
+                assert_eq!(expected, other);
+                assert_eq!(found, geom);
+            }
+            e => panic!("want GeometryMismatch, got {e}"),
+        }
+    }
+
+    #[test]
+    fn torn_header_degrades_with_expected_geometry() {
+        let geom = Geometry::new(512, 8, 3, 2);
+        let mut zones = vec![ZoneRecord::default(); 3];
+        zones[1].write_ptr = 5;
+        let file = fresh("torn_header.img", &geom, &zones, 99);
+        // Corrupt one generation byte without updating the CRC — a torn
+        // in-place header rewrite.
+        file.write_all_at(&[0xFF], 25).unwrap();
+        let err = read(&file, None).unwrap_err();
+        assert!(matches!(err, FlashError::BadSuperblock(_)), "{err}");
+        let sb = read(&file, Some(geom)).unwrap();
+        assert!(!sb.header_trusted);
+        assert_eq!(sb.generation, 0, "untrusted header forces staleness");
+        assert_eq!(sb.geom, geom);
+        // Zone records carry their own CRCs and survive.
+        assert_eq!(sb.zones[1].write_ptr, 5);
+        assert!(sb.suspect_zones.is_empty());
+    }
+
+    #[test]
+    fn torn_zone_record_becomes_suspect() {
+        let geom = Geometry::new(512, 8, 4, 2);
+        let mut zones = vec![ZoneRecord::default(); 4];
+        zones[2] = ZoneRecord {
+            write_ptr: 3,
+            finished: false,
+            resets: 2,
+        };
+        let file = fresh("torn_record.img", &geom, &zones, 7);
+        // Flip a byte inside zone 2's record (mid-write crash).
+        file.write_all_at(&[0x77], HEADER_BYTES + 2 * ZONE_RECORD_BYTES + 1)
+            .unwrap();
+        let sb = read(&file, Some(geom)).unwrap();
+        assert!(sb.header_trusted);
+        assert_eq!(sb.suspect_zones, vec![2]);
+        assert_eq!(sb.zones[2], ZoneRecord::suspect(&geom));
+        // Untouched records are unaffected.
+        assert_eq!(sb.zones[0], ZoneRecord::default());
     }
 }

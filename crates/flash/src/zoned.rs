@@ -40,6 +40,30 @@ pub trait ZonedFlash {
     fn zone_state(&self, zone: ZoneId) -> ZoneState;
     /// Write pointer (next page offset) of a zone.
     fn write_pointer(&self, zone: ZoneId) -> u32;
+    /// Monotonic device generation: increments on every mutating
+    /// operation (append, finish, reset) and, on file-backed devices,
+    /// persists in the superblock so a restart can tell whether the
+    /// device changed since a given point — engine checkpoints stamp the
+    /// generation they saw and compare it on recovery. Devices without
+    /// persistent state keep the default 0.
+    fn generation(&self) -> u64 {
+        0
+    }
+    /// Times `zone` has been reset (wear indicator); file-backed devices
+    /// persist it, and recovery uses it to detect zone reuse behind a
+    /// stale checkpoint. Devices without the counter report 0.
+    fn reset_count(&self, zone: ZoneId) -> u64 {
+        let _ = zone;
+        0
+    }
+    /// Zones whose persisted metadata record was torn when the device was
+    /// reopened. Their restored write pointer is a conservative upper
+    /// bound (the whole zone, marked finished), so recovery must rescan
+    /// their contents before trusting any index entry over them. Empty
+    /// except immediately after a reopen that found torn records.
+    fn suspect_zones(&self) -> &[ZoneId] {
+        &[]
+    }
     /// Appends page-aligned data at a zone's write pointer.
     ///
     /// Returns the address of the first page written and the completion
@@ -286,6 +310,11 @@ pub struct SimFlash {
     zones: Vec<ZoneRecord>,
     backend: Backend,
     stats: DeviceStats,
+    /// Mutation counter; persisted in the superblock on file backends.
+    generation: u64,
+    /// Zones whose superblock record was torn at reopen; see
+    /// [`ZonedFlash::suspect_zones`].
+    suspect: Vec<ZoneId>,
 }
 
 impl SimFlash {
@@ -305,6 +334,8 @@ impl SimFlash {
             zones,
             backend: Backend::Mem { zones: mem },
             stats: DeviceStats::default(),
+            generation: 0,
+            suspect: Vec::new(),
         }
     }
 
@@ -330,7 +361,7 @@ impl SimFlash {
             .open(path)?;
         file.set_len(superblock::file_len(&geom))?;
         let zones = vec![ZoneRecord::default(); geom.zone_count() as usize];
-        superblock::write_full(&file, &geom, &zones)?;
+        superblock::write_full(&file, &geom, &zones, 0)?;
         Ok(Self {
             geom,
             lat,
@@ -341,38 +372,51 @@ impl SimFlash {
                 data_offset: superblock::data_offset(&geom),
             },
             stats: DeviceStats::default(),
+            generation: 0,
+            suspect: Vec::new(),
         })
     }
 
     /// Reopens a file-backed device created by [`Self::file_backed`],
-    /// restoring the geometry, zone states, write pointers and reset
-    /// counts from the superblock. Cumulative [`DeviceStats`] and the
-    /// die timeline restart from zero (they describe a *run*, not the
-    /// medium).
+    /// restoring the zone states, write pointers, reset counts and the
+    /// device generation from the superblock. `geom` is the geometry the
+    /// caller's configuration expects; a CRC-valid superblock that
+    /// records a different geometry is rejected, while a *torn* header
+    /// (bad CRC) falls back to `geom` with generation 0 so recovery
+    /// treats any engine checkpoint as stale. Cumulative [`DeviceStats`]
+    /// and the die timeline restart from zero (they describe a *run*,
+    /// not the medium).
     ///
     /// # Errors
     ///
-    /// Returns an error if the file cannot be opened or its superblock
-    /// is missing or corrupt.
-    pub fn open_file_backed(lat: LatencyModel, path: &Path) -> Result<Self, FlashError> {
+    /// Returns [`FlashError::GeometryMismatch`] if the recorded geometry
+    /// disagrees with `geom`, or [`FlashError::BadSuperblock`] if the
+    /// file cannot be opened or is not a device image.
+    pub fn open_file_backed(
+        geom: Geometry,
+        lat: LatencyModel,
+        path: &Path,
+    ) -> Result<Self, FlashError> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
-        let (geom, zones) = superblock::read(&file)?;
+        let sb = superblock::read(&file, Some(geom))?;
+        if !sb.header_trusted {
+            // Torn header: repair it in place (with the conservative zone
+            // map just restored) so the next reopen is clean.
+            superblock::write_full(&file, &sb.geom, &sb.zones, sb.generation)?;
+        }
         Ok(Self {
-            geom,
+            geom: sb.geom,
             lat,
-            dies: DieTimeline::new(geom.dies()),
-            zones,
+            dies: DieTimeline::new(sb.geom.dies()),
+            zones: sb.zones,
             backend: Backend::File {
                 file,
-                data_offset: superblock::data_offset(&geom),
+                data_offset: superblock::data_offset(&sb.geom),
             },
             stats: DeviceStats::default(),
+            generation: sb.generation,
+            suspect: sb.suspect_zones.iter().copied().map(ZoneId).collect(),
         })
-    }
-
-    /// Number of times each zone has been reset — a wear indicator.
-    pub fn reset_count(&self, zone: ZoneId) -> u64 {
-        self.zones[zone.0 as usize].resets
     }
 
     /// The latency model in effect.
@@ -387,10 +431,23 @@ impl SimFlash {
         Ok(())
     }
 
-    /// Persists one zone's metadata record (file backend only).
+    /// Persists one zone's metadata record and the generation-bearing
+    /// header (file backend only).
     fn persist_zone(&self, zone: u32) -> Result<(), FlashError> {
         if let Backend::File { file, .. } = &self.backend {
             superblock::write_zone(file, zone, &self.zones[zone as usize])?;
+            superblock::write_header(file, &self.geom, self.generation)?;
+        }
+        Ok(())
+    }
+
+    /// Fsync barrier after a state-changing record write (zone finish or
+    /// reset), so the on-disk zone map is never older than data the
+    /// barrier makes durable (file backend only).
+    fn sync_meta(&mut self) -> Result<(), FlashError> {
+        if let Backend::File { file, .. } = &self.backend {
+            superblock::sync(file)?;
+            self.stats.superblock_syncs += 1;
         }
         Ok(())
     }
@@ -447,6 +504,18 @@ impl ZonedFlash for SimFlash {
         self.zones[zone.0 as usize].write_ptr
     }
 
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn reset_count(&self, zone: ZoneId) -> u64 {
+        self.zones[zone.0 as usize].resets
+    }
+
+    fn suspect_zones(&self) -> &[ZoneId] {
+        &self.suspect
+    }
+
     fn append(
         &mut self,
         zone: ZoneId,
@@ -467,6 +536,7 @@ impl ZonedFlash for SimFlash {
         }
         let z = &mut self.zones[zone.0 as usize];
         z.write_ptr += pages;
+        self.generation += 1;
         self.persist_zone(zone.0)?;
         self.stats.pages_written += pages as u64;
         self.stats.bytes_written += data.len() as u64;
@@ -506,7 +576,9 @@ impl ZonedFlash for SimFlash {
     fn finish_zone(&mut self, zone: ZoneId) -> Result<(), FlashError> {
         self.check_zone(zone)?;
         self.zones[zone.0 as usize].finished = true;
+        self.generation += 1;
         self.persist_zone(zone.0)?;
+        self.sync_meta()?;
         Ok(())
     }
 
@@ -519,7 +591,9 @@ impl ZonedFlash for SimFlash {
         if let Backend::Mem { zones } = &mut self.backend {
             zones[zone.0 as usize] = None;
         }
+        self.generation += 1;
         self.persist_zone(zone.0)?;
+        self.sync_meta()?;
         self.stats.zone_resets += 1;
         // An erase occupies the zone's first die; modelling one die keeps
         // resets from unrealistically freezing the whole device.
@@ -732,8 +806,9 @@ mod tests {
         }
         // Reopen: zone states, write pointers, reset counts and page data
         // must all have survived the process "restart".
-        let mut dev = SimFlash::open_file_backed(LatencyModel::zero(), &path).unwrap();
+        let mut dev = SimFlash::open_file_backed(geom, LatencyModel::zero(), &path).unwrap();
         assert_eq!(dev.geometry(), geom);
+        assert!(dev.generation() > 0, "generation persists across reopen");
         assert_eq!(dev.zone_state(ZoneId(0)), ZoneState::Full, "finished");
         assert_eq!(dev.write_pointer(ZoneId(0)), 1);
         assert_eq!(dev.zone_state(ZoneId(1)), ZoneState::Full, "filled");
@@ -751,9 +826,96 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("not_a_device.img");
         std::fs::write(&path, b"hello world, definitely not a superblock").unwrap();
-        let err = SimFlash::open_file_backed(LatencyModel::zero(), &path).unwrap_err();
+        let err =
+            SimFlash::open_file_backed(Geometry::new(512, 4, 3, 2), LatencyModel::zero(), &path)
+                .unwrap_err();
         assert!(matches!(err, FlashError::BadSuperblock(_)), "{err}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_with_wrong_geometry_is_a_descriptive_error() {
+        let dir = std::env::temp_dir().join("nemo_flash_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wrong_geom.img");
+        let geom = Geometry::new(512, 4, 3, 2);
+        drop(SimFlash::file_backed(geom, LatencyModel::zero(), &path).unwrap());
+        let other = Geometry::new(512, 8, 3, 2);
+        let err = SimFlash::open_file_backed(other, LatencyModel::zero(), &path).unwrap_err();
+        assert!(
+            matches!(err, FlashError::GeometryMismatch { .. }),
+            "want GeometryMismatch, got {err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_zone_record_surfaces_as_suspect_on_reopen() {
+        use std::os::unix::fs::FileExt;
+        let dir = std::env::temp_dir().join("nemo_flash_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn_record.img");
+        let geom = Geometry::new(512, 4, 3, 2);
+        {
+            let mut dev = SimFlash::file_backed(geom, LatencyModel::zero(), &path).unwrap();
+            dev.append(ZoneId(1), &vec![7u8; 512 * 2], Nanos::ZERO)
+                .unwrap();
+        }
+        // Flip a byte inside zone 1's metadata record (header is 64 B,
+        // records are 20 B each), simulating a torn superblock write.
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .unwrap();
+        let mut b = [0u8; 1];
+        file.read_exact_at(&mut b, 64 + 20 + 2).unwrap();
+        file.write_all_at(&[b[0] ^ 0xFF], 64 + 20 + 2).unwrap();
+        drop(file);
+        let dev = SimFlash::open_file_backed(geom, LatencyModel::zero(), &path).unwrap();
+        assert_eq!(dev.suspect_zones(), &[ZoneId(1)]);
+        // Conservative restore: the whole zone readable, marked full.
+        assert_eq!(dev.write_pointer(ZoneId(1)), geom.pages_per_zone());
+        assert_eq!(dev.zone_state(ZoneId(1)), ZoneState::Full);
+        // Untouched zones are not suspect.
+        assert_eq!(dev.zone_state(ZoneId(0)), ZoneState::Empty);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn state_changing_writes_fsync_the_superblock() {
+        // Regression for the unfsynced zone map: finish_zone and
+        // reset_zone must barrier the metadata (observable through the
+        // superblock_syncs counter), while plain appends stay buffered.
+        let dir = std::env::temp_dir().join("nemo_flash_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fsync.img");
+        let geom = Geometry::new(512, 4, 3, 2);
+        let mut dev = SimFlash::file_backed(geom, LatencyModel::zero(), &path).unwrap();
+        dev.append(ZoneId(0), &vec![1u8; 512], Nanos::ZERO).unwrap();
+        assert_eq!(dev.stats().superblock_syncs, 0, "appends stay buffered");
+        dev.finish_zone(ZoneId(0)).unwrap();
+        assert_eq!(dev.stats().superblock_syncs, 1, "finish barriers");
+        dev.reset_zone(ZoneId(1), Nanos::ZERO).unwrap();
+        assert_eq!(dev.stats().superblock_syncs, 2, "reset barriers");
+        // The in-memory backend has nothing to sync.
+        let mut mem = SimFlash::with_latency(geom, LatencyModel::zero());
+        mem.finish_zone(ZoneId(0)).unwrap();
+        assert_eq!(mem.stats().superblock_syncs, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generation_counts_mutations_only() {
+        let mut dev = small();
+        assert_eq!(dev.generation(), 0);
+        dev.append(ZoneId(0), &vec![1u8; 512], Nanos::ZERO).unwrap();
+        assert_eq!(dev.generation(), 1);
+        dev.read_pages(PageAddr::new(0, 0), 1, Nanos::ZERO).unwrap();
+        assert_eq!(dev.generation(), 1, "reads do not advance it");
+        dev.finish_zone(ZoneId(0)).unwrap();
+        dev.reset_zone(ZoneId(0), Nanos::ZERO).unwrap();
+        assert_eq!(dev.generation(), 3);
     }
 
     #[test]

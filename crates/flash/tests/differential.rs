@@ -190,8 +190,8 @@ fn persistent_backends_survive_reopen_and_continue() {
         }
     }
 
-    let mut sim = SimFlash::open_file_backed(LatencyModel::zero(), &sim_path).unwrap();
-    let mut real = RealFlash::open(&real_path, RealFlashOptions::default()).unwrap();
+    let mut sim = SimFlash::open_file_backed(geom, LatencyModel::zero(), &sim_path).unwrap();
+    let mut real = RealFlash::open(geom, &real_path, RealFlashOptions::default()).unwrap();
     for dev in [&mut sim as &mut dyn ZonedFlash, &mut real] {
         assert_eq!(dev.geometry(), geom);
         let (back, _) = dev.read_pages(PageAddr::new(0, 0), 1, Nanos::ZERO).unwrap();

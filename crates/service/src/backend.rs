@@ -77,12 +77,33 @@ impl DeviceBackend {
         matches!(self, DeviceBackend::Real { .. })
     }
 
+    /// Path of shard `shard`'s device image for a fleet tagged `tag`, or
+    /// `None` for the in-memory [`DeviceBackend::Modeled`] backend, which
+    /// persists nothing.
+    pub fn image_path(&self, tag: &str, shard: usize) -> Option<PathBuf> {
+        let dir = match self {
+            DeviceBackend::Modeled => return None,
+            DeviceBackend::ModeledFile { dir } | DeviceBackend::Real { dir, .. } => dir,
+        };
+        Some(dir.join(format!("{tag}-shard{shard}.img")))
+    }
+
+    /// Path of the warm-restart checkpoint that rides along shard
+    /// `shard`'s image (`<image>.ckpt`), or `None` for the in-memory
+    /// backend.
+    pub fn checkpoint_path(&self, tag: &str, shard: usize) -> Option<PathBuf> {
+        let dir = match self {
+            DeviceBackend::Modeled => return None,
+            DeviceBackend::ModeledFile { dir } | DeviceBackend::Real { dir, .. } => dir,
+        };
+        Some(dir.join(format!("{tag}-shard{shard}.img.ckpt")))
+    }
+
     /// Opens shard `shard`'s device for a fleet tagged `tag` (the tag
     /// keeps concurrently running fleets from colliding on image paths).
     /// Backed variants create `dir` and a fresh `"{tag}-shard{N}.img"`
     /// per shard — any prior image is truncated; use
-    /// [`RealFlash::open`] / [`SimFlash::open_file_backed`] directly to
-    /// resume an existing device.
+    /// [`DeviceBackend::reopen`] to resume an existing device.
     ///
     /// # Errors
     ///
@@ -111,6 +132,84 @@ impl DeviceBackend {
                 )?))
             }
         }
+    }
+
+    /// Reopens shard `shard`'s *existing* device image without truncating
+    /// it — the restart counterpart of [`DeviceBackend::open`]. The
+    /// persisted zone map is read back from the image's superblock;
+    /// geometry mismatches and missing/corrupt images are errors.
+    ///
+    /// # Errors
+    ///
+    /// Fails for [`DeviceBackend::Modeled`] (nothing persists across a
+    /// restart), for a missing image, and for any superblock or geometry
+    /// problem [`SimFlash::open_file_backed`] / [`RealFlash::open`]
+    /// reports.
+    pub fn reopen(
+        &self,
+        tag: &str,
+        shard: usize,
+        geom: Geometry,
+        lat: LatencyModel,
+    ) -> Result<AnyFlash, FlashError> {
+        match self {
+            DeviceBackend::Modeled => Err(FlashError::Io(
+                "the modeled in-memory backend persists nothing to reopen".into(),
+            )),
+            DeviceBackend::ModeledFile { dir } => {
+                let path = dir.join(format!("{tag}-shard{shard}.img"));
+                Ok(AnyFlash::from(SimFlash::open_file_backed(
+                    geom, lat, &path,
+                )?))
+            }
+            DeviceBackend::Real { dir, options } => {
+                let path = dir.join(format!("{tag}-shard{shard}.img"));
+                Ok(AnyFlash::from(RealFlash::open(
+                    geom,
+                    &path,
+                    options.clone(),
+                )?))
+            }
+        }
+    }
+
+    /// Atomically persists shard `shard`'s warm-restart checkpoint next
+    /// to its image: written to a `.tmp` sibling, fsynced, then renamed
+    /// over [`DeviceBackend::checkpoint_path`], so a crash mid-write
+    /// leaves either the old checkpoint or none — never a torn one (a
+    /// torn checkpoint would be caught by its CRC anyway and degrade
+    /// recovery to a zone scan).
+    ///
+    /// # Errors
+    ///
+    /// Fails for the in-memory backend and on any filesystem error.
+    pub fn write_checkpoint(
+        &self,
+        tag: &str,
+        shard: usize,
+        bytes: &[u8],
+    ) -> Result<(), FlashError> {
+        let path = self.checkpoint_path(tag, shard).ok_or_else(|| {
+            FlashError::Io("the modeled in-memory backend cannot persist checkpoints".into())
+        })?;
+        let tmp = path.with_extension("ckpt.tmp");
+        let mut file = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut file, bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, &path)?;
+        if let Some(dir) = path.parent() {
+            // Make the rename itself durable.
+            std::fs::File::open(dir)?.sync_all()?;
+        }
+        Ok(())
+    }
+
+    /// Reads shard `shard`'s persisted checkpoint, if any. Absent or
+    /// unreadable checkpoints return `None` — recovery treats that as a
+    /// cold open rather than a failure.
+    pub fn read_checkpoint(&self, tag: &str, shard: usize) -> Option<Vec<u8>> {
+        std::fs::read(self.checkpoint_path(tag, shard)?).ok()
     }
 
     /// A device factory in the shape every config's `factory_on` expects.
@@ -157,6 +256,51 @@ mod tests {
             dev.append(ZoneId(0), &[3u8; 512], Nanos::ZERO).unwrap();
             assert_eq!(dev.write_pointer(ZoneId(0)), 1, "{}", backend.label());
         }
+    }
+
+    #[test]
+    fn reopen_preserves_written_pages() {
+        let geom = Geometry::new(512, 4, 2, 2);
+        let backend = DeviceBackend::modeled_file(tmp("reopen"));
+        let mut dev = backend.open("r", 0, geom, LatencyModel::zero()).unwrap();
+        dev.append(ZoneId(1), &[9u8; 512], Nanos::ZERO).unwrap();
+        drop(dev);
+        let dev = backend.reopen("r", 0, geom, LatencyModel::zero()).unwrap();
+        assert_eq!(dev.write_pointer(ZoneId(1)), 1);
+        assert!(
+            backend.reopen("r", 77, geom, LatencyModel::zero()).is_err(),
+            "shard 77 has no image"
+        );
+        assert!(
+            DeviceBackend::Modeled
+                .reopen("r", 0, geom, LatencyModel::zero())
+                .is_err(),
+            "in-memory backend persists nothing"
+        );
+    }
+
+    #[test]
+    fn checkpoint_paths_and_roundtrip() {
+        let backend = DeviceBackend::modeled_file(tmp("ckpt"));
+        let img = backend.image_path("c", 3).unwrap();
+        let ckpt = backend.checkpoint_path("c", 3).unwrap();
+        assert!(img.to_str().unwrap().ends_with("c-shard3.img"));
+        assert_eq!(ckpt.to_str().unwrap(), format!("{}.ckpt", img.display()));
+        assert!(DeviceBackend::Modeled.image_path("c", 0).is_none());
+        assert!(DeviceBackend::Modeled.checkpoint_path("c", 0).is_none());
+
+        let _ = std::fs::remove_file(&ckpt); // stale file from a prior run
+        assert!(backend.read_checkpoint("c", 3).is_none(), "nothing yet");
+        backend.write_checkpoint("c", 3, b"state").unwrap();
+        assert_eq!(backend.read_checkpoint("c", 3).unwrap(), b"state");
+        backend.write_checkpoint("c", 3, b"newer").unwrap();
+        assert_eq!(backend.read_checkpoint("c", 3).unwrap(), b"newer");
+        assert!(
+            DeviceBackend::Modeled
+                .write_checkpoint("c", 0, b"x")
+                .is_err(),
+            "in-memory backend cannot persist checkpoints"
+        );
     }
 
     #[test]

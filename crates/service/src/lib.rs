@@ -76,10 +76,12 @@
 
 mod backend;
 pub mod openloop;
+mod restart;
 mod routing;
 mod sharded;
 
 pub use backend::DeviceBackend;
 pub use openloop::{OpenLoopConfig, OpenLoopReplay, OpenLoopResult};
+pub use restart::checkpoint_fleet;
 pub use routing::shard_of;
 pub use sharded::{Completion, CompletionKind, ShardedCache, ShardedCacheBuilder, ShardedReport};

@@ -151,6 +151,11 @@ impl ShardedCacheBuilder {
         }
     }
 
+    /// Number of shards the fleet will have.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
     /// Bounded per-shard command-queue depth (backpressure limit).
     ///
     /// # Panics

@@ -1,0 +1,172 @@
+//! Crash injection: a file-backed device whose superblock is torn
+//! mid-`finish_zone` (one zone record half-written at the instant of the
+//! crash) must reopen with the zone marked suspect, recover by a bounded
+//! zone scan — partial when the checkpoint is otherwise current, cold
+//! when the index pool moved underneath it — and converge back to the
+//! pre-crash hit ratio under the same workload.
+
+use nemo_core::{Nemo, NemoConfig, RecoveryMode};
+use nemo_engine::CacheEngine;
+use nemo_flash::{Geometry, LatencyModel, Nanos, SimFlash, ZoneId, ZonedFlash};
+use nemo_trace::{TraceConfig, TraceGenerator};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Superblock layout constants (see `nemo-flash`'s superblock module):
+/// a 64-byte header followed by one 20-byte CRC-sealed record per zone.
+const SB_HEADER_BYTES: u64 = 64;
+const SB_ZONE_RECORD_BYTES: u64 = 20;
+
+fn small_cfg() -> NemoConfig {
+    let mut cfg = NemoConfig::small();
+    cfg.geometry = Geometry::new(4096, 64, 32, 4);
+    cfg.latency = LatencyModel::zero();
+    cfg.flush_threshold = 16;
+    cfg.index_group_sgs = 6;
+    cfg.expected_objects_per_set = 16;
+    cfg
+}
+
+/// Demand-fill churn over `ops` requests; returns the window's hit ratio.
+fn churn(nemo: &mut Nemo<SimFlash>, gen: &mut TraceGenerator, ops: u64) -> f64 {
+    let before = nemo.stats();
+    for _ in 0..ops {
+        let r = gen.next_request();
+        if !nemo.get(r.key, Nanos::ZERO).hit {
+            nemo.put(r.key, r.size, Nanos::ZERO);
+        }
+    }
+    let after = nemo.stats();
+    (after.hits - before.hits) as f64 / (after.gets - before.gets).max(1) as f64
+}
+
+fn image_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("nemo_crash_restart_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// The last data zone with anything written in the image at `path`.
+fn last_written_data_zone(cfg: &NemoConfig, path: &Path) -> ZoneId {
+    let probe = SimFlash::open_file_backed(cfg.geometry, cfg.latency, path).unwrap();
+    (cfg.index_zones()..cfg.geometry.zone_count())
+        .map(ZoneId)
+        .rfind(|&z| probe.write_pointer(z) > 0)
+        .expect("the workload wrote at least one data zone")
+}
+
+/// Flips one payload byte of `zone`'s superblock record, as a crash
+/// mid-`finish_zone` would leave it (the record rewrite is not atomic;
+/// a torn record fails its CRC on reopen).
+fn tear_zone_record(path: &Path, zone: ZoneId) {
+    let mut file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .unwrap();
+    let record = SB_HEADER_BYTES + u64::from(zone.0) * SB_ZONE_RECORD_BYTES;
+    let mut byte = [0u8; 1];
+    file.seek(SeekFrom::Start(record)).unwrap();
+    file.read_exact(&mut byte).unwrap();
+    file.seek(SeekFrom::Start(record)).unwrap();
+    file.write_all(&[byte[0] ^ 0xFF]).unwrap();
+}
+
+#[test]
+fn torn_zone_record_recovers_partially_and_converges() {
+    let cfg = small_cfg();
+    let path = image_path("torn-partial.img");
+    let mut gen = TraceGenerator::new(TraceConfig::twitter_merged(0.0004));
+
+    let dev = SimFlash::file_backed(cfg.geometry, cfg.latency, &path).unwrap();
+    let mut nemo = Nemo::with_device(cfg.clone(), dev);
+    churn(&mut nemo, &mut gen, 40_000);
+    let pre_crash_hit = churn(&mut nemo, &mut gen, 30_000);
+    assert!(pre_crash_hit > 0.5, "workload never warmed up");
+    // The checkpointer ran just before the crash, so the checkpoint is
+    // current — only the torn record differs from it.
+    let checkpoint = nemo.checkpoint_bytes();
+    drop(nemo);
+
+    let victim = last_written_data_zone(&cfg, &path);
+    tear_zone_record(&path, victim);
+
+    // Reopen: the torn record must surface as a suspect zone, not an
+    // open failure, and recovery must rescan exactly that zone instead
+    // of trusting the checkpoint verbatim.
+    let dev = SimFlash::open_file_backed(cfg.geometry, cfg.latency, &path).unwrap();
+    assert!(
+        dev.suspect_zones().contains(&victim),
+        "torn record for zone {} not flagged suspect: {:?}",
+        victim.0,
+        dev.suspect_zones()
+    );
+    let (mut nemo, report) = Nemo::recover(cfg.clone(), dev, Some(&checkpoint));
+    assert_eq!(
+        report.mode,
+        RecoveryMode::Partial,
+        "a current checkpoint with one suspect zone must recover partially: {report:?}"
+    );
+    assert_eq!(
+        report.zones_scanned, 1,
+        "only the suspect zone needed a rescan: {report:?}"
+    );
+    assert!(report.pages_read > 0, "rescan read nothing: {report:?}");
+
+    let post_crash_hit = churn(&mut nemo, &mut gen, 30_000);
+    assert!(
+        (post_crash_hit - pre_crash_hit).abs() < 0.05,
+        "hit ratio did not converge after crash recovery: \
+         pre {pre_crash_hit:.4} vs post {post_crash_hit:.4}"
+    );
+}
+
+#[test]
+fn stale_checkpoint_with_torn_record_cold_scans_and_converges() {
+    let cfg = small_cfg();
+    let path = image_path("torn-stale.img");
+    let mut gen = TraceGenerator::new(TraceConfig::twitter_merged(0.0004));
+
+    let dev = SimFlash::file_backed(cfg.geometry, cfg.latency, &path).unwrap();
+    let mut nemo = Nemo::with_device(cfg.clone(), dev);
+    churn(&mut nemo, &mut gen, 40_000);
+    // The checkpointer last ran a full crash window ago: by the time the
+    // process dies, flushes have rewritten index-pool zones, so the
+    // persisted PBFGs the checkpoint references are gone.
+    let checkpoint = nemo.checkpoint_bytes();
+    let pre_crash_hit = churn(&mut nemo, &mut gen, 30_000);
+    assert!(pre_crash_hit > 0.5, "workload never warmed up");
+    drop(nemo);
+
+    tear_zone_record(&path, last_written_data_zone(&cfg, &path));
+
+    let dev = SimFlash::open_file_backed(cfg.geometry, cfg.latency, &path).unwrap();
+    let (mut nemo, report) = Nemo::recover(cfg.clone(), dev, Some(&checkpoint));
+    assert_eq!(
+        report.mode,
+        RecoveryMode::Cold,
+        "a checkpoint whose index pool moved must degrade to a cold scan: {report:?}"
+    );
+    let err = report.checkpoint_error.as_deref().unwrap_or_default();
+    assert!(
+        err.contains("index-pool"),
+        "cold fallback should name the untrusted index pool: {report:?}"
+    );
+    assert!(
+        report.zones_scanned > 1,
+        "cold scan covers data zones: {report:?}"
+    );
+    assert!(
+        report.objects_recovered > 0,
+        "cold scan re-indexed nothing: {report:?}"
+    );
+
+    let post_crash_hit = churn(&mut nemo, &mut gen, 30_000);
+    assert!(
+        (post_crash_hit - pre_crash_hit).abs() < 0.05,
+        "hit ratio did not converge after crash recovery: \
+         pre {pre_crash_hit:.4} vs post {post_crash_hit:.4}"
+    );
+}

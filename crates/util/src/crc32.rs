@@ -1,0 +1,88 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//!
+//! Used by the persistent formats in this workspace — the device
+//! superblock in `nemo-flash` and the engine checkpoint in `nemo-core` —
+//! to detect torn or corrupted metadata after a crash. Implemented here
+//! so persistence stays dependency-free and bit-stable across toolchains.
+
+/// Byte-wise lookup table for the reflected IEEE polynomial.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `data` (IEEE: init `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF`).
+///
+/// # Examples
+///
+/// ```
+/// use nemo_util::crc32::crc32;
+/// // The classic check value for the IEEE polynomial.
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    !update(!0, data)
+}
+
+/// Continues a CRC computation over another chunk. Feed `!0` as the seed
+/// for the first chunk and complement the final state, i.e.
+/// `!update(update(!0, a), b) == crc32(a ++ b)`.
+pub fn update(state: u32, data: &[u8]) -> u32 {
+    let mut c = state;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn chunked_equals_whole() {
+        let data = b"superblock header + zone records";
+        let whole = crc32(data);
+        let (a, b) = data.split_at(11);
+        assert_eq!(!update(update(!0, a), b), whole);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0u8; 64];
+        data[10] = 0x5A;
+        let clean = crc32(&data);
+        for byte in 0..64 {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), clean, "flip at {byte}:{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

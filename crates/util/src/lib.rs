@@ -18,6 +18,7 @@
 //! assert_eq!(a, rng2.next_u64()); // fully deterministic
 //! ```
 
+pub mod crc32;
 pub mod hash;
 pub mod rng;
 
