@@ -127,6 +127,9 @@ pub struct FairyWren<D: ZonedFlash = SimFlash> {
     /// Re-entrancy guard: GC must not nest (hot-set staging flushes are
     /// deferred until the pass completes).
     in_gc: bool,
+    /// Reused one-page read buffer: set probes, log reads and RMW scans
+    /// stay allocation-free.
+    read_buf: Vec<u8>,
 }
 
 impl FairyWren {
@@ -196,6 +199,7 @@ impl<D: ZonedFlash> FairyWren<D> {
             writes_since_cooling: 0,
             cooling_period_bytes,
             in_gc: false,
+            read_buf: vec![0u8; cfg.geometry.page_size() as usize],
         }
     }
 
@@ -283,9 +287,11 @@ impl<D: ZonedFlash> FairyWren<D> {
         let page_size = self.dev.geometry().page_size() as usize;
         let mut entries: Vec<(u64, u32)> = match self.hset.location(set) {
             Some(addr) => {
-                let (bytes, _) = self.dev.read_pages(addr, 1, now).expect("set read");
-                self.stats.flash_bytes_read += bytes.len() as u64;
-                codec::parse_entries(&bytes).collect()
+                self.dev
+                    .read_pages_into(addr, 1, &mut self.read_buf, now)
+                    .expect("set read");
+                self.stats.flash_bytes_read += self.read_buf.len() as u64;
+                codec::parse_entries(&self.read_buf).collect()
             }
             None => Vec::new(),
         };
@@ -426,10 +432,13 @@ impl<D: ZonedFlash> FairyWren<D> {
             return None;
         }
         let addr = self.hset.location(set)?;
-        let (bytes, done) = self.dev.read_pages(addr, 1, now).expect("set read");
-        self.stats.flash_bytes_read += bytes.len() as u64;
+        let done = self
+            .dev
+            .read_pages_into(addr, 1, &mut self.read_buf, now)
+            .expect("set read");
+        self.stats.flash_bytes_read += self.read_buf.len() as u64;
         self.stats.candidate_reads += 1;
-        if codec::find_payload(&bytes, key).is_some() {
+        if codec::find_payload(&self.read_buf, key).is_some() {
             Some(GetOutcome {
                 hit: true,
                 done_at: done,
@@ -462,8 +471,11 @@ impl<D: ZonedFlash + Send> CacheEngine for FairyWren<D> {
             return match obj.addr {
                 None => GetOutcome::memory_hit(now),
                 Some(addr) => {
-                    let (bytes, done) = self.dev.read_pages(addr, 1, now).expect("log page read");
-                    self.stats.flash_bytes_read += bytes.len() as u64;
+                    let done = self
+                        .dev
+                        .read_pages_into(addr, 1, &mut self.read_buf, now)
+                        .expect("log page read");
+                    self.stats.flash_bytes_read += self.read_buf.len() as u64;
                     self.stats.candidate_reads += 1;
                     GetOutcome {
                         hit: true,

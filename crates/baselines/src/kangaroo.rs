@@ -85,6 +85,9 @@ pub struct Kangaroo<D: ZonedFlash = SimFlash> {
     /// GC relocations (pure copies, no new objects).
     pub_relocations: u64,
     rmw_count: u64,
+    /// Reused one-page read buffer: set scans, log reads and GC
+    /// relocations stay allocation-free.
+    read_buf: Vec<u8>,
 }
 
 impl Kangaroo {
@@ -153,6 +156,7 @@ impl<D: ZonedFlash> Kangaroo<D> {
             migration_cdf: DiscreteCdf::new(10),
             pub_relocations: 0,
             rmw_count: 0,
+            read_buf: vec![0u8; cfg.geometry.page_size() as usize],
         }
     }
 
@@ -187,14 +191,20 @@ impl<D: ZonedFlash> Kangaroo<D> {
                 self.hset.valid_count(victim) < self.dev.geometry().pages_per_zone(),
                 "set region overcommitted: every zone fully valid"
             );
+            // The buffer is taken rather than borrowed: `append_set`
+            // needs the device mutably while the page contents are read.
+            let mut bytes = std::mem::take(&mut self.read_buf);
             for set in self.hset.sets_in_zone(&self.dev, victim) {
                 let addr = self.hset.location(set).expect("valid set");
-                let (bytes, _) = self.dev.read_pages(addr, 1, now).expect("valid set read");
+                self.dev
+                    .read_pages_into(addr, 1, &mut bytes, now)
+                    .expect("valid set read");
                 self.stats.flash_bytes_read += bytes.len() as u64;
                 self.hset.append_set(&mut self.dev, set, &bytes, now);
                 self.stats.flash_bytes_written += bytes.len() as u64;
                 self.pub_relocations += 1;
             }
+            self.read_buf = bytes;
             self.hset.release_zone(&mut self.dev, victim, now);
         }
     }
@@ -205,9 +215,11 @@ impl<D: ZonedFlash> Kangaroo<D> {
         let page_size = self.dev.geometry().page_size() as usize;
         let mut entries: Vec<(u64, u32)> = match self.hset.location(set) {
             Some(addr) => {
-                let (bytes, _) = self.dev.read_pages(addr, 1, now).expect("set read");
-                self.stats.flash_bytes_read += bytes.len() as u64;
-                codec::parse_entries(&bytes).collect()
+                self.dev
+                    .read_pages_into(addr, 1, &mut self.read_buf, now)
+                    .expect("set read");
+                self.stats.flash_bytes_read += self.read_buf.len() as u64;
+                codec::parse_entries(&self.read_buf).collect()
             }
             None => Vec::new(),
         };
@@ -278,8 +290,11 @@ impl<D: ZonedFlash + Send> CacheEngine for Kangaroo<D> {
             return match obj.addr {
                 None => GetOutcome::memory_hit(now),
                 Some(addr) => {
-                    let (bytes, done) = self.dev.read_pages(addr, 1, now).expect("log page read");
-                    self.stats.flash_bytes_read += bytes.len() as u64;
+                    let done = self
+                        .dev
+                        .read_pages_into(addr, 1, &mut self.read_buf, now)
+                        .expect("log page read");
+                    self.stats.flash_bytes_read += self.read_buf.len() as u64;
                     self.stats.candidate_reads += 1;
                     GetOutcome {
                         hit: true,
@@ -297,10 +312,13 @@ impl<D: ZonedFlash + Send> CacheEngine for Kangaroo<D> {
         let Some(addr) = self.hset.location(set) else {
             return GetOutcome::memory_miss(now);
         };
-        let (bytes, done) = self.dev.read_pages(addr, 1, now).expect("set read");
-        self.stats.flash_bytes_read += bytes.len() as u64;
+        let done = self
+            .dev
+            .read_pages_into(addr, 1, &mut self.read_buf, now)
+            .expect("set read");
+        self.stats.flash_bytes_read += self.read_buf.len() as u64;
         self.stats.candidate_reads += 1;
-        if codec::find_payload(&bytes, key).is_some() {
+        if codec::find_payload(&self.read_buf, key).is_some() {
             self.stats.hits += 1;
             GetOutcome {
                 hit: true,

@@ -82,6 +82,8 @@ pub struct LogCache<D: ZonedFlash = SimFlash> {
     /// Zone currently being appended to.
     open_zone: u32,
     stats: EngineStats,
+    /// Reused one-page read buffer: indexed lookups stay allocation-free.
+    read_buf: Vec<u8>,
 }
 
 impl LogCache {
@@ -113,6 +115,7 @@ impl<D: ZonedFlash> LogCache<D> {
             zone_keys,
             open_zone: 0,
             stats: EngineStats::default(),
+            read_buf: vec![0u8; cfg.geometry.page_size() as usize],
         }
     }
 
@@ -184,14 +187,14 @@ impl<D: ZonedFlash + Send> CacheEngine for LogCache<D> {
         let Some(&entry) = self.index.get(&key) else {
             return GetOutcome::memory_miss(now);
         };
-        let (page, done) = self
+        let done = self
             .dev
-            .read_pages(entry.addr, 1, now)
+            .read_pages_into(entry.addr, 1, &mut self.read_buf, now)
             .expect("indexed page must be readable");
-        self.stats.flash_bytes_read += page.len() as u64;
+        self.stats.flash_bytes_read += self.read_buf.len() as u64;
         self.stats.candidate_reads += 1;
         debug_assert!(
-            nemo_engine::codec::find_payload(&page, key).is_some(),
+            nemo_engine::codec::find_payload(&self.read_buf, key).is_some(),
             "exact index pointed at a page without the object"
         );
         self.stats.hits += 1;

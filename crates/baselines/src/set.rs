@@ -84,6 +84,9 @@ pub struct SetCache<D: ZonedFlash = SimFlash> {
     n_sets: u64,
     stats: EngineStats,
     objects: u64,
+    /// Reused one-page read buffer: set scans on the get and
+    /// read-modify-write paths stay allocation-free.
+    page_buf: Vec<u8>,
 }
 
 impl SetCache {
@@ -129,6 +132,7 @@ impl<D: ZonedFlash> SetCache<D> {
             n_sets,
             stats: EngineStats::default(),
             objects: 0,
+            page_buf: vec![0u8; cfg.geometry.page_size() as usize],
         }
     }
 
@@ -153,10 +157,13 @@ impl<D: ZonedFlash + Send> CacheEngine for SetCache<D> {
         if !self.filters[set as usize].contains(key) {
             return GetOutcome::memory_miss(now);
         }
-        let (page, done) = self.dev.read_page(set, now).expect("set read");
-        self.stats.flash_bytes_read += page.len() as u64;
+        let done = self
+            .dev
+            .read_page_into(set, &mut self.page_buf, now)
+            .expect("set read");
+        self.stats.flash_bytes_read += self.page_buf.len() as u64;
         self.stats.candidate_reads += 1;
-        if codec::find_payload(&page, key).is_some() {
+        if codec::find_payload(&self.page_buf, key).is_some() {
             self.stats.hits += 1;
             GetOutcome {
                 hit: true,
@@ -184,10 +191,12 @@ impl<D: ZonedFlash + Send> CacheEngine for SetCache<D> {
 
         // Read-modify-write: read the set, drop the old version of this
         // key, FIFO-evict until the new object fits, rewrite.
-        let (old_page, _) = self.dev.read_page(set, now).expect("set read");
-        self.stats.flash_bytes_read += old_page.len() as u64;
-        let had_key = codec::parse_entries(&old_page).any(|(k, _)| k == key);
-        let mut entries: Vec<(u64, u32)> = codec::parse_entries(&old_page)
+        self.dev
+            .read_page_into(set, &mut self.page_buf, now)
+            .expect("set read");
+        self.stats.flash_bytes_read += self.page_buf.len() as u64;
+        let had_key = codec::parse_entries(&self.page_buf).any(|(k, _)| k == key);
+        let mut entries: Vec<(u64, u32)> = codec::parse_entries(&self.page_buf)
             .filter(|&(k, _)| k != key)
             .collect();
         let mut used: usize =

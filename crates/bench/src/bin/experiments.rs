@@ -3,12 +3,12 @@
 //! Usage:
 //!
 //! ```text
-//! experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K] [--smoke] [--restart]
+//! experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K] [--qd N] [--smoke] [--restart]
 //!
 //! ids: fig4 fig5 fig6 fig8 fig12a fig12b fig13 fig14 fig15 fig16
 //!      fig17 fig18 fig19a fig19b table5 table6 motivation breakdown
 //!      read_cost sensitivity wave_sweep read_amplification appendix_a
-//!      ablation sharded openloop device_validation all
+//!      ablation sharded openloop device_validation qd_sweep all
 //! ```
 //!
 //! `--smoke` shrinks the device and op counts so an experiment
@@ -24,7 +24,16 @@
 //! file-backed shard fleet to steady state, checkpoint it, and compare
 //! a warm checkpoint reopen (asserted: zero foreground flash writes,
 //! ≥95 % of the steady-state hit ratio) against a cold zone-scan reopen
-//! with the checkpoints deleted.
+//! with the checkpoints deleted. `--qd N` additionally replays every
+//! backend through the asynchronous submit/poll read path at queue
+//! depth `N` — the async runs join the same parity assertion — and runs
+//! a scattered-read overlap microbench on the real backend.
+//!
+//! `qd_sweep` ages a file-backed real-I/O pool and sweeps the
+//! submit/poll queue depth (sequential, then 1/2/4/8/16), printing
+//! measured read-latency CDFs and sustained req/s per depth; behaviour
+//! parity across depths is asserted, and full (non-`--smoke`) runs also
+//! assert that some depth ≥ 4 sustains 1.5× the sequential rate.
 //!
 //! `openloop` replays the merged trace open loop through the sharded
 //! `nemo-service` front-end for all five systems: `--rate` sets the
@@ -33,18 +42,18 @@
 //! is reported split into queueing delay and service time.
 
 use nemo_bench::{
-    breakdown, device_validation, main_metrics, motivation, overhead, sensitivity, sharded,
-    RunScale,
+    breakdown, device_validation, main_metrics, motivation, overhead, qd_sweep, sensitivity,
+    sharded, RunScale,
 };
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K] [--smoke] [--restart]\n\
+        "usage: experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K] [--qd N] [--smoke] [--restart]\n\
          ids: fig4 fig5 fig6 fig8 fig12a fig12b fig13 fig14 fig15 fig16 fig17 fig18\n\
          \x20     fig19a fig19b table5 table6 motivation breakdown read_cost sensitivity\n\
          \x20     wave_sweep read_amplification appendix_a ablation sharded openloop\n\
-         \x20     device_validation all"
+         \x20     device_validation qd_sweep all"
     );
     std::process::exit(2);
 }
@@ -64,6 +73,7 @@ fn main() {
     let mut inflight = 32usize;
     let mut smoke = false;
     let mut restart = false;
+    let mut qd = 0u32;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -103,6 +113,13 @@ fn main() {
                     .get(i)
                     .and_then(|v| v.parse().ok())
                     .filter(|&s| s > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--qd" => {
+                i += 1;
+                qd = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
             "--smoke" => smoke = true,
@@ -156,9 +173,10 @@ fn main() {
             if restart {
                 device_validation::restart_validation(scale)
             } else {
-                device_validation::device_validation(scale)
+                device_validation::device_validation(scale, qd)
             }
         }
+        "qd_sweep" => qd_sweep::qd_sweep(scale, smoke),
         "all" => {
             motivation::all(scale);
             breakdown::all(scale);

@@ -47,6 +47,7 @@ pub mod device_validation;
 pub mod main_metrics;
 pub mod motivation;
 pub mod overhead;
+pub mod qd_sweep;
 pub mod sensitivity;
 pub mod sharded;
 

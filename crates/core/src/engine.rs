@@ -8,7 +8,9 @@ use crate::memsg::MemSg;
 use nemo_bloom::BloomFilter;
 use nemo_engine::codec::{self, PageBuf, MIN_OBJECT_SIZE};
 use nemo_engine::{CacheEngine, EngineStats, GetOutcome, MemoryBreakdown};
-use nemo_flash::{Nanos, PageAddr, SimFlash, ZoneId, ZoneState, ZonedFlash};
+use nemo_flash::{
+    Nanos, PageAddr, ReadBatch, ReadCompletion, SimFlash, ZoneId, ZoneState, ZonedFlash,
+};
 use nemo_metrics::CountHistogram;
 use std::collections::VecDeque;
 
@@ -201,6 +203,10 @@ pub struct Nemo<D: ZonedFlash = SimFlash> {
     wave_buf: Vec<u8>,
     /// Reused buffer for write-back scan page reads.
     scan_buf: Vec<u8>,
+    /// Reused async-read batch for the get path (io_queue_depth > 0).
+    io_batch: ReadBatch,
+    /// Reused completion vector for [`Self::io_batch`].
+    io_completions: Vec<ReadCompletion>,
 }
 
 impl Nemo {
@@ -270,6 +276,8 @@ impl<D: ZonedFlash> Nemo<D> {
             cooling_threshold: cooling_threshold.max(1),
             wave_buf: Vec::new(),
             scan_buf: Vec::new(),
+            io_batch: ReadBatch::new(),
+            io_completions: Vec::new(),
             cfg,
         }
     }
@@ -312,6 +320,15 @@ impl<D: ZonedFlash> Nemo<D> {
     /// Direct device access for experiments.
     pub fn device(&self) -> &D {
         &self.dev
+    }
+
+    /// Mutable device access, for retuning backend timing knobs between
+    /// experiment phases (e.g. `RealFlash::set_emulated_read_latency`).
+    /// The engine caches no device timing state, so this is safe; zone
+    /// states and write pointers are the engine's own bookkeeping and
+    /// must not be changed underneath it.
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.dev
     }
 
     // --- write path -------------------------------------------------------
@@ -548,6 +565,59 @@ impl<D: ZonedFlash> Nemo<D> {
         true
     }
 
+    /// The inline eviction burst through the submit/poll path: gates
+    /// every set first (the gates touch no flash), then reads all
+    /// passing victim pages as one submitted batch at the configured
+    /// queue depth. Pages parse in set order, so staging order — and
+    /// therefore behaviour and op counts — is identical to the
+    /// one-page-at-a-time loop in [`Self::scan_victim_set`]; only
+    /// wall-clock time on measuring devices changes.
+    fn scan_victim_sets_batched(
+        &mut self,
+        victim: FlashSg,
+        now: Nanos,
+        out: &mut Vec<(u32, u64, u32)>,
+    ) {
+        let sets: Vec<u32> = (0..self.cfg.sets_per_sg())
+            .filter(|&set| {
+                self.tracker.set_mask(victim.seq, set) != 0
+                    && self.index.is_recently_active(victim.seq, set)
+            })
+            .collect();
+        if sets.is_empty() {
+            return;
+        }
+        let psz = self.cfg.geometry.page_size() as usize;
+        let addrs: Vec<PageAddr> = sets
+            .iter()
+            .map(|&set| PageAddr::new(victim.zone, set))
+            .collect();
+        self.scan_buf.resize(addrs.len() * psz, 0);
+        self.dev
+            .submit_read_batch(
+                &mut self.io_batch,
+                &addrs,
+                &mut self.scan_buf,
+                now,
+                self.cfg.io_queue_depth as usize,
+            )
+            .expect("victim SG batch submission");
+        self.io_completions.clear();
+        while !self
+            .dev
+            .poll_completions(&mut self.io_batch, &mut self.io_completions)
+            .expect("victim SG batch completions")
+        {}
+        self.stats.flash_bytes_read += self.scan_buf.len() as u64;
+        for (&set, page) in sets.iter().zip(self.scan_buf.chunks_exact(psz)) {
+            for (k, s) in codec::parse_entries(page) {
+                if self.tracker.is_hot(victim.seq, set, k) {
+                    out.push((set, k, s));
+                }
+            }
+        }
+    }
+
     /// Re-admits write-back candidates into `target` (the sealed front SG
     /// about to be flushed), skipping any key with a newer buffered
     /// version. Returns the number re-admitted.
@@ -572,8 +642,12 @@ impl<D: ZonedFlash> Nemo<D> {
         let victim = self.pool.pop_front().expect("pool is full");
         let mut staged = Vec::new();
         if self.cfg.enable_writeback {
-            for set in 0..self.cfg.sets_per_sg() {
-                self.scan_victim_set(victim, set, now, &mut staged);
+            if self.cfg.io_queue_depth > 0 {
+                self.scan_victim_sets_batched(victim, now, &mut staged);
+            } else {
+                for set in 0..self.cfg.sets_per_sg() {
+                    self.scan_victim_set(victim, set, now, &mut staged);
+                }
             }
         }
         let writebacks = self.readmit_writebacks(staged, target);
@@ -934,6 +1008,8 @@ impl<D: ZonedFlash> Nemo<D> {
             cooling_threshold: cooling_threshold.max(1),
             wave_buf: Vec::new(),
             scan_buf: Vec::new(),
+            io_batch: ReadBatch::new(),
+            io_completions: Vec::new(),
             cfg,
         }
     }
@@ -1167,10 +1243,37 @@ impl<D: ZonedFlash + Send> CacheEngine for Nemo<D> {
             // Read the wave into the engine's reused buffer: the get path
             // issues no per-wave allocation.
             self.wave_buf.resize(addrs.len() * psz, 0);
-            done = self
-                .dev
-                .read_scattered_into(&addrs, &mut self.wave_buf, done)
-                .expect("candidate set reads");
+            done = if self.cfg.io_queue_depth > 0 {
+                // Completion-based path: submit the whole wave at the
+                // configured queue depth and poll it dry. The wave's
+                // pages are scanned below in submission order exactly
+                // like the synchronous path, so completion order (which
+                // is timing-dependent on measuring devices) can never
+                // perturb hit accounting; only the wave's completion
+                // time — the max over its pages — feeds the outcome.
+                self.dev
+                    .submit_read_batch(
+                        &mut self.io_batch,
+                        &addrs,
+                        &mut self.wave_buf,
+                        done,
+                        self.cfg.io_queue_depth as usize,
+                    )
+                    .expect("candidate set read submission");
+                self.io_completions.clear();
+                while !self
+                    .dev
+                    .poll_completions(&mut self.io_batch, &mut self.io_completions)
+                    .expect("candidate set read completions")
+                {}
+                self.io_completions
+                    .iter()
+                    .fold(done, |acc, c| acc.max(c.done))
+            } else {
+                self.dev
+                    .read_scattered_into(&addrs, &mut self.wave_buf, done)
+                    .expect("candidate set reads")
+            };
             reads += addrs.len() as u32;
             self.stats.flash_bytes_read += self.wave_buf.len() as u64;
             for (cand, page) in wave_cands.iter().zip(self.wave_buf.chunks_exact(psz)) {
@@ -1312,6 +1415,55 @@ mod tests {
             if !nemo.get(r.key, Nanos::ZERO).hit {
                 nemo.put(r.key, r.size, Nanos::ZERO);
             }
+        }
+    }
+
+    #[test]
+    fn async_get_path_is_bit_identical_on_the_modeled_device() {
+        // io_queue_depth changes timing only, and on SimFlash with a
+        // depth covering the whole wave it does not even change that:
+        // hit/miss outcomes, per-op completion times, engine stats and
+        // device op counts must match the synchronous path exactly.
+        let sync_cfg = small_cfg();
+        let mut burst_cfg = small_cfg();
+        burst_cfg.disable_read_staging();
+        for (mut a_cfg, label) in [(sync_cfg.clone(), "wave=1"), (burst_cfg.clone(), "burst")] {
+            a_cfg.io_queue_depth = u32::MAX; // covers any wave width
+            let s_cfg = if label == "wave=1" {
+                sync_cfg.clone()
+            } else {
+                burst_cfg.clone()
+            };
+            let mut s = Nemo::new(s_cfg);
+            let mut a = Nemo::new(a_cfg);
+            let mut gen = TraceGenerator::new(TraceConfig::twitter_merged(0.0004));
+            for _ in 0..40_000 {
+                let r = gen.next_request();
+                let so = s.get(r.key, Nanos::ZERO);
+                let ao = a.get(r.key, Nanos::ZERO);
+                assert_eq!(so, ao, "[{label}] per-op outcome diverged");
+                if !so.hit {
+                    s.put(r.key, r.size, Nanos::ZERO);
+                    a.put(r.key, r.size, Nanos::ZERO);
+                }
+            }
+            let (mut ss, mut aa) = (s.stats(), a.stats());
+            let (sd, ad) = (ss.device, aa.device);
+            // The async-only device counters differ by design; engine
+            // accounting and device op counts must not.
+            ss.device = Default::default();
+            aa.device = Default::default();
+            assert_eq!(ss, aa, "[{label}] engine stats diverged");
+            assert_eq!(
+                (sd.pages_read, sd.read_ops, sd.pages_written, sd.busy_time),
+                (ad.pages_read, ad.read_ops, ad.pages_written, ad.busy_time),
+                "[{label}] device accounting diverged"
+            );
+            assert!(
+                ad.async_reads > 0,
+                "[{label}] async path must actually have been exercised"
+            );
+            assert_eq!(sd.async_reads, 0);
         }
     }
 

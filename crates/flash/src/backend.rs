@@ -12,7 +12,7 @@ use crate::geometry::{Geometry, PageAddr, ZoneId};
 use crate::real::RealFlash;
 use crate::stats::DeviceStats;
 use crate::time::Nanos;
-use crate::zoned::{SimFlash, ZoneState, ZonedFlash};
+use crate::zoned::{ReadBatch, ReadCompletion, SimFlash, ZoneState, ZonedFlash};
 
 /// Either of the in-repo zoned devices, behind one concrete type.
 ///
@@ -111,6 +111,25 @@ impl ZonedFlash for AnyFlash {
         now: Nanos,
     ) -> Result<Nanos, FlashError> {
         delegate!(self, dev => dev.read_scattered_into(addrs, out, now))
+    }
+
+    fn submit_read_batch(
+        &mut self,
+        batch: &mut ReadBatch,
+        addrs: &[PageAddr],
+        out: &mut [u8],
+        now: Nanos,
+        queue_depth: usize,
+    ) -> Result<(), FlashError> {
+        delegate!(self, dev => dev.submit_read_batch(batch, addrs, out, now, queue_depth))
+    }
+
+    fn poll_completions(
+        &mut self,
+        batch: &mut ReadBatch,
+        completions: &mut Vec<ReadCompletion>,
+    ) -> Result<bool, FlashError> {
+        delegate!(self, dev => dev.poll_completions(batch, completions))
     }
 
     fn finish_zone(&mut self, zone: ZoneId) -> Result<(), FlashError> {

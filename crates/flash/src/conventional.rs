@@ -183,12 +183,40 @@ impl<D: ZonedFlash> ConventionalSsd<D> {
     ///
     /// Fails if `lpn` is out of range.
     pub fn read_page(&mut self, lpn: u64, now: Nanos) -> Result<(Vec<u8>, Nanos), FlashError> {
+        let mut out = vec![0u8; self.geometry().page_size() as usize];
+        let done = self.read_page_into(lpn, &mut out, now)?;
+        Ok((out, done))
+    }
+
+    /// Reads one logical page into a caller-provided buffer — the
+    /// allocation-free primitive behind [`Self::read_page`]. Set-scan
+    /// hot paths call this with a reused buffer instead of allocating
+    /// per read. Unwritten pages read back as zeros.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `lpn` is out of range or `out` is not exactly one page.
+    pub fn read_page_into(
+        &mut self,
+        lpn: u64,
+        out: &mut [u8],
+        now: Nanos,
+    ) -> Result<Nanos, FlashError> {
         if lpn >= self.user_pages {
             return Err(FlashError::BadLogicalPage(lpn));
         }
+        if out.len() != self.geometry().page_size() as usize {
+            return Err(FlashError::UnalignedLength {
+                len: out.len(),
+                page_size: self.geometry().page_size(),
+            });
+        }
         match self.map[lpn as usize] {
-            Some(addr) => self.flash.read_pages(addr, 1, now),
-            None => Ok((vec![0u8; self.geometry().page_size() as usize], now)),
+            Some(addr) => self.flash.read_pages_into(addr, 1, out, now),
+            None => {
+                out.fill(0);
+                Ok(now)
+            }
         }
     }
 

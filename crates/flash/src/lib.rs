@@ -72,4 +72,4 @@ pub use geometry::{Geometry, PageAddr, ZoneId};
 pub use real::{RealFlash, RealFlashOptions};
 pub use stats::DeviceStats;
 pub use time::Nanos;
-pub use zoned::{SimFlash, ZoneState, ZonedFlash};
+pub use zoned::{ReadBatch, ReadCompletion, SimFlash, ZoneState, ZonedFlash};

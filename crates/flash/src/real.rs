@@ -25,13 +25,39 @@ use crate::geometry::{Geometry, PageAddr, ZoneId};
 use crate::stats::DeviceStats;
 use crate::superblock::{self, ZoneRecord};
 use crate::time::Nanos;
-use crate::zoned::{state_of, validate_append, validate_read, ZoneState, ZonedFlash};
+use crate::zoned::{state_of, validate_append, validate_read, ReadBatch, ZoneState, ZonedFlash};
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Alignment of the staging buffer and of every direct-I/O transfer.
 const DIRECT_ALIGN: usize = 4096;
+
+/// Upper bound on read-pool workers. The coordinator services one chunk
+/// inline, so the effective queue depth caps at `MAX_POOL_WORKERS + 1`.
+const MAX_POOL_WORKERS: usize = 15;
+
+/// `try_recv` spins before an idle worker falls back to a blocking
+/// `recv`. During a tight submission loop the next job lands inside the
+/// spin window, so the handoff costs nanoseconds instead of a futex
+/// sleep/wake; an idle pool still parks after the window expires.
+const WORKER_SPIN: usize = 4096;
+
+/// The spin window actually used: [`WORKER_SPIN`] on multi-core hosts,
+/// zero on a single-CPU host, where the producer cannot run while a
+/// worker spins — there the window only steals the core from the very
+/// thread that would hand over the next job.
+fn worker_spin() -> usize {
+    static SPIN: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *SPIN.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => WORKER_SPIN,
+        _ => 0,
+    })
+}
 
 #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
 const O_DIRECT: i32 = 0x4000;
@@ -50,6 +76,16 @@ pub struct RealFlashOptions {
     /// zone-state transitions behind the zone's data writes. On by
     /// default; turn off only for pure-throughput microbenches.
     pub sync_on_barrier: bool,
+    /// Emulated NAND array time added to every page read, slept inside
+    /// the measured window (`None`, the default, measures pure syscall
+    /// cost). On a page-cache-backed image the medium is free, so there
+    /// is no device time for queue-depth overlap to win back; this
+    /// injects the per-page read time a real die would take — the
+    /// synchronous chain pays it serially, the submit/poll pool overlaps
+    /// it across workers, exactly like die parallelism on hardware (the
+    /// same trick as `null_blk` completion-latency injection). Reads
+    /// only; appends, resets and barriers stay purely measured.
+    pub emulated_read_latency: Option<Duration>,
 }
 
 impl Default for RealFlashOptions {
@@ -57,7 +93,23 @@ impl Default for RealFlashOptions {
         Self {
             direct_io: false,
             sync_on_barrier: true,
+            emulated_read_latency: None,
         }
+    }
+}
+
+/// Sleeps out the emulated per-page NAND time (see
+/// [`RealFlashOptions::emulated_read_latency`]). Sleeping, not
+/// spinning, is the point: a real device read waits off-CPU for the
+/// medium, so emulated reads in pool workers overlap each other (and
+/// the submitting thread) even on a single-core host, exactly like DMA
+/// against real NAND — a busy-wait would serialize on the core and
+/// fake the opposite conclusion. Linux timer slack adds some oversleep
+/// per page; both the sequential and overlapped paths pay it, so
+/// comparisons stay fair.
+fn emulate_nand_read(latency: Option<Duration>) {
+    if let Some(d) = latency {
+        std::thread::sleep(d);
     }
 }
 
@@ -92,6 +144,145 @@ impl AlignedBuf {
     }
 }
 
+/// One contiguous slice of a submitted batch, dispatched to a pool
+/// worker.
+struct ReadJob {
+    file: Arc<File>,
+    /// Byte offset of each page in this chunk, in submission order.
+    offsets: Vec<u64>,
+    /// Submission index of the chunk's first page.
+    start: u32,
+    page_size: usize,
+    direct_io: bool,
+    emulate: Option<Duration>,
+}
+
+/// A worker's answer to one [`ReadJob`].
+struct ReadReply {
+    start: u32,
+    /// Page payloads concatenated in chunk order; valid for the first
+    /// `elapsed.len()` pages.
+    data: Vec<u8>,
+    /// Measured wall-clock duration of each successful page read, in
+    /// chunk order.
+    elapsed: Vec<Nanos>,
+    /// The I/O error that stopped the chunk early, if any.
+    err: Option<std::io::Error>,
+}
+
+fn run_read_worker(jobs: Receiver<ReadJob>, replies: Sender<ReadReply>) {
+    let mut staging = AlignedBuf::default();
+    'serve: loop {
+        let mut job = None;
+        for _ in 0..worker_spin() {
+            match jobs.try_recv() {
+                Ok(j) => {
+                    job = Some(j);
+                    break;
+                }
+                Err(TryRecvError::Empty) => std::hint::spin_loop(),
+                Err(TryRecvError::Disconnected) => break 'serve,
+            }
+        }
+        let job = match job {
+            Some(j) => j,
+            None => match jobs.recv() {
+                Ok(j) => j,
+                Err(_) => break,
+            },
+        };
+        let mut data = vec![0u8; job.offsets.len() * job.page_size];
+        let mut elapsed = Vec::with_capacity(job.offsets.len());
+        let mut err = None;
+        for (chunk, &off) in data.chunks_exact_mut(job.page_size).zip(&job.offsets) {
+            let t0 = Instant::now();
+            let res = if job.direct_io {
+                let window = staging.window(job.page_size);
+                job.file
+                    .read_exact_at(window, off)
+                    .map(|()| chunk.copy_from_slice(window))
+            } else {
+                job.file.read_exact_at(chunk, off)
+            };
+            match res {
+                Ok(()) => {
+                    emulate_nand_read(job.emulate);
+                    elapsed.push(Nanos(t0.elapsed().as_nanos() as u64));
+                }
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        let reply = ReadReply {
+            start: job.start,
+            data,
+            elapsed,
+            err,
+        };
+        if replies.send(reply).is_err() {
+            break;
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PoolWorker {
+    jobs: Sender<ReadJob>,
+    handle: JoinHandle<()>,
+}
+
+/// Lazily grown, bounded pool of read workers backing
+/// [`ZonedFlash::submit_read_batch`] on [`RealFlash`]. Each worker owns
+/// a dedicated job channel (static chunk-to-worker assignment needs no
+/// shared queue) and all workers share one reply channel.
+#[derive(Debug)]
+struct ReadPool {
+    workers: Vec<PoolWorker>,
+    reply_tx: Sender<ReadReply>,
+    replies: Receiver<ReadReply>,
+}
+
+impl ReadPool {
+    fn new() -> Self {
+        let (reply_tx, replies) = mpsc::channel();
+        Self {
+            workers: Vec::new(),
+            reply_tx,
+            replies,
+        }
+    }
+
+    /// Grows the pool to at least `n` workers (clamped to the cap).
+    fn ensure_workers(&mut self, n: usize) {
+        while self.workers.len() < n.min(MAX_POOL_WORKERS) {
+            let (jobs, rx) = mpsc::channel();
+            let replies = self.reply_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("nemo-flash-read-{}", self.workers.len()))
+                .spawn(move || run_read_worker(rx, replies))
+                .expect("spawn flash read worker");
+            self.workers.push(PoolWorker { jobs, handle });
+        }
+    }
+}
+
+impl Drop for ReadPool {
+    fn drop(&mut self) {
+        let mut handles = Vec::with_capacity(self.workers.len());
+        // Close every job channel first so all workers wind down in
+        // parallel, then join.
+        for w in self.workers.drain(..) {
+            drop(w.jobs);
+            handles.push(w.handle);
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
 /// Real-I/O zoned flash device over a preallocated file or block device.
 ///
 /// Completion times are measured, not modeled: `append`/`read_pages`
@@ -118,8 +309,10 @@ impl AlignedBuf {
 #[derive(Debug)]
 pub struct RealFlash<C: Clock = WallClock> {
     geom: Geometry,
-    /// Data path; `O_DIRECT` when the options ask for it.
-    data: File,
+    /// Data path; `O_DIRECT` when the options ask for it. Shared with
+    /// the read pool (positional reads take `&self`, so workers need no
+    /// lock).
+    data: Arc<File>,
     /// Metadata path: always buffered (superblock records are not
     /// aligned), fsynced on barriers. Same underlying file as `data`.
     meta: File,
@@ -134,6 +327,9 @@ pub struct RealFlash<C: Clock = WallClock> {
     /// Zones whose superblock record was torn at reopen; see
     /// [`ZonedFlash::suspect_zones`].
     suspect: Vec<ZoneId>,
+    /// Read workers behind `submit_read_batch`; spawned on first use so
+    /// purely synchronous devices never start a thread.
+    pool: Option<ReadPool>,
 }
 
 impl RealFlash<WallClock> {
@@ -187,7 +383,7 @@ impl<C: Clock> RealFlash<C> {
         meta.set_len(superblock::file_len(&geom))?;
         let zones = vec![ZoneRecord::default(); geom.zone_count() as usize];
         superblock::write_full(&meta, &geom, &zones, 0)?;
-        let data = Self::open_data(path, &opts)?;
+        let data = Arc::new(Self::open_data(path, &opts)?);
         Ok(Self {
             geom,
             data,
@@ -200,6 +396,7 @@ impl<C: Clock> RealFlash<C> {
             stats: DeviceStats::default(),
             generation: 0,
             suspect: Vec::new(),
+            pool: None,
         })
     }
 
@@ -221,7 +418,7 @@ impl<C: Clock> RealFlash<C> {
             // map just restored) so the next reopen is clean.
             superblock::write_full(&meta, &sb.geom, &sb.zones, sb.generation)?;
         }
-        let data = Self::open_data(path, &opts)?;
+        let data = Arc::new(Self::open_data(path, &opts)?);
         Ok(Self {
             geom: sb.geom,
             data,
@@ -234,6 +431,7 @@ impl<C: Clock> RealFlash<C> {
             stats: DeviceStats::default(),
             generation: sb.generation,
             suspect: sb.suspect_zones.iter().copied().map(ZoneId).collect(),
+            pool: None,
         })
     }
 
@@ -250,6 +448,27 @@ impl<C: Clock> RealFlash<C> {
     /// The options in effect.
     pub fn options(&self) -> &RealFlashOptions {
         &self.opts
+    }
+
+    /// Retunes [`RealFlashOptions::emulated_read_latency`] on a live
+    /// device. Experiments use this to age a pool at raw page-cache
+    /// speed and then measure with device time injected; it changes
+    /// read *timing* only, never behaviour or op counts.
+    pub fn set_emulated_read_latency(&mut self, latency: Option<Duration>) {
+        self.opts.emulated_read_latency = latency;
+    }
+
+    /// Name of the asynchronous submission backend compiled into this
+    /// build. The `io-uring` cargo feature reserves the kernel-ring
+    /// implementation slot; until that lands, builds with the feature on
+    /// still run the bounded thread-pool gather, and this reports so —
+    /// experiments print it next to their queue-depth results.
+    pub fn submission_backend() -> &'static str {
+        if cfg!(feature = "io-uring") {
+            "thread-pool (io-uring feature enabled; kernel ring not wired in this build)"
+        } else {
+            "thread-pool"
+        }
     }
 
     fn check_zone(&self, zone: ZoneId) -> Result<(), FlashError> {
@@ -347,6 +566,9 @@ impl<C: Clock> ZonedFlash for RealFlash<C> {
         } else {
             self.data.read_exact_at(out, off)?;
         }
+        if let Some(d) = self.opts.emulated_read_latency {
+            emulate_nand_read(Some(d * pages));
+        }
         let elapsed = self.clock.monotonic().saturating_sub(t0);
         self.stats.pages_read += pages as u64;
         self.stats.bytes_read += out.len() as u64;
@@ -372,6 +594,147 @@ impl<C: Clock> ZonedFlash for RealFlash<C> {
             done = t;
         }
         Ok((out, done))
+    }
+
+    /// Genuinely overlapped, unlike the chained synchronous path: the
+    /// batch is cut into `min(queue_depth, len)` contiguous chunks, one
+    /// serviced inline by the caller (so depth 1 degenerates to the
+    /// synchronous loop with zero dispatch overhead) and the rest by a
+    /// lazily spawned bounded thread pool issuing concurrent `pread`s.
+    /// Per-page completion times are wall-measured with
+    /// [`std::time::Instant`] inside each chunk (a page's `done` is
+    /// `now` + its chunk's cumulative elapsed), independent of the
+    /// device's pluggable [`Clock`], which keeps covering the
+    /// synchronous path.
+    fn submit_read_batch(
+        &mut self,
+        batch: &mut ReadBatch,
+        addrs: &[PageAddr],
+        out: &mut [u8],
+        now: Nanos,
+        queue_depth: usize,
+    ) -> Result<(), FlashError> {
+        let psz = self.geom.page_size() as usize;
+        if out.len() != addrs.len() * psz {
+            return Err(FlashError::UnalignedLength {
+                len: out.len(),
+                page_size: self.geom.page_size(),
+            });
+        }
+        // Validate everything before dispatching: on the first bad
+        // address, replay the valid prefix through the synchronous path
+        // so outcomes and op counts match `read_scattered_into` exactly,
+        // then surface the error.
+        for (k, &addr) in addrs.iter().enumerate() {
+            let wp = self
+                .zones
+                .get(addr.zone as usize)
+                .map_or(0, |z| z.write_ptr);
+            if let Err(e) = validate_read(&self.geom, addr, 1, wp, psz) {
+                self.read_scattered_into(&addrs[..k], &mut out[..k * psz], now)?;
+                return Err(e);
+            }
+        }
+        batch.reset(addrs.len());
+        if addrs.is_empty() {
+            return Ok(());
+        }
+        let chunks = queue_depth.clamp(1, MAX_POOL_WORKERS + 1).min(addrs.len());
+        let base = addrs.len() / chunks;
+        let rem = addrs.len() % chunks;
+        let inline_len = base + usize::from(rem > 0);
+        // Dispatch chunks 1.. to the pool before touching chunk 0, so
+        // the workers' reads overlap the inline ones.
+        if chunks > 1 {
+            let (geom, data_offset) = (self.geom, self.data_offset);
+            let (data, direct_io) = (&self.data, self.opts.direct_io);
+            let pool = self.pool.get_or_insert_with(ReadPool::new);
+            pool.ensure_workers(chunks - 1);
+            let mut start = inline_len;
+            for c in 1..chunks {
+                let size = base + usize::from(c < rem);
+                let offsets = addrs[start..start + size]
+                    .iter()
+                    .map(|&a| data_offset + geom.flat_index(a) * psz as u64)
+                    .collect();
+                let job = ReadJob {
+                    file: Arc::clone(data),
+                    offsets,
+                    start: start as u32,
+                    page_size: psz,
+                    direct_io,
+                    emulate: self.opts.emulated_read_latency,
+                };
+                pool.workers[c - 1]
+                    .jobs
+                    .send(job)
+                    .expect("flash read worker alive");
+                start += size;
+            }
+        }
+        // Chunk 0, serviced by the submitting thread.
+        let mut first_err: Option<FlashError> = None;
+        let mut total_busy = Nanos::ZERO;
+        let mut completed = 0usize;
+        let mut cum = Nanos::ZERO;
+        for (i, chunk) in out[..inline_len * psz].chunks_exact_mut(psz).enumerate() {
+            let off = self.byte_offset(addrs[i]);
+            let t0 = Instant::now();
+            let res = if self.opts.direct_io {
+                let window = self.staging.window(psz);
+                self.data
+                    .read_exact_at(window, off)
+                    .map(|()| chunk.copy_from_slice(window))
+            } else {
+                self.data.read_exact_at(chunk, off)
+            };
+            match res {
+                Ok(()) => {
+                    emulate_nand_read(self.opts.emulated_read_latency);
+                    let e = Nanos(t0.elapsed().as_nanos() as u64);
+                    cum += e;
+                    total_busy += e;
+                    batch.record(i as u32, now + cum);
+                    completed += 1;
+                }
+                Err(e) => {
+                    first_err = Some(e.into());
+                    break;
+                }
+            }
+        }
+        // Harvest every dispatched chunk (even after an error, to keep
+        // the reply channel in sync with future batches).
+        if chunks > 1 {
+            let pool = self.pool.as_mut().expect("pool exists after dispatch");
+            for _ in 1..chunks {
+                let reply = pool.replies.recv().expect("flash read worker alive");
+                let cstart = reply.start as usize;
+                let pages = reply.elapsed.len();
+                out[cstart * psz..(cstart + pages) * psz]
+                    .copy_from_slice(&reply.data[..pages * psz]);
+                let mut cum = Nanos::ZERO;
+                for (j, &e) in reply.elapsed.iter().enumerate() {
+                    cum += e;
+                    total_busy += e;
+                    batch.record((cstart + j) as u32, now + cum);
+                }
+                completed += pages;
+                if let Some(e) = reply.err {
+                    first_err.get_or_insert(e.into());
+                }
+            }
+        }
+        self.stats.pages_read += completed as u64;
+        self.stats.bytes_read += (completed * psz) as u64;
+        self.stats.read_ops += completed as u64;
+        self.stats.busy_time += total_busy;
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        batch.seal();
+        batch.note_async(&mut self.stats, now, chunks);
+        Ok(())
     }
 
     /// Chained like [`Self::read_scattered`]; see there.
@@ -568,6 +931,106 @@ mod tests {
             .unwrap();
         let (a, _) = dev.read_pages(addrs[0], 1, Nanos::ZERO).unwrap();
         assert_eq!(&flat[..512], &a[..]);
+    }
+
+    #[test]
+    fn async_batch_matches_sync_contents_and_counts() {
+        let geom = Geometry::new(512, 8, 2, 4);
+        let mut sync_dev =
+            RealFlash::create(geom, &tmp("async_sync.img"), RealFlashOptions::default()).unwrap();
+        let mut async_dev =
+            RealFlash::create(geom, &tmp("async_async.img"), RealFlashOptions::default()).unwrap();
+        let payload: Vec<u8> = (0..512 * 8u32).map(|i| (i * 13 % 251) as u8).collect();
+        for dev in [&mut sync_dev, &mut async_dev] {
+            dev.append(ZoneId(0), &payload, Nanos::ZERO).unwrap();
+        }
+        let addrs: Vec<PageAddr> = [6, 0, 3, 1, 7, 2]
+            .iter()
+            .map(|&p| PageAddr::new(0, p))
+            .collect();
+        let mut sync_out = vec![0u8; addrs.len() * 512];
+        sync_dev
+            .read_scattered_into(&addrs, &mut sync_out, Nanos::ZERO)
+            .unwrap();
+
+        let now = Nanos::from_micros(5);
+        let mut batch = ReadBatch::new();
+        let mut async_out = vec![0u8; addrs.len() * 512];
+        async_dev
+            .submit_read_batch(&mut batch, &addrs, &mut async_out, now, 4)
+            .unwrap();
+        let mut comps = Vec::new();
+        while !async_dev.poll_completions(&mut batch, &mut comps).unwrap() {}
+        assert_eq!(async_out, sync_out, "same bytes through either path");
+        assert_eq!(comps.len(), addrs.len());
+        assert!(comps.iter().all(|c| c.done >= now));
+        // Every submission index appears exactly once.
+        let mut seen: Vec<u32> = comps.iter().map(|c| c.index).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        let (s, a) = (sync_dev.stats(), async_dev.stats());
+        assert_eq!(
+            (s.pages_read, s.bytes_read, s.read_ops),
+            (a.pages_read, a.bytes_read, a.read_ops)
+        );
+        assert_eq!(a.async_reads, 6);
+        assert_eq!(a.inflight_hwm, 4);
+        assert_eq!(s.async_reads, 0, "sync path leaves async counters alone");
+    }
+
+    #[test]
+    fn async_depth_one_runs_inline_without_pool() {
+        let mut dev = small("async_inline.img");
+        dev.append(ZoneId(0), &vec![7u8; 512 * 3], Nanos::ZERO)
+            .unwrap();
+        let addrs = [PageAddr::new(0, 2), PageAddr::new(0, 0)];
+        let mut batch = ReadBatch::new();
+        let mut out = vec![0u8; 512 * 2];
+        dev.submit_read_batch(&mut batch, &addrs, &mut out, Nanos::ZERO, 1)
+            .unwrap();
+        assert!(dev.pool.is_none(), "depth 1 never spawns workers");
+        let mut comps = Vec::new();
+        assert!(dev.poll_completions(&mut batch, &mut comps).unwrap());
+        assert_eq!(comps.len(), 2);
+        assert_eq!(dev.stats().inflight_hwm, 1);
+        // The pool appears (and is reused) once depth exceeds 1.
+        dev.submit_read_batch(&mut batch, &addrs, &mut out, Nanos::ZERO, 2)
+            .unwrap();
+        assert_eq!(dev.pool.as_ref().map(|p| p.workers.len()), Some(1));
+        dev.submit_read_batch(&mut batch, &addrs, &mut out, Nanos::ZERO, 8)
+            .unwrap();
+        assert_eq!(
+            dev.pool.as_ref().map(|p| p.workers.len()),
+            Some(1),
+            "chunks clamp to batch length, so no extra workers"
+        );
+        assert_eq!(dev.stats().async_reads, 6);
+    }
+
+    #[test]
+    fn async_error_prefix_matches_sync_path() {
+        let mut sync_dev = small("async_err_sync.img");
+        let mut async_dev = small("async_err_async.img");
+        for dev in [&mut sync_dev, &mut async_dev] {
+            dev.append(ZoneId(0), &vec![4u8; 512], Nanos::ZERO).unwrap();
+        }
+        let addrs = [PageAddr::new(0, 0), PageAddr::new(0, 2)];
+        let mut out = vec![0u8; 512 * 2];
+        let se = sync_dev
+            .read_scattered_into(&addrs, &mut out, Nanos::ZERO)
+            .unwrap_err();
+        let mut batch = ReadBatch::new();
+        let ae = async_dev
+            .submit_read_batch(&mut batch, &addrs, &mut out, Nanos::ZERO, 4)
+            .unwrap_err();
+        assert!(matches!(se, FlashError::ReadBeyondWritePointer { .. }));
+        assert!(matches!(ae, FlashError::ReadBeyondWritePointer { .. }));
+        let (s, a) = (sync_dev.stats(), async_dev.stats());
+        assert_eq!(
+            (s.pages_read, s.read_ops),
+            (a.pages_read, a.read_ops),
+            "the valid prefix is read and counted on both paths"
+        );
     }
 
     #[test]

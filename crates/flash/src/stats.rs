@@ -29,6 +29,19 @@ pub struct DeviceStats {
     pub superblock_syncs: u64,
     /// Total device-busy time accumulated over all dies.
     pub busy_time: Nanos,
+    /// Pages read through the asynchronous submit/poll path
+    /// ([`crate::ZonedFlash::submit_read_batch`]); a subset of
+    /// `pages_read`.
+    pub async_reads: u64,
+    /// Summed submit-to-completion latency over all async page reads
+    /// (divide by `async_reads` for the mean). Modeled devices record the
+    /// modeled interval, measuring devices the measured one.
+    pub submit_lat_total: Nanos,
+    /// High-water mark of concurrently in-flight async page reads. Not a
+    /// counter: [`Self::merge`] takes the maximum across devices (a fleet
+    /// is as deep as its deepest shard) and [`Self::delta`] keeps the
+    /// later value (the mark is monotone within a run).
+    pub inflight_hwm: u64,
 }
 
 impl DeviceStats {
@@ -48,6 +61,11 @@ impl DeviceStats {
             read_ops: self.read_ops - earlier.read_ops,
             superblock_syncs: self.superblock_syncs - earlier.superblock_syncs,
             busy_time: self.busy_time.saturating_sub(earlier.busy_time),
+            async_reads: self.async_reads - earlier.async_reads,
+            submit_lat_total: self
+                .submit_lat_total
+                .saturating_sub(earlier.submit_lat_total),
+            inflight_hwm: self.inflight_hwm,
         }
     }
 
@@ -64,6 +82,9 @@ impl DeviceStats {
             read_ops: self.read_ops + other.read_ops,
             superblock_syncs: self.superblock_syncs + other.superblock_syncs,
             busy_time: self.busy_time + other.busy_time,
+            async_reads: self.async_reads + other.async_reads,
+            submit_lat_total: self.submit_lat_total + other.submit_lat_total,
+            inflight_hwm: self.inflight_hwm.max(other.inflight_hwm),
         }
     }
 }
@@ -84,6 +105,7 @@ mod tests {
             read_ops: 3,
             superblock_syncs: 1,
             busy_time: Nanos(500),
+            ..Default::default()
         };
         let b = DeviceStats {
             pages_written: 4,
@@ -108,18 +130,31 @@ mod tests {
             read_ops: 3,
             superblock_syncs: 2,
             busy_time: Nanos(500),
+            async_reads: 6,
+            submit_lat_total: Nanos(300),
+            inflight_hwm: 8,
         };
         let b = DeviceStats {
             pages_written: 4,
             bytes_written: 16384,
             busy_time: Nanos(40),
+            async_reads: 2,
+            submit_lat_total: Nanos(90),
+            inflight_hwm: 3,
             ..Default::default()
         };
         let m = a.merge(&b);
         assert_eq!(m.pages_written, 14);
         assert_eq!(m.bytes_written, 57344);
         assert_eq!(m.busy_time, Nanos(540));
-        // merge is the inverse of delta and commutes.
+        assert_eq!(m.async_reads, 8);
+        assert_eq!(m.submit_lat_total, Nanos(390));
+        // The high-water mark is not additive: a fleet's depth is its
+        // deepest shard's depth.
+        assert_eq!(m.inflight_hwm, 8);
+        // merge is the inverse of delta and commutes (for the hwm this
+        // holds because a's mark dominates b's, as in a real run where
+        // the later snapshot's mark is at least the earlier one's).
         assert_eq!(m.delta(&b), a);
         assert_eq!(b.merge(&a), m);
         // Default is the identity.

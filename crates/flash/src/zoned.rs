@@ -6,6 +6,8 @@ use crate::geometry::{Geometry, PageAddr, ZoneId};
 use crate::stats::DeviceStats;
 use crate::superblock::{self, ZoneRecord};
 use crate::time::Nanos;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fs::{File, OpenOptions};
 use std::path::Path;
 
@@ -18,6 +20,96 @@ pub enum ZoneState {
     Open,
     /// Fully written (or explicitly finished); must be reset before reuse.
     Full,
+}
+
+/// One completed page read harvested from a [`ReadBatch`].
+///
+/// `index` identifies the page within the submitted address list (its
+/// data sits at `out[index * page_size..]` in the buffer passed to
+/// [`ZonedFlash::submit_read_batch`]); `done` is the page's completion
+/// time — modeled on the simulators, measured on [`crate::RealFlash`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadCompletion {
+    /// Position of the page in the submitted `addrs` slice.
+    pub index: u32,
+    /// Completion time of this page (never earlier than the submit
+    /// `now`).
+    pub done: Nanos,
+}
+
+/// Caller-owned state of one asynchronous scattered-read batch.
+///
+/// Reusable across submissions: [`ZonedFlash::submit_read_batch`] resets
+/// it, [`ZonedFlash::poll_completions`] drains it. Keeping the state on
+/// the caller's side (instead of inside the device) lets hot paths reuse
+/// one batch and one completion vector with zero per-get allocation,
+/// mirroring how the engine reuses its wave buffer.
+#[derive(Debug, Default)]
+pub struct ReadBatch {
+    /// Completions in delivery order (sorted by completion time, then
+    /// submission index), filled by the device during submission.
+    ready: Vec<ReadCompletion>,
+    /// How many of `ready` have been handed out by poll.
+    delivered: usize,
+    /// Pages in the submitted batch.
+    total: usize,
+}
+
+impl ReadBatch {
+    /// Creates an empty, reusable batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pages in the last submitted batch.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the last submitted batch was empty (or none was).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Clears the batch for a fresh submission of `total` pages.
+    pub(crate) fn reset(&mut self, total: usize) {
+        self.ready.clear();
+        self.delivered = 0;
+        self.total = total;
+    }
+
+    /// Records one page's completion during submission.
+    pub(crate) fn record(&mut self, index: u32, done: Nanos) {
+        self.ready.push(ReadCompletion { index, done });
+    }
+
+    /// Orders recorded completions by (time, index) — delivery order.
+    pub(crate) fn seal(&mut self) {
+        self.ready.sort_unstable_by_key(|c| (c.done, c.index));
+    }
+
+    /// Appends all not-yet-delivered completions to `completions`;
+    /// returns whether the batch is exhausted.
+    pub(crate) fn drain_ready(&mut self, completions: &mut Vec<ReadCompletion>) -> bool {
+        completions.extend_from_slice(&self.ready[self.delivered..]);
+        self.delivered = self.ready.len();
+        self.delivered == self.total
+    }
+
+    /// Folds the async-path counters for this sealed batch into `stats`:
+    /// pages completed, summed submit-to-completion latency, and the
+    /// in-flight high-water mark (`min(queue_depth, batch len)` — both
+    /// the modeled schedule and the thread-pool gather keep at most that
+    /// many pages in flight).
+    pub(crate) fn note_async(&self, stats: &mut DeviceStats, now: Nanos, queue_depth: usize) {
+        stats.async_reads += self.total as u64;
+        for c in &self.ready {
+            stats.submit_lat_total += c.done.saturating_sub(now);
+        }
+        stats.inflight_hwm = stats
+            .inflight_hwm
+            .max(queue_depth.max(1).min(self.total) as u64);
+    }
 }
 
 /// The host-facing interface of a zoned flash device.
@@ -169,6 +261,67 @@ pub trait ZonedFlash {
         }
         Ok(done)
     }
+    /// Submits a scattered single-page read batch for completion-based
+    /// harvesting — the asynchronous counterpart of
+    /// [`Self::read_scattered_into`]. Page `i` of `addrs` lands at
+    /// `out[i * page_size..]`; `out` must be exactly
+    /// `addrs.len() * page_size` bytes. At most `queue_depth` pages are
+    /// in flight at once (`0` is treated as `1`): the default
+    /// implementation models an open submission queue over the die
+    /// timeline — each page issues at `now` while the queue has room,
+    /// otherwise at the earliest outstanding completion — and
+    /// [`crate::RealFlash`] overrides it to genuinely overlap `pread`s
+    /// on a bounded thread pool. With `queue_depth >= addrs.len()` the
+    /// modeled schedule is identical to [`Self::read_scattered_into`]'s
+    /// parallel issue, so sync and async paths agree bit-for-bit on the
+    /// simulators.
+    ///
+    /// Both in-repo implementations complete all I/O before returning
+    /// (the modeled schedule is known at submit time; the thread pool
+    /// joins its workers), so [`Self::poll_completions`] drains the
+    /// whole batch on its first call. A kernel-ring backend would return
+    /// earlier and deliver completions incrementally; callers must not
+    /// assume either behaviour — loop on poll until it reports
+    /// exhaustion, and treat `out` as undefined until then.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `out` has the wrong length or any address is invalid,
+    /// with the same semantics as the synchronous path: pages preceding
+    /// the first invalid address may already have been read (and
+    /// counted in [`DeviceStats`]); the batch is left unusable and must
+    /// be re-submitted.
+    fn submit_read_batch(
+        &mut self,
+        batch: &mut ReadBatch,
+        addrs: &[PageAddr],
+        out: &mut [u8],
+        now: Nanos,
+        queue_depth: usize,
+    ) -> Result<(), FlashError> {
+        modeled_submit(self, batch, addrs, out, now, queue_depth)
+    }
+
+    /// Harvests completions from a batch submitted with
+    /// [`Self::submit_read_batch`]: appends every newly completed page
+    /// to `completions` (ordered by completion time, then submission
+    /// index) and returns `true` once the whole batch has been
+    /// delivered. Polling an empty or never-submitted batch reports
+    /// exhaustion immediately.
+    ///
+    /// # Errors
+    ///
+    /// The in-repo devices never fail here (submission already
+    /// surfaced any error); the `Result` is part of the contract so a
+    /// kernel-ring backend can report asynchronous I/O failures.
+    fn poll_completions(
+        &mut self,
+        batch: &mut ReadBatch,
+        completions: &mut Vec<ReadCompletion>,
+    ) -> Result<bool, FlashError> {
+        Ok(batch.drain_ready(completions))
+    }
+
     /// Explicitly transitions a zone to `Full` (ZNS "finish zone").
     ///
     /// The default validates the zone and does nothing else; devices that
@@ -191,6 +344,47 @@ pub trait ZonedFlash {
     fn reset_zone(&mut self, zone: ZoneId, now: Nanos) -> Result<Nanos, FlashError>;
     /// Cumulative I/O statistics.
     fn stats(&self) -> DeviceStats;
+}
+
+/// Queue-depth-bounded submission over a device's own
+/// `read_pages_into`: the shared engine behind the trait's default
+/// [`ZonedFlash::submit_read_batch`]. Pages issue in index order; page
+/// `i` issues at `now` while fewer than `queue_depth` reads are
+/// outstanding, otherwise at the earliest outstanding completion (an
+/// open submission queue that refills as slots free up). Going through
+/// `read_pages_into` per page keeps [`DeviceStats`] op counts and error
+/// semantics identical to the synchronous scattered path.
+pub(crate) fn modeled_submit<D: ZonedFlash + ?Sized>(
+    dev: &mut D,
+    batch: &mut ReadBatch,
+    addrs: &[PageAddr],
+    out: &mut [u8],
+    now: Nanos,
+    queue_depth: usize,
+) -> Result<(), FlashError> {
+    let psz = dev.geometry().page_size() as usize;
+    if out.len() != addrs.len() * psz {
+        return Err(FlashError::UnalignedLength {
+            len: out.len(),
+            page_size: dev.geometry().page_size(),
+        });
+    }
+    batch.reset(addrs.len());
+    let qd = queue_depth.max(1);
+    let mut outstanding: BinaryHeap<Reverse<Nanos>> = BinaryHeap::with_capacity(qd.min(64));
+    for (i, (chunk, &addr)) in out.chunks_exact_mut(psz).zip(addrs).enumerate() {
+        let issue = if outstanding.len() < qd {
+            now
+        } else {
+            let Reverse(freed) = outstanding.pop().expect("queue depth is at least 1");
+            now.max(freed)
+        };
+        let done = dev.read_pages_into(addr, 1, chunk, issue)?;
+        outstanding.push(Reverse(done));
+        batch.record(i as u32, done);
+    }
+    batch.seal();
+    Ok(())
 }
 
 /// Zone state shared by every backend ([`ZoneRecord`] doubles as the
@@ -573,6 +767,19 @@ impl ZonedFlash for SimFlash {
         Ok(done)
     }
 
+    fn submit_read_batch(
+        &mut self,
+        batch: &mut ReadBatch,
+        addrs: &[PageAddr],
+        out: &mut [u8],
+        now: Nanos,
+        queue_depth: usize,
+    ) -> Result<(), FlashError> {
+        modeled_submit(self, batch, addrs, out, now, queue_depth)?;
+        batch.note_async(&mut self.stats, now, queue_depth);
+        Ok(())
+    }
+
     fn finish_zone(&mut self, zone: ZoneId) -> Result<(), FlashError> {
         self.check_zone(zone)?;
         self.zones[zone.0 as usize].finished = true;
@@ -772,6 +979,138 @@ mod tests {
         for (i, buf) in bufs.iter().enumerate() {
             assert_eq!(&flat[i * 512..(i + 1) * 512], &buf[..]);
         }
+    }
+
+    #[test]
+    fn async_batch_at_full_depth_matches_parallel_scattered() {
+        // qd >= batch len: every page issues at `now`, exactly like the
+        // synchronous parallel-max path — same contents, same modeled
+        // times, same op counts.
+        let geom = Geometry::new(512, 4, 2, 4);
+        let mut sync_dev = SimFlash::with_latency(geom, LatencyModel::default());
+        let mut async_dev = SimFlash::with_latency(geom, LatencyModel::default());
+        for dev in [&mut sync_dev, &mut async_dev] {
+            dev.append(ZoneId(0), &vec![3u8; 512 * 4], Nanos::ZERO)
+                .unwrap();
+        }
+        let addrs = [
+            PageAddr::new(0, 0),
+            PageAddr::new(0, 1),
+            PageAddr::new(0, 2),
+        ];
+        let now = Nanos::from_millis(1);
+        let mut sync_out = vec![0u8; 512 * 3];
+        let sync_done = sync_dev
+            .read_scattered_into(&addrs, &mut sync_out, now)
+            .unwrap();
+
+        let mut batch = ReadBatch::new();
+        let mut async_out = vec![0u8; 512 * 3];
+        async_dev
+            .submit_read_batch(&mut batch, &addrs, &mut async_out, now, 16)
+            .unwrap();
+        let mut comps = Vec::new();
+        while !async_dev.poll_completions(&mut batch, &mut comps).unwrap() {}
+        assert_eq!(comps.len(), 3);
+        assert_eq!(async_out, sync_out);
+        let max_done = comps.iter().map(|c| c.done).max().unwrap();
+        assert_eq!(max_done, sync_done, "full depth reproduces parallel max");
+        let (s, a) = (sync_dev.stats(), async_dev.stats());
+        assert_eq!((s.pages_read, s.read_ops), (a.pages_read, a.read_ops));
+        assert_eq!(a.async_reads, 3);
+        assert_eq!(a.inflight_hwm, 3, "hwm clamps to batch length");
+        assert!(a.submit_lat_total >= Nanos::from_micros(210));
+    }
+
+    #[test]
+    fn async_batch_at_depth_one_chains_issue_times() {
+        let geom = Geometry::new(512, 4, 2, 4);
+        let mut dev = SimFlash::with_latency(geom, LatencyModel::default());
+        dev.append(ZoneId(0), &vec![1u8; 512 * 4], Nanos::ZERO)
+            .unwrap();
+        let addrs = [
+            PageAddr::new(0, 0),
+            PageAddr::new(0, 1),
+            PageAddr::new(0, 2),
+        ];
+        let mut batch = ReadBatch::new();
+        let mut out = vec![0u8; 512 * 3];
+        dev.submit_read_batch(&mut batch, &addrs, &mut out, Nanos::ZERO, 1)
+            .unwrap();
+        let mut comps = Vec::new();
+        assert!(dev.poll_completions(&mut batch, &mut comps).unwrap());
+        // Distinct dies, but a queue of depth 1 serializes submissions:
+        // each page issues at the previous completion. (Every die is
+        // busy with the append until 14us, so the chain starts there.)
+        let (a, r) = (Nanos::from_micros(14), Nanos::from_micros(70));
+        assert_eq!(
+            comps[0],
+            ReadCompletion {
+                index: 0,
+                done: a + r
+            }
+        );
+        assert_eq!(comps[1].done, a + Nanos(r.0 * 2));
+        assert_eq!(comps[2].done, a + Nanos(r.0 * 3));
+        assert_eq!(dev.stats().inflight_hwm, 1);
+    }
+
+    #[test]
+    fn poll_is_incremental_and_idempotent_after_exhaustion() {
+        let mut dev = small();
+        dev.append(ZoneId(0), &vec![8u8; 512 * 2], Nanos::ZERO)
+            .unwrap();
+        let addrs = [PageAddr::new(0, 0), PageAddr::new(0, 1)];
+        let mut batch = ReadBatch::new();
+        let mut out = vec![0u8; 512 * 2];
+        dev.submit_read_batch(&mut batch, &addrs, &mut out, Nanos::ZERO, 2)
+            .unwrap();
+        let mut comps = Vec::new();
+        assert!(dev.poll_completions(&mut batch, &mut comps).unwrap());
+        assert_eq!(comps.len(), 2);
+        // Further polls deliver nothing new but stay exhausted.
+        assert!(dev.poll_completions(&mut batch, &mut comps).unwrap());
+        assert_eq!(comps.len(), 2);
+        // A never-submitted batch is trivially exhausted.
+        let mut fresh = ReadBatch::new();
+        assert!(dev.poll_completions(&mut fresh, &mut comps).unwrap());
+        assert!(fresh.is_empty());
+    }
+
+    #[test]
+    fn async_submit_error_semantics_match_sync_path() {
+        // Index 1 is beyond the write pointer: both paths read (and
+        // count) page 0, then fail with the same error kind.
+        let mut sync_dev = small();
+        let mut async_dev = small();
+        for dev in [&mut sync_dev, &mut async_dev] {
+            dev.append(ZoneId(0), &vec![2u8; 512], Nanos::ZERO).unwrap();
+        }
+        let addrs = [PageAddr::new(0, 0), PageAddr::new(0, 3)];
+        let mut out = vec![0u8; 512 * 2];
+        let sync_err = sync_dev
+            .read_scattered_into(&addrs, &mut out, Nanos::ZERO)
+            .unwrap_err();
+        let mut batch = ReadBatch::new();
+        let async_err = async_dev
+            .submit_read_batch(&mut batch, &addrs, &mut out, Nanos::ZERO, 4)
+            .unwrap_err();
+        assert!(matches!(
+            sync_err,
+            FlashError::ReadBeyondWritePointer { .. }
+        ));
+        assert!(matches!(
+            async_err,
+            FlashError::ReadBeyondWritePointer { .. }
+        ));
+        let (s, a) = (sync_dev.stats(), async_dev.stats());
+        assert_eq!((s.pages_read, s.read_ops), (a.pages_read, a.read_ops));
+        // Wrong-sized buffers are rejected before any I/O.
+        let mut short = vec![0u8; 100];
+        assert!(matches!(
+            async_dev.submit_read_batch(&mut batch, &addrs, &mut short, Nanos::ZERO, 4),
+            Err(FlashError::UnalignedLength { .. })
+        ));
     }
 
     #[test]

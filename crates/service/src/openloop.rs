@@ -70,6 +70,10 @@ pub struct OpenLoopConfig {
     /// Per-shard command-queue depth (wall-clock backpressure on the
     /// dispatcher; does not affect virtual-time results).
     pub queue_depth: usize,
+    /// Commands a shard worker drains per wakeup
+    /// ([`ShardedCacheBuilder::pipeline`]); a wall-clock throughput
+    /// knob that leaves virtual-time results bit-identical.
+    pub pipeline: usize,
     /// Interval (in ops) between latency trend windows.
     pub sample_every: u64,
     /// Requests excluded from the aggregate histograms (cache warm-up).
@@ -96,6 +100,7 @@ impl OpenLoopConfig {
             inflight: 16,
             background_slices: 1,
             queue_depth: 256,
+            pipeline: 16,
             sample_every: (ops / 24).max(1),
             warmup_ops: ops / 4,
         }
@@ -161,6 +166,7 @@ impl OpenLoopReplay {
             .queue_depth(cfg.queue_depth)
             .inflight(cfg.inflight)
             .background_slices(cfg.background_slices)
+            .pipeline(cfg.pipeline)
             .spawn(factory);
         let (tx, rx) = channel::<Completion>();
         let reactor = {
