@@ -3,12 +3,16 @@
 //! Usage:
 //!
 //! ```text
-//! experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K] [--qd N] [--smoke] [--restart]
+//! experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R]
+//!                  [--inflight K] [--qd N] [--conns N] [--port P]
+//!                  [--duration-secs S] [--connect HOST:PORT]
+//!                  [--backend modeled|file|real] [--smoke] [--restart]
 //!
 //! ids: fig4 fig5 fig6 fig8 fig12a fig12b fig13 fig14 fig15 fig16
 //!      fig17 fig18 fig19a fig19b table5 table6 motivation breakdown
 //!      read_cost sensitivity wave_sweep read_amplification appendix_a
-//!      ablation sharded openloop device_validation qd_sweep all
+//!      ablation sharded openloop netload serve device_validation
+//!      qd_sweep all
 //! ```
 //!
 //! `--smoke` shrinks the device and op counts so an experiment
@@ -40,20 +44,34 @@
 //! aggregate virtual-time arrival rate (req/s), `--inflight` the
 //! per-shard in-flight window, `--shards` the fleet size; read latency
 //! is reported split into queueing delay and service time.
+//!
+//! `netload` runs the same open-loop methodology over real loopback
+//! sockets through the `nemo-proto` memcached-text server: `--conns`
+//! sets the connection count, `--rate` the offered wall-clock arrival
+//! rate, `--backend` the shard device backend, and `--connect
+//! HOST:PORT` targets an external server (started with `serve`) instead
+//! of an in-process one. Full (non-`--smoke`) runs assert ≥ 16k req/s
+//! sustained over the sockets.
+//!
+//! `serve` runs the standalone memcached-text server on `--port` for
+//! `--duration-secs` (0 = until killed), then drains and reports.
 
 use nemo_bench::{
-    breakdown, device_validation, main_metrics, motivation, overhead, qd_sweep, sensitivity,
-    sharded, RunScale,
+    breakdown, device_validation, main_metrics, motivation, netload, overhead, qd_sweep,
+    sensitivity, sharded, RunScale,
 };
+use nemo_service::DeviceBackend;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K] [--qd N] [--smoke] [--restart]\n\
+        "usage: experiments <id> [--flash-mb N] [--ops-mult F] [--shards N] [--rate R] [--inflight K]\n\
+         \x20                [--qd N] [--conns N] [--port P] [--duration-secs S]\n\
+         \x20                [--connect HOST:PORT] [--backend modeled|file|real] [--smoke] [--restart]\n\
          ids: fig4 fig5 fig6 fig8 fig12a fig12b fig13 fig14 fig15 fig16 fig17 fig18\n\
          \x20     fig19a fig19b table5 table6 motivation breakdown read_cost sensitivity\n\
          \x20     wave_sweep read_amplification appendix_a ablation sharded openloop\n\
-         \x20     device_validation qd_sweep all"
+         \x20     netload serve device_validation qd_sweep all"
     );
     std::process::exit(2);
 }
@@ -74,6 +92,11 @@ fn main() {
     let mut smoke = false;
     let mut restart = false;
     let mut qd = 0u32;
+    let mut conns = 4usize;
+    let mut port = 11211u16;
+    let mut duration_secs = 30u64;
+    let mut connect: Option<String> = None;
+    let mut backend = DeviceBackend::Modeled;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -122,6 +145,42 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--conns" => {
+                i += 1;
+                conns = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&c| c > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--port" => {
+                i += 1;
+                port = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--duration-secs" => {
+                i += 1;
+                duration_secs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--connect" => {
+                i += 1;
+                connect = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--backend" => {
+                i += 1;
+                let dir = nemo_bench::device_validation::device_dir();
+                backend = match args.get(i).map(String::as_str) {
+                    Some("modeled") => DeviceBackend::Modeled,
+                    Some("file") => DeviceBackend::modeled_file(dir),
+                    Some("real") => DeviceBackend::real(dir),
+                    _ => usage(),
+                };
+            }
             "--smoke" => smoke = true,
             "--restart" => restart = true,
             _ => usage(),
@@ -169,6 +228,18 @@ fn main() {
         "appendix_a" => overhead::appendix_a(scale),
         "sharded" => sharded::all(scale, shards),
         "openloop" => sharded::openloop_comparison(scale, shards, rate, inflight),
+        "netload" => netload::netload(
+            scale,
+            netload::NetloadOpts {
+                shards,
+                rate,
+                conns,
+                smoke,
+                connect,
+                backend,
+            },
+        ),
+        "serve" => netload::serve(scale, shards, port, duration_secs, conns, backend),
         "device_validation" => {
             if restart {
                 device_validation::restart_validation(scale)

@@ -84,7 +84,7 @@ fn replay_on(backend: &DeviceBackend, scale: &RunScale, ops: u64, qd: u32) -> Ba
 
 /// Directory for the real / file-backed device images: `NEMO_DEV_DIR`
 /// if set, else the system temp dir (tmpfs in the CI job).
-pub(crate) fn device_dir() -> PathBuf {
+pub fn device_dir() -> PathBuf {
     std::env::var_os("NEMO_DEV_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| std::env::temp_dir().join("nemo_device_validation"))

@@ -46,6 +46,7 @@ pub mod common;
 pub mod device_validation;
 pub mod main_metrics;
 pub mod motivation;
+pub mod netload;
 pub mod overhead;
 pub mod qd_sweep;
 pub mod sensitivity;

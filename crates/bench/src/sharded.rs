@@ -15,7 +15,7 @@ use nemo_trace::{RequestKind, TraceConfig, TraceGenerator};
 
 /// The fleet's trace: catalog ~6x the *aggregate* flash of `shards`
 /// full-size devices.
-fn fleet_trace_config(scale: &RunScale, shards: usize) -> TraceConfig {
+pub(crate) fn fleet_trace_config(scale: &RunScale, shards: usize) -> TraceConfig {
     TraceConfig::twitter_merged(scale.flash_mb as f64 * shards as f64 * 6.0 / MERGED_WSS_MB)
 }
 

@@ -19,6 +19,7 @@
 mod cdf;
 mod count;
 mod histogram;
+mod proto;
 mod series;
 mod wa;
 mod window;
@@ -26,6 +27,7 @@ mod window;
 pub use cdf::{DiscreteCdf, SampleCdf};
 pub use count::CountHistogram;
 pub use histogram::LatencyHistogram;
+pub use proto::ProtoStats;
 pub use series::TimeSeries;
 pub use wa::WaAccount;
 pub use window::LatencyWindow;

@@ -1,0 +1,134 @@
+//! Wire-protocol counters for the memcached-text front-end.
+
+/// Per-connection (and, merged, per-server) protocol counters kept by
+/// the `nemo-proto` wire front-end, reported next to
+/// `nemo_engine::EngineStats` so a network run shows both views: what
+/// the sockets saw and what the engines did.
+///
+/// `wire_hits`/`wire_misses` count per-*key* get outcomes as reported on
+/// the wire (a multi-key `get` contributes once per key), so
+/// `wire_hits == EngineStats::hits` for a server whose only traffic came
+/// over the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtoStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections that have fully closed (client quit/EOF, fatal
+    /// protocol error, or server drain).
+    pub connections_closed: u64,
+    /// Complete commands parsed (any kind, including `version`/`quit`).
+    pub commands: u64,
+    /// `get`/`gets` commands parsed.
+    pub get_cmds: u64,
+    /// Keys across all `get`/`gets` commands (multi-key gets count each
+    /// key).
+    pub get_keys: u64,
+    /// `set` commands parsed (including `noreply` sets).
+    pub set_cmds: u64,
+    /// `set` commands carrying `noreply` (no response line sent).
+    pub noreply_sets: u64,
+    /// Per-key get outcomes answered with a `VALUE` block.
+    pub wire_hits: u64,
+    /// Per-key get outcomes answered with no `VALUE` block.
+    pub wire_misses: u64,
+    /// Recoverable protocol errors answered with `ERROR`/`CLIENT_ERROR`
+    /// on a connection that kept going.
+    pub protocol_errors: u64,
+    /// Unrecoverable protocol errors that closed the connection
+    /// (unbounded command line, bad data chunk, oversized value).
+    pub fatal_errors: u64,
+    /// Payload bytes read off sockets.
+    pub bytes_in: u64,
+    /// Payload bytes written to sockets.
+    pub bytes_out: u64,
+}
+
+impl ProtoStats {
+    /// Counter-wise sum, for aggregating per-connection stats into a
+    /// server total.
+    #[must_use = "merge returns the sum; it does not mutate self"]
+    pub fn merge(&self, other: &ProtoStats) -> ProtoStats {
+        ProtoStats {
+            connections: self.connections + other.connections,
+            connections_closed: self.connections_closed + other.connections_closed,
+            commands: self.commands + other.commands,
+            get_cmds: self.get_cmds + other.get_cmds,
+            get_keys: self.get_keys + other.get_keys,
+            set_cmds: self.set_cmds + other.set_cmds,
+            noreply_sets: self.noreply_sets + other.noreply_sets,
+            wire_hits: self.wire_hits + other.wire_hits,
+            wire_misses: self.wire_misses + other.wire_misses,
+            protocol_errors: self.protocol_errors + other.protocol_errors,
+            fatal_errors: self.fatal_errors + other.fatal_errors,
+            bytes_in: self.bytes_in + other.bytes_in,
+            bytes_out: self.bytes_out + other.bytes_out,
+        }
+    }
+
+    /// Merges a slice of per-connection stats.
+    pub fn merge_all(parts: &[ProtoStats]) -> ProtoStats {
+        parts
+            .iter()
+            .fold(ProtoStats::default(), |acc, p| acc.merge(p))
+    }
+
+    /// Wire-level hit ratio over per-key get outcomes (0 when no gets).
+    pub fn wire_hit_ratio(&self) -> f64 {
+        let keys = self.wire_hits + self.wire_misses;
+        if keys == 0 {
+            0.0
+        } else {
+            self.wire_hits as f64 / keys as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(scale: u64) -> ProtoStats {
+        ProtoStats {
+            connections: scale,
+            connections_closed: 2 * scale,
+            commands: 3 * scale,
+            get_cmds: 4 * scale,
+            get_keys: 5 * scale,
+            set_cmds: 6 * scale,
+            noreply_sets: 7 * scale,
+            wire_hits: 8 * scale,
+            wire_misses: 9 * scale,
+            protocol_errors: 10 * scale,
+            fatal_errors: 11 * scale,
+            bytes_in: 12 * scale,
+            bytes_out: 13 * scale,
+        }
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        assert_eq!(sample(1).merge(&sample(2)), sample(3));
+        assert_eq!(
+            ProtoStats::merge_all(&[sample(1), sample(2), sample(4)]),
+            sample(7)
+        );
+        assert_eq!(ProtoStats::merge_all(&[]), ProtoStats::default());
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let (a, b) = (sample(3), sample(5));
+        assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn wire_hit_ratio_handles_empty() {
+        assert_eq!(ProtoStats::default().wire_hit_ratio(), 0.0);
+        let s = ProtoStats {
+            wire_hits: 3,
+            wire_misses: 1,
+            ..Default::default()
+        };
+        assert!((s.wire_hit_ratio() - 0.75).abs() < 1e-12);
+    }
+}

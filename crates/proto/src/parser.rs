@@ -1,0 +1,467 @@
+//! Incremental, zero-copy memcached-text request parser.
+//!
+//! The parser is a pure function over a byte buffer: it either yields
+//! one complete command (borrowing key and value bytes straight out of
+//! the buffer — nothing is copied), asks for more bytes, or reports an
+//! error with a recovery plan. It keeps **no internal state**, so a
+//! connection handler resumes after any TCP segment boundary by simply
+//! appending the next read to its buffer and calling [`parse_command`]
+//! again — the split-point property tests exercise every possible
+//! boundary of a pipelined script.
+//!
+//! Over-read safety is structural: the parser only ever indexes into
+//! the slice it was given, and [`ParseOutcome::Cmd`]'s `consumed` is
+//! asserted (and property-tested) to be `<= buf.len()`.
+
+/// Parser limits; defaults mirror memcached's (250-byte keys, 1 MiB
+/// values) with an 8 KiB command-line bound so an attacker cannot make
+/// the server buffer an endless line looking for `\r\n`.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Longest accepted key, in bytes.
+    pub max_key_len: usize,
+    /// Largest accepted `set` data block, in bytes.
+    pub max_value_len: usize,
+    /// Longest accepted command line (through its `\r\n`), in bytes.
+    /// Lines longer than this are unrecoverable: the frame boundary is
+    /// unknowable, so the connection must close.
+    pub max_line_len: usize,
+    /// Most keys accepted in one `get`/`gets`.
+    pub max_keys_per_get: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_key_len: 250,
+            max_value_len: 1024 * 1024,
+            max_line_len: 8192,
+            max_keys_per_get: 1024,
+        }
+    }
+}
+
+/// A parsed `set` command. `data` borrows the value bytes from the
+/// input buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetCmd<'a> {
+    /// The object key, verbatim wire bytes.
+    pub key: &'a [u8],
+    /// Client-opaque flags stored with the object.
+    pub flags: u32,
+    /// Expiration time; parsed for wire compatibility, ignored by the
+    /// cache (the engines model capacity eviction, not TTLs).
+    pub exptime: i64,
+    /// The value bytes.
+    pub data: &'a [u8],
+    /// Whether the client asked for no `STORED` reply.
+    pub noreply: bool,
+}
+
+/// The whitespace-separated key list of a `get`/`gets`, iterated
+/// without allocating. Keys were validated during parsing, so the
+/// iterator yields them as plain byte slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Keys<'a> {
+    line: &'a [u8],
+}
+
+impl<'a> Keys<'a> {
+    /// Number of keys (the parser guarantees at least one).
+    pub fn count(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// Iterates the keys in wire order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [u8]> {
+        self.line.split(|&b| b == b' ').filter(|k| !k.is_empty())
+    }
+}
+
+/// One complete request frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command<'a> {
+    /// `get`/`gets` — `cas` is true for `gets`, which additionally
+    /// returns a per-object cas unique in each `VALUE` header.
+    Get {
+        /// The requested keys.
+        keys: Keys<'a>,
+        /// Whether this was `gets`.
+        cas: bool,
+    },
+    /// `set <key> <flags> <exptime> <bytes> [noreply]` plus data block.
+    Set(SetCmd<'a>),
+    /// `version`
+    Version,
+    /// `quit`
+    Quit,
+}
+
+/// Why a frame was rejected. [`WireError::reply`] is the exact response
+/// line the server sends (empty for errors where the peer is already
+/// gone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Unknown command name (memcached answers a bare `ERROR`).
+    UnknownCommand,
+    /// A malformed-but-delimited command line; the message goes into a
+    /// `CLIENT_ERROR`.
+    BadFormat(&'static str),
+    /// `set` declared more bytes than [`Limits::max_value_len`]; fatal,
+    /// because consuming an attacker-sized body is the thing the limit
+    /// exists to prevent.
+    ValueTooLarge,
+    /// The data block was not terminated by `\r\n` where the declared
+    /// byte count said it would be; fatal, since the stream is no
+    /// longer delimitable.
+    BadDataChunk,
+    /// A command line exceeded [`Limits::max_line_len`] without a
+    /// terminator; fatal.
+    LineTooLong,
+}
+
+impl WireError {
+    /// The response memcached sends for this error.
+    pub fn reply(&self) -> &'static str {
+        match self {
+            WireError::UnknownCommand => "ERROR\r\n",
+            WireError::BadFormat(msg) => {
+                // The three formats the parser actually produces; keeping
+                // them static avoids allocating on the error path.
+                match *msg {
+                    "bad command line format" => "CLIENT_ERROR bad command line format\r\n",
+                    "key too long" => "CLIENT_ERROR bad command line format: key too long\r\n",
+                    "too many keys" => "CLIENT_ERROR bad command line format: too many keys\r\n",
+                    _ => "CLIENT_ERROR bad command line format\r\n",
+                }
+            }
+            WireError::ValueTooLarge => "SERVER_ERROR object too large for cache\r\n",
+            WireError::BadDataChunk => "CLIENT_ERROR bad data chunk\r\n",
+            WireError::LineTooLong => "CLIENT_ERROR line too long\r\n",
+        }
+    }
+
+    /// Whether the connection can keep parsing after this error.
+    /// Recoverable errors skip the offending line; fatal ones close the
+    /// connection because the next frame boundary is unknowable.
+    pub fn recoverable(&self) -> bool {
+        matches!(self, WireError::UnknownCommand | WireError::BadFormat(_))
+    }
+}
+
+/// Result of trying to parse one frame from the front of `buf`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseOutcome<'a> {
+    /// A complete command occupying the first `consumed` bytes.
+    Cmd(Command<'a>, usize),
+    /// No complete frame yet — read more bytes and call again.
+    Incomplete,
+    /// A delimited-but-invalid frame occupying `consumed` bytes; send
+    /// [`WireError::reply`] and keep going.
+    Error(WireError, usize),
+    /// The stream is unrecoverable; send [`WireError::reply`] and close.
+    Fatal(WireError),
+}
+
+/// Finds the first `\r\n` in `buf`, returning the line (exclusive) and
+/// the number of bytes through the terminator.
+fn take_line<'a>(buf: &'a [u8], limits: &Limits) -> Option<Result<(&'a [u8], usize), WireError>> {
+    // A lone `\n` never terminates a command here: the data block of a
+    // `set` is length-delimited and may contain bare newlines, so
+    // command lines are strictly `\r\n`-terminated.
+    match buf
+        .windows(2)
+        .take(limits.max_line_len)
+        .position(|w| w == b"\r\n")
+    {
+        Some(pos) => Some(Ok((&buf[..pos], pos + 2))),
+        None if buf.len() >= limits.max_line_len => Some(Err(WireError::LineTooLong)),
+        None => None,
+    }
+}
+
+/// Is `key` a legal memcached key: non-empty, within the length limit,
+/// and free of whitespace/control bytes?
+fn valid_key(key: &[u8], limits: &Limits) -> Result<(), WireError> {
+    if key.len() > limits.max_key_len {
+        return Err(WireError::BadFormat("key too long"));
+    }
+    if key.is_empty() || key.iter().any(|&b| b <= b' ' || b == 0x7f) {
+        return Err(WireError::BadFormat("bad command line format"));
+    }
+    Ok(())
+}
+
+fn parse_u32(token: &[u8]) -> Result<u32, WireError> {
+    parse_u64(token)
+        .and_then(|v| u32::try_from(v).map_err(|_| WireError::BadFormat("bad command line format")))
+}
+
+fn parse_u64(token: &[u8]) -> Result<u64, WireError> {
+    if token.is_empty() || token.len() > 20 || !token.iter().all(|b| b.is_ascii_digit()) {
+        return Err(WireError::BadFormat("bad command line format"));
+    }
+    let mut v: u64 = 0;
+    for &b in token {
+        v = v
+            .checked_mul(10)
+            .and_then(|v| v.checked_add((b - b'0') as u64))
+            .ok_or(WireError::BadFormat("bad command line format"))?;
+    }
+    Ok(v)
+}
+
+fn parse_i64(token: &[u8]) -> Result<i64, WireError> {
+    let (neg, digits) = match token.split_first() {
+        Some((b'-', rest)) => (true, rest),
+        _ => (false, token),
+    };
+    let v = parse_u64(digits)?;
+    if neg {
+        i64::try_from(v)
+            .map(|v| -v)
+            .map_err(|_| WireError::BadFormat("bad command line format"))
+    } else {
+        i64::try_from(v).map_err(|_| WireError::BadFormat("bad command line format"))
+    }
+}
+
+/// Parses one frame from the front of `buf`. Zero-copy: a returned
+/// [`Command`] borrows its key and value bytes from `buf`. Stateless:
+/// on [`ParseOutcome::Incomplete`], append more bytes and call again.
+pub fn parse_command<'a>(buf: &'a [u8], limits: &Limits) -> ParseOutcome<'a> {
+    let (line, line_len) = match take_line(buf, limits) {
+        None => return ParseOutcome::Incomplete,
+        Some(Err(e)) => return ParseOutcome::Fatal(e),
+        Some(Ok(pair)) => pair,
+    };
+    let mut tokens = line.split(|&b| b == b' ').filter(|t| !t.is_empty());
+    let verb = match tokens.next() {
+        Some(v) => v,
+        // A bare "\r\n" (or all-spaces line): memcached treats it as an
+        // unknown command.
+        None => return ParseOutcome::Error(WireError::UnknownCommand, line_len),
+    };
+    match verb {
+        b"get" | b"gets" => {
+            // The verb is a subslice of `line`, but not necessarily at
+            // offset 0 (the tokenizer skips leading spaces) — recover
+            // its position from the pointers.
+            let keys_start = verb.as_ptr() as usize - line.as_ptr() as usize + verb.len();
+            let keys = Keys {
+                line: &line[keys_start..],
+            };
+            let mut count = 0usize;
+            for key in keys.iter() {
+                if let Err(e) = valid_key(key, limits) {
+                    return ParseOutcome::Error(e, line_len);
+                }
+                count += 1;
+            }
+            if count == 0 {
+                return ParseOutcome::Error(
+                    WireError::BadFormat("bad command line format"),
+                    line_len,
+                );
+            }
+            if count > limits.max_keys_per_get {
+                return ParseOutcome::Error(WireError::BadFormat("too many keys"), line_len);
+            }
+            ParseOutcome::Cmd(
+                Command::Get {
+                    keys,
+                    cas: verb == b"gets",
+                },
+                line_len,
+            )
+        }
+        b"set" => {
+            let bad = |e| ParseOutcome::Error(e, line_len);
+            let (key, flags, exptime, bytes) =
+                match (tokens.next(), tokens.next(), tokens.next(), tokens.next()) {
+                    (Some(k), Some(f), Some(e), Some(b)) => (k, f, e, b),
+                    _ => return bad(WireError::BadFormat("bad command line format")),
+                };
+            let noreply = match tokens.next() {
+                None => false,
+                Some(b"noreply") => true,
+                Some(_) => return bad(WireError::BadFormat("bad command line format")),
+            };
+            if tokens.next().is_some() {
+                return bad(WireError::BadFormat("bad command line format"));
+            }
+            if let Err(e) = valid_key(key, limits) {
+                return bad(e);
+            }
+            let flags = match parse_u32(flags) {
+                Ok(v) => v,
+                Err(e) => return bad(e),
+            };
+            let exptime = match parse_i64(exptime) {
+                Ok(v) => v,
+                Err(e) => return bad(e),
+            };
+            let bytes = match parse_u64(bytes) {
+                Ok(v) => v as usize,
+                Err(e) => return bad(e),
+            };
+            if bytes > limits.max_value_len {
+                // Fatal: honoring the declared length would mean
+                // buffering an attacker-chosen body.
+                return ParseOutcome::Fatal(WireError::ValueTooLarge);
+            }
+            let frame_len = line_len + bytes + 2;
+            if buf.len() < frame_len {
+                return ParseOutcome::Incomplete;
+            }
+            if &buf[line_len + bytes..frame_len] != b"\r\n" {
+                return ParseOutcome::Fatal(WireError::BadDataChunk);
+            }
+            ParseOutcome::Cmd(
+                Command::Set(SetCmd {
+                    key,
+                    flags,
+                    exptime,
+                    data: &buf[line_len..line_len + bytes],
+                    noreply,
+                }),
+                frame_len,
+            )
+        }
+        b"version" => {
+            if tokens.next().is_some() {
+                return ParseOutcome::Error(
+                    WireError::BadFormat("bad command line format"),
+                    line_len,
+                );
+            }
+            ParseOutcome::Cmd(Command::Version, line_len)
+        }
+        b"quit" => {
+            if tokens.next().is_some() {
+                return ParseOutcome::Error(
+                    WireError::BadFormat("bad command line format"),
+                    line_len,
+                );
+            }
+            ParseOutcome::Cmd(Command::Quit, line_len)
+        }
+        _ => ParseOutcome::Error(WireError::UnknownCommand, line_len),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lim() -> Limits {
+        Limits::default()
+    }
+
+    fn parse(buf: &[u8]) -> ParseOutcome<'_> {
+        parse_command(buf, &lim())
+    }
+
+    #[test]
+    fn get_single_and_multi_key() {
+        match parse(b"get alpha\r\n") {
+            ParseOutcome::Cmd(Command::Get { keys, cas: false }, 11) => {
+                assert_eq!(keys.iter().collect::<Vec<_>>(), vec![b"alpha".as_ref()]);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(b"gets a b c\r\ntrailing") {
+            ParseOutcome::Cmd(Command::Get { keys, cas: true }, 12) => {
+                assert_eq!(keys.count(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_roundtrip_fields() {
+        let frame = b"set k1 7 0 5 noreply\r\nhello\r\nnext";
+        match parse(frame) {
+            ParseOutcome::Cmd(Command::Set(s), consumed) => {
+                assert_eq!(s.key, b"k1");
+                assert_eq!(s.flags, 7);
+                assert_eq!(s.exptime, 0);
+                assert_eq!(s.data, b"hello");
+                assert!(s.noreply);
+                assert_eq!(consumed, frame.len() - 4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_value_may_contain_crlf() {
+        let frame = b"set k 0 0 6\r\nab\r\ncd\r\n";
+        match parse(frame) {
+            ParseOutcome::Cmd(Command::Set(s), consumed) => {
+                assert_eq!(s.data, b"ab\r\ncd");
+                assert_eq!(consumed, frame.len());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn incomplete_frames_ask_for_more() {
+        assert_eq!(parse(b"get alp"), ParseOutcome::Incomplete);
+        assert_eq!(parse(b"set k 0 0 5\r\nhel"), ParseOutcome::Incomplete);
+        assert_eq!(parse(b"set k 0 0 5\r\nhello"), ParseOutcome::Incomplete);
+        assert_eq!(parse(b"set k 0 0 5\r\nhello\r"), ParseOutcome::Incomplete);
+        assert_eq!(parse(b""), ParseOutcome::Incomplete);
+    }
+
+    #[test]
+    fn errors_and_recovery() {
+        assert!(matches!(
+            parse(b"frobnicate now\r\n"),
+            ParseOutcome::Error(WireError::UnknownCommand, 16)
+        ));
+        assert!(matches!(
+            parse(b"get\r\n"),
+            ParseOutcome::Error(WireError::BadFormat(_), 5)
+        ));
+        assert!(matches!(
+            parse(b"set k 0 0\r\n"),
+            ParseOutcome::Error(WireError::BadFormat(_), 11)
+        ));
+        assert!(matches!(
+            parse(b"set k 0 0 abc\r\n"),
+            ParseOutcome::Error(WireError::BadFormat(_), 15)
+        ));
+        let long_key = [b'k'; 251];
+        let mut frame = b"get ".to_vec();
+        frame.extend_from_slice(&long_key);
+        frame.extend_from_slice(b"\r\n");
+        assert!(matches!(
+            parse(&frame),
+            ParseOutcome::Error(WireError::BadFormat("key too long"), _)
+        ));
+    }
+
+    #[test]
+    fn fatal_errors() {
+        assert_eq!(
+            parse(b"set k 0 0 99999999\r\n"),
+            ParseOutcome::Fatal(WireError::ValueTooLarge)
+        );
+        assert_eq!(
+            parse(b"set k 0 0 3\r\nabcXX"),
+            ParseOutcome::Fatal(WireError::BadDataChunk)
+        );
+        let endless = vec![b'a'; lim().max_line_len + 10];
+        assert_eq!(parse(&endless), ParseOutcome::Fatal(WireError::LineTooLong));
+    }
+
+    #[test]
+    fn exptime_accepts_negative() {
+        match parse(b"set k 0 -1 2\r\nab\r\n") {
+            ParseOutcome::Cmd(Command::Set(s), _) => assert_eq!(s.exptime, -1),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Wire-vs-in-process parity: the same trace driven once through the
+//! TCP server and once through the `Dispatcher` directly, on fleets
+//! built identically, must produce **identical** aggregate results —
+//! hit ratio, op counts, ALWA/DLWA, per-shard engine stats, and the
+//! modeled devices' stats.
+//!
+//! Why this must hold: engine aggregates are functions of the per-shard
+//! command sequence only (the service layer's determinism contract —
+//! its test suite proves aggregates are independent of timestamps,
+//! queue depths and thread interleavings). A single strictly ordered
+//! connection preserves the global request order, the server's virtual
+//! clock stamps operations exactly like the in-process driver, and both
+//! sides route keys with the same hash — so every shard sees the same
+//! commands in the same order with the same stamps, and everything
+//! downstream is bit-equal. A parity failure therefore isolates a bug
+//! in the wire layer: parsing, key mapping, fill semantics, or dropped
+//! operations.
+
+use nemo_core::{Nemo, NemoConfig};
+use nemo_flash::{AnyFlash, Geometry, Nanos, ZonedFlash};
+use nemo_proto::wire::{parse_response, Response, ResponseOutcome};
+use nemo_proto::{ClockMode, Limits, Server, ServerConfig, ServerReport};
+use nemo_service::{Completion, CompletionKind, DeviceBackend, ShardedCacheBuilder, ShardedReport};
+use nemo_trace::{RequestKind, TraceConfig, TraceGenerator};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::channel;
+
+const FLASH_MB: u32 = 16;
+const SHARDS: usize = 2;
+const OPS: u64 = 6_000;
+const GAP: u64 = 10_000; // 100k req/s of virtual time
+
+fn nemo_config() -> NemoConfig {
+    let mut cfg = NemoConfig::new(Geometry::new(4096, 256, FLASH_MB, 8));
+    cfg.flush_threshold = 4;
+    cfg.expected_objects_per_set = 16;
+    cfg.index_group_sgs = 8;
+    cfg
+}
+
+fn trace() -> TraceGenerator {
+    TraceGenerator::new(TraceConfig::twitter_merged(
+        FLASH_MB as f64 * 6.0 / 337_848.0,
+    ))
+}
+
+fn build_fleet() -> nemo_service::ShardedCache<Nemo<AnyFlash>> {
+    ShardedCacheBuilder::new(SHARDS)
+        .spawn(nemo_config().factory_on(DeviceBackend::Modeled.device_factory("parity")))
+}
+
+/// The wire form of a trace key, and the `set` value length that makes
+/// the engine-visible size equal the trace size.
+fn wire_parts(key: u64, size: u32) -> (Vec<u8>, usize) {
+    let kb = key.to_string().into_bytes();
+    let vlen = (size as usize).saturating_sub(kb.len()).max(1);
+    (kb, vlen)
+}
+
+/// Drives the trace through a TCP connection, strictly ordered
+/// (closed loop): get → await reply → fill on miss → await STORED.
+/// Returns (server report, client-observed hits, engine ops issued).
+fn run_wire() -> (ServerReport<Nemo<AnyFlash>>, u64, u64) {
+    let server = Server::start(
+        build_fleet(),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            conn_workers: 1,
+            limits: Limits::default(),
+            clock: ClockMode::Virtual { gap: GAP },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+
+    let lim = Limits::default();
+    let mut buf = Vec::new();
+    let mut chunk = vec![0u8; 16 * 1024];
+    // Reads one complete response frame, blocking as needed.
+    let mut next_frame = |stream: &mut TcpStream, buf: &mut Vec<u8>| -> (String, bool) {
+        loop {
+            match parse_response(buf, &lim) {
+                ResponseOutcome::Resp(r, n) => {
+                    let label = match r {
+                        Response::Value { .. } => "VALUE",
+                        Response::End => "END",
+                        Response::Stored => "STORED",
+                        other => panic!("unexpected response {other:?}"),
+                    };
+                    buf.drain(..n);
+                    return (label.to_string(), true);
+                }
+                ResponseOutcome::Incomplete => {
+                    let n = stream.read(&mut chunk).expect("read");
+                    assert!(n > 0, "server closed mid-run");
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                ResponseOutcome::Garbled(_) => panic!("garbled response"),
+            }
+        }
+    };
+
+    let mut gen = trace();
+    let mut hits = 0u64;
+    let mut engine_ops = 0u64;
+    let send_set = |stream: &mut TcpStream, kb: &[u8], vlen: usize| {
+        let mut msg = Vec::with_capacity(vlen + 48);
+        msg.extend_from_slice(b"set ");
+        msg.extend_from_slice(kb);
+        msg.extend_from_slice(format!(" 0 0 {vlen}\r\n").as_bytes());
+        msg.extend(std::iter::repeat(0x5au8).take(vlen));
+        msg.extend_from_slice(b"\r\n");
+        stream.write_all(&msg).expect("write set");
+    };
+    for _ in 0..OPS {
+        let r = gen.next_request();
+        let (kb, vlen) = wire_parts(r.key, r.size);
+        match r.kind {
+            RequestKind::Get => {
+                let mut msg = Vec::with_capacity(kb.len() + 8);
+                msg.extend_from_slice(b"get ");
+                msg.extend_from_slice(&kb);
+                msg.extend_from_slice(b"\r\n");
+                stream.write_all(&msg).expect("write get");
+                engine_ops += 1;
+                let (first, _) = next_frame(&mut stream, &mut buf);
+                if first == "VALUE" {
+                    hits += 1;
+                    let (end, _) = next_frame(&mut stream, &mut buf);
+                    assert_eq!(end, "END");
+                } else {
+                    assert_eq!(first, "END");
+                    // Demand fill, exactly like the in-process driver.
+                    send_set(&mut stream, &kb, vlen);
+                    engine_ops += 1;
+                    let (stored, _) = next_frame(&mut stream, &mut buf);
+                    assert_eq!(stored, "STORED");
+                }
+            }
+            RequestKind::Put => {
+                send_set(&mut stream, &kb, vlen);
+                engine_ops += 1;
+                let (stored, _) = next_frame(&mut stream, &mut buf);
+                assert_eq!(stored, "STORED");
+            }
+        }
+    }
+    drop(stream);
+    // finish() joins the connection worker (it sees the EOF) before
+    // draining the fleet.
+    (server.finish(), hits, engine_ops)
+}
+
+/// The same trace through the `Dispatcher`, mirroring the server's
+/// per-command behaviour exactly: lookups never fill; misses are
+/// followed by a put of the same wire-derived size; the virtual clock
+/// advances one gap per engine op.
+fn run_in_process() -> (ShardedReport<Nemo<AnyFlash>>, u64, u64) {
+    let cache = build_fleet();
+    let dispatcher = cache.dispatcher();
+    let (tx, rx) = channel::<Completion>();
+    let mut gen = trace();
+    let mut hits = 0u64;
+    let mut ticks = 0u64;
+    let mut seq = 0u64;
+    let mut next_stamp = || {
+        ticks += GAP;
+        Nanos(ticks)
+    };
+    for _ in 0..OPS {
+        let r = gen.next_request();
+        let (kb, vlen) = wire_parts(r.key, r.size);
+        let wire_size = (kb.len() + vlen) as u32;
+        match r.kind {
+            RequestKind::Get => {
+                seq += 1;
+                dispatcher.dispatch_lookup(r.key, next_stamp(), seq, &tx);
+                let c = rx.recv().expect("completion");
+                let hit = matches!(c.kind, CompletionKind::Get { hit: true, .. });
+                if hit {
+                    hits += 1;
+                } else {
+                    seq += 1;
+                    dispatcher.dispatch_put(r.key, wire_size, next_stamp(), seq, &tx);
+                    rx.recv().expect("completion");
+                }
+            }
+            RequestKind::Put => {
+                seq += 1;
+                dispatcher.dispatch_put(r.key, wire_size, next_stamp(), seq, &tx);
+                rx.recv().expect("completion");
+            }
+        }
+    }
+    // The shard workers only exit once every command sender is gone,
+    // and the dispatcher holds clones of them.
+    drop(dispatcher);
+    // The server drains at its clock's next tick; mirror that.
+    let report = cache.finish(Nanos(ticks + GAP));
+    (report, hits, seq)
+}
+
+#[test]
+fn wire_replay_matches_in_process_replay() {
+    let (wire, wire_hits, wire_ops) = run_wire();
+    let (inproc, inproc_hits, inproc_ops) = run_in_process();
+
+    // Same number of engine operations were issued at all.
+    assert_eq!(wire_ops, inproc_ops, "engine op counts diverged");
+    assert_eq!(wire_hits, inproc_hits, "client-observed hits diverged");
+
+    // The server's own wire accounting agrees with the client's.
+    assert_eq!(wire.proto.wire_hits, wire_hits);
+    assert_eq!(
+        wire.proto.get_keys,
+        wire.proto.wire_hits + wire.proto.wire_misses
+    );
+    assert_eq!(wire.proto.protocol_errors, 0);
+    assert_eq!(wire.proto.fatal_errors, 0);
+
+    // Aggregate engine stats: identical, field for field (gets, puts,
+    // hits, objects/bytes written, flash writes → ALWA/DLWA, ...).
+    assert_eq!(
+        wire.report.stats, inproc.stats,
+        "aggregate EngineStats diverged"
+    );
+    assert_eq!(
+        wire.report.stats.alwa().to_bits(),
+        inproc.stats.alwa().to_bits(),
+        "ALWA diverged"
+    );
+    assert_eq!(
+        wire.report.stats.total_wa().to_bits(),
+        inproc.stats.total_wa().to_bits(),
+        "total WA diverged"
+    );
+    assert_eq!(
+        wire.report.stats.miss_ratio().to_bits(),
+        inproc.stats.miss_ratio().to_bits(),
+        "hit ratio diverged"
+    );
+
+    // Per-shard: the same commands reached the same shards.
+    assert_eq!(
+        wire.report.per_shard, inproc.per_shard,
+        "per-shard stats diverged"
+    );
+
+    // Device stats, per shard. Both sides run modeled devices on the
+    // same virtual clock, so even the time-valued fields (busy time)
+    // must agree bit-for-bit.
+    let wire_dev: Vec<_> = wire
+        .report
+        .engines
+        .iter()
+        .map(|e| e.device().stats())
+        .collect();
+    let inproc_dev: Vec<_> = inproc.engines.iter().map(|e| e.device().stats()).collect();
+    assert_eq!(wire_dev, inproc_dev, "DeviceStats diverged");
+
+    // Metadata side table: exactly the engines' live objects minus the
+    // evicted ones whose meta a later miss garbage-collected; at
+    // minimum it never exceeds insertions, and the engines agree there
+    // were real hits (the trace is Zipfian).
+    assert!(wire_hits > 0, "degenerate run: no hits at all");
+    assert!(wire.report.stats.hits == wire_hits);
+}
+
+/// Sanity check on the sanity checker: a *different* workload must
+/// change the aggregates (the parity test can't pass vacuously).
+#[test]
+fn parity_is_not_vacuous() {
+    let (inproc_a, _, _) = run_in_process();
+    let cache = build_fleet();
+    let dispatcher = cache.dispatcher();
+    let (tx, rx) = channel::<Completion>();
+    for seq in 1..=100u64 {
+        dispatcher.dispatch_put(seq, 200, Nanos(seq * GAP), seq, &tx);
+        rx.recv().expect("completion");
+    }
+    drop(dispatcher);
+    let report = cache.finish(Nanos(101 * GAP));
+    assert_ne!(report.stats, inproc_a.stats);
+}

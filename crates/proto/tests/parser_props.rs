@@ -1,0 +1,384 @@
+//! Property battery for the request/response parsers.
+//!
+//! Three families, per the parser's contract:
+//!
+//! 1. **Robustness** — arbitrary bytes (uniform and protocol-biased)
+//!    never panic the parser, never over-read (`consumed ≤ buf.len()`),
+//!    and always make progress (`consumed > 0` for any non-`Incomplete`,
+//!    non-`Fatal` outcome), so a feed loop terminates.
+//! 2. **Roundtrip** — randomly generated valid commands encode →
+//!    parse → re-encode byte-identically (encoding is canonical).
+//! 3. **Split resume** — a pipelined script parses to the same command
+//!    sequence no matter where TCP segments it: exhaustively at every
+//!    single split point, and randomly into many chunks.
+//!
+//! The `#[ignore]`d variants are the deep generative sweeps the
+//! scheduled CI job runs (same properties, orders of magnitude more
+//! cases).
+
+use nemo_proto::wire::{encode_command, parse_response, ResponseOutcome};
+use nemo_proto::{parse_command, Command, Limits, ParseOutcome, SetCmd};
+use proptest::prelude::*;
+
+fn limits() -> Limits {
+    Limits::default()
+}
+
+/// Drains `buf` through the parser, panicking on any safety violation;
+/// returns the canonical re-encoding of every parsed command and the
+/// count of (commands, errors).
+fn drain_commands(buf: &[u8]) -> (Vec<u8>, usize, usize) {
+    let lim = limits();
+    let mut reencoded = Vec::new();
+    let mut off = 0;
+    let (mut cmds, mut errs) = (0, 0);
+    loop {
+        let rest = &buf[off..];
+        match parse_command(rest, &lim) {
+            ParseOutcome::Cmd(cmd, consumed) => {
+                assert!(
+                    consumed <= rest.len(),
+                    "over-read: {consumed} > {}",
+                    rest.len()
+                );
+                assert!(consumed > 0, "no progress on Cmd");
+                encode_command(&mut reencoded, &cmd);
+                off += consumed;
+                cmds += 1;
+            }
+            ParseOutcome::Error(_, consumed) => {
+                assert!(
+                    consumed <= rest.len(),
+                    "over-read: {consumed} > {}",
+                    rest.len()
+                );
+                assert!(consumed > 0, "no progress on Error");
+                off += consumed;
+                errs += 1;
+            }
+            ParseOutcome::Incomplete | ParseOutcome::Fatal(_) => break,
+        }
+    }
+    (reencoded, cmds, errs)
+}
+
+/// A protocol-biased byte soup: verbs, numbers, keys, CRLFs and raw
+/// noise glued together. Much likelier than uniform bytes to form
+/// almost-valid frames that stress deep parser paths.
+fn biased_soup(rng_bytes: &[u8]) -> Vec<u8> {
+    const FRAGMENTS: &[&[u8]] = &[
+        b"get ",
+        b"gets ",
+        b"set ",
+        b"version",
+        b"quit",
+        b"key",
+        b"0",
+        b"12345",
+        b" ",
+        b"\r\n",
+        b"\r",
+        b"\n",
+        b"noreply",
+        b"-1",
+        b"99999999999999999999999",
+        b"\x00\x7f",
+        b"abc",
+    ];
+    let mut out = Vec::new();
+    for &b in rng_bytes {
+        let i = (b as usize) % (FRAGMENTS.len() + 2);
+        match FRAGMENTS.get(i) {
+            Some(f) => out.extend_from_slice(f),
+            None => out.push(b),
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Uniform random bytes: no panic, no over-read, guaranteed progress.
+    #[test]
+    fn arbitrary_bytes_are_safe(buf in prop::collection::vec(any::<u8>(), 0..512)) {
+        drain_commands(&buf);
+    }
+
+    /// Protocol-biased byte soup: same safety properties on inputs that
+    /// reach much deeper into the grammar.
+    #[test]
+    fn biased_bytes_are_safe(seed in prop::collection::vec(any::<u8>(), 0..64)) {
+        drain_commands(&biased_soup(&seed));
+    }
+
+    /// The response parser has the same safety contract (the load
+    /// generator feeds it whatever the socket hands back).
+    #[test]
+    fn arbitrary_bytes_are_safe_for_responses(buf in prop::collection::vec(any::<u8>(), 0..512)) {
+        let lim = limits();
+        let mut off = 0;
+        loop {
+            let rest = &buf[off..];
+            match parse_response(rest, &lim) {
+                ResponseOutcome::Resp(_, n) | ResponseOutcome::Garbled(n) => {
+                    prop_assert!(n <= rest.len(), "over-read");
+                    prop_assert!(n > 0, "no progress");
+                    off += n;
+                }
+                ResponseOutcome::Incomplete => break,
+            }
+        }
+    }
+}
+
+/// A random valid key over the legal alphabet (no whitespace/control).
+fn gen_key(seed: &[u8]) -> Vec<u8> {
+    const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-./:";
+    seed.iter()
+        .map(|&b| ALPHA[b as usize % ALPHA.len()])
+        .collect()
+}
+
+/// Builds one random valid command's canonical encoding from raw
+/// sampled material; returns the encoded bytes.
+fn gen_command(kind: u8, key_seed: &[u8], nums: (u32, i64), data: &[u8], noreply: bool) -> Vec<u8> {
+    let key = gen_key(if key_seed.is_empty() { b"k" } else { key_seed });
+    let mut out = Vec::new();
+    match kind % 5 {
+        0 => {
+            out.extend_from_slice(format!("get {}\r\n", String::from_utf8(key).unwrap()).as_bytes())
+        }
+        1 => out
+            .extend_from_slice(format!("gets {}\r\n", String::from_utf8(key).unwrap()).as_bytes()),
+        2 => {
+            let cmd = SetCmd {
+                key: &key,
+                flags: nums.0,
+                exptime: nums.1,
+                data,
+                noreply,
+            };
+            nemo_proto::encode_set(&mut out, &cmd);
+        }
+        3 => out.extend_from_slice(b"version\r\n"),
+        _ => out.extend_from_slice(b"quit\r\n"),
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// encode → parse → re-encode is byte-identical for valid commands
+    /// (including values containing CRLF and every command kind).
+    #[test]
+    fn valid_commands_roundtrip(
+        kind in any::<u8>(),
+        key_seed in prop::collection::vec(any::<u8>(), 1..40),
+        flags in any::<u32>(),
+        exptime in -1000i64..100_000,
+        data in prop::collection::vec(any::<u8>(), 0..300),
+        noreply in any::<u8>(),
+    ) {
+        let encoded = gen_command(kind, &key_seed, (flags, exptime), &data, noreply % 2 == 0);
+        let (reencoded, cmds, errs) = drain_commands(&encoded);
+        prop_assert_eq!(errs, 0, "valid command parsed as error");
+        prop_assert_eq!(cmds, 1);
+        prop_assert_eq!(reencoded, encoded);
+    }
+
+    /// A random multi-command pipeline split into random chunks parses
+    /// to the same byte-identical command sequence as the unsplit
+    /// buffer — the parser resumes cleanly at arbitrary TCP boundaries.
+    #[test]
+    fn random_splits_resume(
+        kinds in prop::collection::vec(any::<u8>(), 1..8),
+        splits in prop::collection::vec(any::<u16>(), 1..6),
+        data in prop::collection::vec(any::<u8>(), 0..120),
+    ) {
+        let mut script = Vec::new();
+        for (i, &kind) in kinds.iter().enumerate() {
+            // Vary keys/fields per command off the kind byte.
+            let key_seed = [kind, i as u8, 7];
+            script.extend(gen_command(kind, &key_seed, (kind as u32, i as i64), &data, kind % 3 == 0));
+        }
+        let (want, want_cmds, _) = drain_commands(&script);
+
+        // Cut the script at the sampled offsets.
+        let mut cuts: Vec<usize> = splits.iter().map(|&s| s as usize % (script.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut got = Vec::new();
+        let mut got_cmds = 0;
+        let mut pending: Vec<u8> = Vec::new();
+        let mut prev = 0;
+        let lim = limits();
+        for end in cuts.into_iter().chain([script.len()]) {
+            pending.extend_from_slice(&script[prev..end.max(prev)]);
+            prev = end.max(prev);
+            // Parse whatever is complete so far, keep the rest buffered.
+            let mut off = 0;
+            loop {
+                match parse_command(&pending[off..], &lim) {
+                    ParseOutcome::Cmd(cmd, n) => {
+                        encode_command(&mut got, &cmd);
+                        got_cmds += 1;
+                        off += n;
+                    }
+                    ParseOutcome::Error(_, n) => off += n,
+                    ParseOutcome::Incomplete | ParseOutcome::Fatal(_) => break,
+                }
+            }
+            pending.drain(..off);
+        }
+        prop_assert_eq!(got_cmds, want_cmds);
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// Exhaustive single-split sweep over a fixed pipelined script that
+/// exercises every command kind, multi-key gets, noreply sets and a
+/// CRLF-bearing value: for every possible boundary, parsing
+/// prefix-then-rest yields the identical command sequence.
+#[test]
+fn every_split_point_resumes() {
+    let script: &[u8] = b"get alpha\r\n\
+        gets k1 k2 k3\r\n\
+        set store 7 0 6\r\nab\r\ncd\r\n\
+        set tiny 0 -1 1 noreply\r\nZ\r\n\
+        version\r\n\
+        get zz9\r\n\
+        quit\r\n";
+    let (want, want_cmds, want_errs) = drain_commands(script);
+    assert_eq!(want_cmds, 7);
+    assert_eq!(want_errs, 0);
+    let lim = limits();
+    for split in 0..=script.len() {
+        let mut got = Vec::new();
+        let mut got_cmds = 0;
+        let mut pending = Vec::new();
+        for chunk in [&script[..split], &script[split..]] {
+            pending.extend_from_slice(chunk);
+            let mut off = 0;
+            loop {
+                match parse_command(&pending[off..], &lim) {
+                    ParseOutcome::Cmd(cmd, n) => {
+                        encode_command(&mut got, &cmd);
+                        got_cmds += 1;
+                        off += n;
+                    }
+                    ParseOutcome::Error(_, n) => off += n,
+                    ParseOutcome::Incomplete | ParseOutcome::Fatal(_) => break,
+                }
+            }
+            pending.drain(..off);
+        }
+        assert_eq!(got_cmds, want_cmds, "split at {split}");
+        assert_eq!(got, want, "split at {split}");
+    }
+}
+
+/// Recoverable errors leave the parser aligned on the next frame: an
+/// error line followed by a valid command parses the valid command.
+#[test]
+fn errors_recover_to_next_frame() {
+    let script = b"bogus cmd\r\nget ok\r\n";
+    let (reencoded, cmds, errs) = drain_commands(script);
+    assert_eq!((cmds, errs), (1, 1));
+    assert_eq!(reencoded, b"get ok\r\n");
+}
+
+// ---------------------------------------------------------------------
+// Deep generative sweeps — the scheduled CI job runs these with
+// `cargo test -- --ignored`; too slow for the per-push gate.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20_000))]
+
+    /// Deep robustness sweep: uniform bytes.
+    #[test]
+    #[ignore = "deep generative sweep; run via the scheduled CI job"]
+    fn deep_arbitrary_bytes_are_safe(buf in prop::collection::vec(any::<u8>(), 0..1024)) {
+        drain_commands(&buf);
+    }
+
+    /// Deep robustness sweep: protocol-biased soup.
+    #[test]
+    #[ignore = "deep generative sweep; run via the scheduled CI job"]
+    fn deep_biased_bytes_are_safe(seed in prop::collection::vec(any::<u8>(), 0..128)) {
+        drain_commands(&biased_soup(&seed));
+    }
+
+    /// Deep roundtrip sweep with larger values.
+    #[test]
+    #[ignore = "deep generative sweep; run via the scheduled CI job"]
+    fn deep_valid_commands_roundtrip(
+        kind in any::<u8>(),
+        key_seed in prop::collection::vec(any::<u8>(), 1..250),
+        flags in any::<u32>(),
+        exptime in -1_000_000i64..10_000_000,
+        data in prop::collection::vec(any::<u8>(), 0..4096),
+        noreply in any::<u8>(),
+    ) {
+        let encoded = gen_command(kind, &key_seed, (flags, exptime), &data, noreply % 2 == 0);
+        let (reencoded, cmds, errs) = drain_commands(&encoded);
+        prop_assert_eq!(errs, 0);
+        prop_assert_eq!(cmds, 1);
+        prop_assert_eq!(reencoded, encoded);
+    }
+}
+
+/// Deep exhaustive split sweep: every split point of a longer script
+/// (also exercised pairwise: two simultaneous boundaries).
+#[test]
+#[ignore = "deep generative sweep; run via the scheduled CI job"]
+fn deep_every_split_pair_resumes() {
+    let script: &[u8] =
+        b"set a 1 0 3\r\nxyz\r\nget a\r\ngets a b\r\nset b 2 -1 4 noreply\r\nwx\r\n\r\nversion\r\n";
+    let (want, want_cmds, _) = drain_commands(script);
+    let lim = limits();
+    for s1 in 0..=script.len() {
+        for s2 in s1..=script.len() {
+            let mut got = Vec::new();
+            let mut got_cmds = 0;
+            let mut pending = Vec::new();
+            for chunk in [&script[..s1], &script[s1..s2], &script[s2..]] {
+                pending.extend_from_slice(chunk);
+                let mut off = 0;
+                loop {
+                    match parse_command(&pending[off..], &lim) {
+                        ParseOutcome::Cmd(cmd, n) => {
+                            encode_command(&mut got, &cmd);
+                            got_cmds += 1;
+                            off += n;
+                        }
+                        ParseOutcome::Error(_, n) => off += n,
+                        ParseOutcome::Incomplete | ParseOutcome::Fatal(_) => break,
+                    }
+                }
+                pending.drain(..off);
+            }
+            assert_eq!(got_cmds, want_cmds, "splits at {s1},{s2}");
+            assert_eq!(got, want, "splits at {s1},{s2}");
+        }
+    }
+}
+
+/// Fatal outcomes never lie about recoverability, and `Command::Get`'s
+/// key iterator agrees with its count (used for dispatch sizing).
+#[test]
+fn fatal_is_fatal_and_counts_agree() {
+    let lim = limits();
+    match parse_command(b"set k 0 0 99999999\r\n", &lim) {
+        ParseOutcome::Fatal(e) => assert!(!e.recoverable()),
+        other => panic!("{other:?}"),
+    }
+    match parse_command(b"gets one two three\r\n", &lim) {
+        ParseOutcome::Cmd(Command::Get { keys, .. }, _) => {
+            assert_eq!(keys.count(), keys.iter().count());
+            assert_eq!(keys.count(), 3);
+        }
+        other => panic!("{other:?}"),
+    }
+}

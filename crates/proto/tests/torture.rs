@@ -1,0 +1,226 @@
+//! Malformed-input torture: raw byte streams a well-behaved client
+//! never sends — oversized keys and values, unknown verbs, truncated
+//! `set` bodies, unbounded lines, mid-command disconnects — must get
+//! the documented `ERROR`/`CLIENT_ERROR`/`SERVER_ERROR` replies (or a
+//! close, when the next frame boundary is unknowable) without wedging
+//! a connection worker, leaking an in-flight engine op, or poisoning
+//! the server for the *next* connection.
+
+use nemo_core::{Nemo, NemoConfig};
+use nemo_flash::{AnyFlash, Geometry};
+use nemo_proto::{map_key, synth_value, ClockMode, Limits, Server, ServerConfig};
+use nemo_service::{DeviceBackend, ShardedCacheBuilder};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start_server() -> Server<Nemo<AnyFlash>> {
+    let mut cfg = NemoConfig::new(Geometry::new(4096, 256, 16, 8));
+    cfg.flush_threshold = 4;
+    cfg.expected_objects_per_set = 16;
+    cfg.index_group_sgs = 8;
+    let cache = ShardedCacheBuilder::new(2)
+        .spawn(cfg.factory_on(DeviceBackend::Modeled.device_factory("torture")));
+    Server::start(
+        cache,
+        ServerConfig {
+            conn_workers: 2,
+            clock: ClockMode::Wall,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server")
+}
+
+fn connect(server: &Server<Nemo<AnyFlash>>) -> TcpStream {
+    let s = TcpStream::connect(server.local_addr()).expect("connect");
+    s.set_nodelay(true).expect("nodelay");
+    s.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    s
+}
+
+/// Reads until `want` has arrived (or the read times out / EOFs, which
+/// fails the assertion with whatever did arrive).
+fn expect_reply(stream: &mut TcpStream, want: &[u8]) {
+    let mut got = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while got.len() < want.len() {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => got.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!(
+                "read failed ({e}) waiting for {:?}; got {:?}",
+                String::from_utf8_lossy(want),
+                String::from_utf8_lossy(&got)
+            ),
+        }
+    }
+    assert_eq!(
+        String::from_utf8_lossy(&got),
+        String::from_utf8_lossy(want),
+        "unexpected reply"
+    );
+}
+
+/// What the server sends for a hit on `key` whose stored value length
+/// is `vlen`: the modeled store keeps sizes, not bytes, so the VALUE
+/// body is the deterministic synthesized pattern for the engine key.
+fn expected_value_block(key: &str, flags: u32, vlen: usize) -> Vec<u8> {
+    let mut want = format!("VALUE {key} {flags} {vlen}\r\n").into_bytes();
+    synth_value(&mut want, map_key(key.as_bytes()), vlen);
+    want.extend_from_slice(b"\r\nEND\r\n");
+    want
+}
+
+/// Reads to EOF, asserting the connection was closed by the server and
+/// that everything sent first equals `want`.
+fn expect_reply_then_close(stream: &mut TcpStream, want: &str) {
+    let want = want.as_bytes();
+    let mut got = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => got.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!(
+                "read failed ({e}) waiting for close; got {:?}",
+                String::from_utf8_lossy(&got)
+            ),
+        }
+    }
+    assert_eq!(
+        String::from_utf8_lossy(&got),
+        String::from_utf8_lossy(want),
+        "unexpected pre-close bytes"
+    );
+}
+
+/// A full set+get round trip — the "is the server still alive and
+/// correct" probe run after every abuse.
+fn probe_roundtrip(server: &Server<Nemo<AnyFlash>>, key: &str, val: &[u8]) {
+    let mut s = connect(server);
+    let mut msg = format!("set {key} 7 0 {}\r\n", val.len()).into_bytes();
+    msg.extend_from_slice(val);
+    msg.extend_from_slice(b"\r\n");
+    s.write_all(&msg).expect("write set");
+    expect_reply(&mut s, b"STORED\r\n");
+    s.write_all(format!("get {key}\r\n").as_bytes())
+        .expect("write get");
+    expect_reply(&mut s, &expected_value_block(key, 7, val.len()));
+    s.write_all(b"quit\r\n").expect("write quit");
+    let mut rest = Vec::new();
+    s.read_to_end(&mut rest).expect("drain");
+    assert!(rest.is_empty(), "bytes after quit: {rest:?}");
+}
+
+#[test]
+fn recoverable_garbage_gets_errors_and_the_connection_survives() {
+    let server = start_server();
+    let mut s = connect(&server);
+
+    // Unknown verb: ERROR, keep going.
+    s.write_all(b"frobnicate now\r\n").expect("write");
+    expect_reply(&mut s, b"ERROR\r\n");
+
+    // get with no keys: malformed but line-delimited, keep going.
+    s.write_all(b"get\r\n").expect("write");
+    expect_reply(&mut s, b"CLIENT_ERROR bad command line format\r\n");
+
+    // Oversized key: recoverable (the line was delimited).
+    let fat_key = "k".repeat(Limits::default().max_key_len + 1);
+    s.write_all(format!("get {fat_key}\r\n").as_bytes())
+        .expect("write");
+    expect_reply(
+        &mut s,
+        b"CLIENT_ERROR bad command line format: key too long\r\n",
+    );
+
+    // set with a garbage byte count: recoverable.
+    s.write_all(b"set k 0 0 banana\r\n").expect("write");
+    expect_reply(&mut s, b"CLIENT_ERROR bad command line format\r\n");
+
+    // The same connection still does real work afterwards.
+    s.write_all(b"set alive 0 0 2\r\nok\r\n").expect("write");
+    expect_reply(&mut s, b"STORED\r\n");
+    s.write_all(b"get alive\r\n").expect("write");
+    expect_reply(&mut s, &expected_value_block("alive", 0, 2));
+    drop(s);
+
+    probe_roundtrip(&server, "post-recoverable", b"fine");
+    let report = server.finish();
+    assert_eq!(report.proto.protocol_errors, 4);
+    assert_eq!(report.proto.fatal_errors, 0);
+    assert_eq!(report.proto.connections, report.proto.connections_closed);
+}
+
+#[test]
+fn fatal_garbage_closes_the_connection_but_not_the_server() {
+    let server = start_server();
+
+    // Oversized value: the body length is known but unacceptable;
+    // draining it is unbounded buffering, so the server replies and
+    // closes.
+    let mut s = connect(&server);
+    let huge = Limits::default().max_value_len + 1;
+    s.write_all(format!("set k 0 0 {huge}\r\n").as_bytes())
+        .expect("write");
+    expect_reply_then_close(&mut s, "SERVER_ERROR object too large for cache\r\n");
+
+    // A line that never ends: close once it exceeds the line cap.
+    let mut s = connect(&server);
+    s.write_all(&vec![b'x'; Limits::default().max_line_len + 100])
+        .expect("write");
+    expect_reply_then_close(&mut s, "CLIENT_ERROR line too long\r\n");
+
+    // A set whose data chunk is not CRLF-terminated: framing is lost.
+    let mut s = connect(&server);
+    s.write_all(b"set k 0 0 4\r\nabcdXY").expect("write");
+    expect_reply_then_close(&mut s, "CLIENT_ERROR bad data chunk\r\n");
+
+    probe_roundtrip(&server, "post-fatal", b"fine");
+    let report = server.finish();
+    assert_eq!(report.proto.fatal_errors, 3);
+    assert_eq!(report.proto.connections, report.proto.connections_closed);
+    // The probe's set+get reached the engines; the garbage did not.
+    assert_eq!(report.report.stats.gets, 1);
+    assert_eq!(report.report.stats.hits, 1);
+}
+
+#[test]
+fn mid_command_disconnects_do_not_wedge_workers() {
+    let server = start_server();
+
+    // Truncated set body, then vanish.
+    let mut s = connect(&server);
+    s.write_all(b"set trunc 0 0 1000\r\npartial data")
+        .expect("write");
+    drop(s);
+
+    // Vanish mid command line.
+    let mut s = connect(&server);
+    s.write_all(b"get half-a-comm").expect("write");
+    drop(s);
+
+    // Vanish with a pipelined burst in flight: every op the server
+    // parsed must complete against the engines even though nobody is
+    // left to read the replies.
+    let mut s = connect(&server);
+    let mut burst = Vec::new();
+    for i in 0..64 {
+        burst.extend_from_slice(format!("set burst{i} 0 0 3\r\nabc\r\n").as_bytes());
+        burst.extend_from_slice(format!("get burst{i}\r\n").as_bytes());
+    }
+    s.write_all(&burst).expect("write");
+    drop(s);
+
+    // With 2 workers and 3 abusive connections served to completion,
+    // a wedged worker would leave the probe stuck in the accept queue
+    // (its 5s read timeout fails the test).
+    probe_roundtrip(&server, "post-disconnect", b"fine");
+    let report = server.finish();
+    assert_eq!(report.proto.connections, report.proto.connections_closed);
+    assert_eq!(report.proto.protocol_errors, 0);
+    // No half-applied burst: sets and gets that parsed fully ran.
+    assert!(report.report.stats.puts >= 1, "probe put missing");
+}

@@ -84,4 +84,6 @@ pub use backend::DeviceBackend;
 pub use openloop::{OpenLoopConfig, OpenLoopReplay, OpenLoopResult};
 pub use restart::checkpoint_fleet;
 pub use routing::shard_of;
-pub use sharded::{Completion, CompletionKind, ShardedCache, ShardedCacheBuilder, ShardedReport};
+pub use sharded::{
+    Completion, CompletionKind, Dispatcher, ShardedCache, ShardedCacheBuilder, ShardedReport,
+};

@@ -93,6 +93,16 @@ enum Command {
         seq: u64,
         reply: Sender<Completion>,
     },
+    /// Open-loop lookup *without* demand fill: a miss stays a miss. This
+    /// is the wire-protocol get — a memcached client decides for itself
+    /// whether to `set` after a miss, so the cache must not insert on
+    /// its behalf.
+    TimedLookup {
+        key: u64,
+        arrival: Nanos,
+        seq: u64,
+        reply: Sender<Completion>,
+    },
     Drain {
         now: Nanos,
         reply: Sender<()>,
@@ -425,6 +435,28 @@ fn apply_command<E: CacheEngine>(
                 kind: CompletionKind::Put,
             });
         }
+        Command::TimedLookup {
+            key,
+            arrival,
+            seq,
+            reply,
+        } => {
+            let start = window.admit(arrival);
+            let out = engine.get(key, start);
+            let done = out.done_at;
+            window.complete(done);
+            run_background(engine, done, tuning.background_slices);
+            let _ = reply.send(Completion {
+                seq,
+                arrival,
+                start,
+                done,
+                kind: CompletionKind::Get {
+                    hit: out.hit,
+                    set_reads: out.set_reads,
+                },
+            });
+        }
         Command::Drain { now, reply } => {
             engine.drain(now);
             let _ = reply.send(());
@@ -445,6 +477,85 @@ fn run_background<E: CacheEngine>(engine: &mut E, now: Nanos, slices: u32) {
             break;
         }
         engine.background_slice(now);
+    }
+}
+
+/// A cloneable, thread-safe dispatch handle onto a shard fleet, for
+/// callers that drive the fleet from many threads at once — the wire
+/// front-end in `nemo-proto` hands one to every connection handler.
+///
+/// [`ShardedCache`] itself is deliberately not `Sync` (its fire-and-
+/// forget put buffers are single-dispatcher state); this handle carries
+/// only the shard senders, so clones dispatch concurrently without
+/// locks. Sends block when the owning shard's bounded command queue is
+/// full, which is the service backpressure a connection handler wants:
+/// an overloaded shard stalls its connections instead of buffering
+/// unboundedly.
+///
+/// Ordering: commands from one `Dispatcher` clone are applied in send
+/// order per shard. Interleaving *across* clones is whatever the
+/// threads race to — callers needing a deterministic global order must
+/// dispatch from a single thread. A `Dispatcher` bypasses the owning
+/// handle's buffered [`ShardedCache::put_and_forget`] batches; don't
+/// mix the two paths while dispatching, or shard order between them is
+/// unspecified.
+#[derive(Debug, Clone)]
+pub struct Dispatcher {
+    senders: Vec<SyncSender<Command>>,
+}
+
+impl Dispatcher {
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard a key routes to.
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_of(key, self.senders.len())
+    }
+
+    fn send(&self, shard: usize, cmd: Command) {
+        self.senders[shard].send(cmd).expect("shard worker alive");
+    }
+
+    /// Dispatches an open-loop lookup *without* demand fill: the worker
+    /// admits it through the in-flight window, services it, and reports
+    /// a [`Completion`] on `reply`; a miss leaves the cache untouched.
+    /// This is the wire-protocol `get` path — whether to insert after a
+    /// miss is the remote client's call, not the cache's.
+    pub fn dispatch_lookup(&self, key: u64, arrival: Nanos, seq: u64, reply: &Sender<Completion>) {
+        self.send(
+            self.shard_of(key),
+            Command::TimedLookup {
+                key,
+                arrival,
+                seq,
+                reply: reply.clone(),
+            },
+        );
+    }
+
+    /// Dispatches an open-loop insert; the counterpart of
+    /// [`Self::dispatch_lookup`]. See [`ShardedCache::dispatch_put`].
+    pub fn dispatch_put(
+        &self,
+        key: u64,
+        size: u32,
+        arrival: Nanos,
+        seq: u64,
+        reply: &Sender<Completion>,
+    ) {
+        self.send(
+            self.shard_of(key),
+            Command::TimedPut {
+                key,
+                size,
+                arrival,
+                seq,
+                reply: reply.clone(),
+            },
+        );
     }
 }
 
@@ -630,6 +741,17 @@ impl<E: CacheEngine + 'static> ShardedCache<E> {
                 reply: reply.clone(),
             },
         );
+    }
+
+    /// A cloneable, thread-safe [`Dispatcher`] onto this fleet, for
+    /// driving the shards from many threads at once. Buffered
+    /// fire-and-forget puts are shipped first so dispatched commands
+    /// can't overtake them.
+    pub fn dispatcher(&self) -> Dispatcher {
+        self.flush_puts();
+        Dispatcher {
+            senders: self.senders.clone(),
+        }
     }
 
     /// Fire-and-forget insert: buffered locally and shipped to the owning
@@ -884,6 +1006,53 @@ mod tests {
     #[should_panic(expected = "shard count must be positive")]
     fn zero_shards_panics() {
         ShardedCacheBuilder::new(0);
+    }
+
+    #[test]
+    fn dispatcher_lookup_does_not_demand_fill() {
+        let cache = small_sharded(2);
+        let dispatcher = cache.dispatcher();
+        let (tx, rx) = channel();
+        dispatcher.dispatch_lookup(42, Nanos::ZERO, 1, &tx);
+        let c = rx.recv().unwrap();
+        assert_eq!(c.seq, 1);
+        assert!(matches!(c.kind, CompletionKind::Get { hit: false, .. }));
+        // The miss must not have inserted anything (unlike dispatch_get).
+        let stats = cache.stats();
+        assert_eq!(stats.gets, 1);
+        assert_eq!(stats.puts, 0);
+        // A put through the dispatcher, then a hit.
+        dispatcher.dispatch_put(42, 200, Nanos::ZERO, 2, &tx);
+        assert!(matches!(rx.recv().unwrap().kind, CompletionKind::Put));
+        dispatcher.dispatch_lookup(42, Nanos::ZERO, 3, &tx);
+        assert!(matches!(
+            rx.recv().unwrap().kind,
+            CompletionKind::Get { hit: true, .. }
+        ));
+    }
+
+    #[test]
+    fn dispatcher_clones_share_the_fleet_across_threads() {
+        let cache = small_sharded(4);
+        let dispatcher = cache.dispatcher();
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let d = dispatcher.clone();
+                std::thread::spawn(move || {
+                    let (tx, rx) = channel();
+                    for i in 0..100u64 {
+                        d.dispatch_put(t * 1000 + i, 180, Nanos::ZERO, i, &tx);
+                    }
+                    for _ in 0..100 {
+                        rx.recv().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.stats().puts, 400);
     }
 
     #[test]

@@ -39,6 +39,8 @@ pub use nemo_engine as engine;
 pub use nemo_flash as flash;
 /// Measurement utilities.
 pub use nemo_metrics as metrics;
+/// The memcached-text wire front-end.
+pub use nemo_proto as proto;
 /// The sharded concurrent front-end.
 pub use nemo_service as service;
 /// The replay harness.
