@@ -25,7 +25,8 @@ use crate::hset::{HsetRegion, SetWriteKind};
 use crate::SET_SALT;
 use nemo_bloom::BloomFilter;
 use nemo_engine::codec::{self, PageBuf, MIN_OBJECT_SIZE};
-use nemo_engine::{CacheEngine, EngineStats, GetOutcome, MemoryBreakdown};
+use nemo_engine::retry::{backoff, retry_transient};
+use nemo_engine::{CacheEngine, EngineError, EngineStats, GetOutcome, MemoryBreakdown};
 use nemo_flash::{Geometry, LatencyModel, Nanos, SimFlash, ZonedFlash};
 use nemo_metrics::DiscreteCdf;
 use nemo_util::hash_u64;
@@ -281,17 +282,40 @@ impl<D: ZonedFlash> FairyWren<D> {
 
     // --- core mechanics ---------------------------------------------------
 
+    /// Folds zones retired by the set region into the engine's counters.
+    fn sync_retired(&mut self) {
+        self.stats.quarantined_zones += self.hset.take_retired();
+    }
+
     /// Rewrites `set` merged with `incoming` objects; displaced hot objects
     /// from cold sets move to the hot partner's staging.
-    fn rmw_set(&mut self, set: u64, incoming: &[(u64, u32)], kind: SetWriteKind, now: Nanos) {
+    fn rmw_set(
+        &mut self,
+        set: u64,
+        incoming: &[(u64, u32)],
+        kind: SetWriteKind,
+        now: Nanos,
+    ) -> Result<(), EngineError> {
         let page_size = self.dev.geometry().page_size() as usize;
         let mut entries: Vec<(u64, u32)> = match self.hset.location(set) {
             Some(addr) => {
-                self.dev
-                    .read_pages_into(addr, 1, &mut self.read_buf, now)
-                    .expect("set read");
-                self.stats.flash_bytes_read += self.read_buf.len() as u64;
-                codec::parse_entries(&self.read_buf).collect()
+                let dev = &mut self.dev;
+                let retries = &mut self.stats.device_retries;
+                let buf = &mut self.read_buf;
+                if retry_transient(retries, |attempt| {
+                    dev.read_pages_into(addr, 1, buf, backoff(now, attempt))
+                })
+                .is_ok()
+                {
+                    self.stats.flash_bytes_read += self.read_buf.len() as u64;
+                    codec::parse_entries(&self.read_buf).collect()
+                } else {
+                    // Old copy unreadable: retire its zone and rebuild the
+                    // set from the incoming objects alone.
+                    self.hset.retire_zone(&self.dev, addr.zone);
+                    self.sync_retired();
+                    Vec::new()
+                }
             }
             None => Vec::new(),
         };
@@ -323,7 +347,15 @@ impl<D: ZonedFlash> FairyWren<D> {
             debug_assert!(pushed);
         }
         let bytes = page.finish();
-        self.hset.append_set(&mut self.dev, set, &bytes, now);
+        let appended = self.hset.append_set(
+            &mut self.dev,
+            set,
+            &bytes,
+            now,
+            &mut self.stats.device_retries,
+        );
+        self.sync_retired();
+        appended.map_err(|e| EngineError::device("rewriting a set", e))?;
         self.stats.flash_bytes_written += bytes.len() as u64;
         self.maybe_cool(bytes.len() as u64);
         self.objects_in_sets = self.objects_in_sets + entries.len() as u64 - old_count;
@@ -344,11 +376,12 @@ impl<D: ZonedFlash> FairyWren<D> {
             bf.insert(key);
         }
         self.filters[set as usize] = bf;
+        Ok(())
     }
 
     /// Rewrites hot sets whose staging buffer reached page capacity.
     /// Must not run inside a GC pass (it allocates frontier space).
-    fn flush_ready_hot_sets(&mut self, now: Nanos) {
+    fn flush_ready_hot_sets(&mut self, now: Nanos) -> Result<(), EngineError> {
         debug_assert!(!self.in_gc, "hot-set flush inside GC");
         let page_size = self.dev.geometry().page_size() as usize;
         let ready: Vec<u64> = self
@@ -363,23 +396,33 @@ impl<D: ZonedFlash> FairyWren<D> {
             if staged.is_empty() {
                 continue;
             }
-            self.gc_if_needed(now);
-            self.rmw_set(hot, &staged, SetWriteKind::Relocation, now);
+            self.gc_if_needed(now)?;
+            self.rmw_set(hot, &staged, SetWriteKind::Relocation, now)?;
         }
+        Ok(())
     }
 
     /// Folded GC (Case 3.2): rewrite each valid set in the victim zone
     /// merged with its pending log chain. Re-entrant calls are no-ops.
-    fn gc_if_needed(&mut self, now: Nanos) {
+    fn gc_if_needed(&mut self, now: Nanos) -> Result<(), EngineError> {
         if self.in_gc {
-            return;
+            return Ok(());
         }
         self.in_gc = true;
+        let result = self.gc_pass(now);
+        self.in_gc = false;
+        result
+        // Hot-set staging accumulated during the pass is flushed by the
+        // next `put` (the only non-re-entrant call site).
+    }
+
+    fn gc_pass(&mut self, now: Nanos) -> Result<(), EngineError> {
         while self.hset.needs_gc(&self.dev) {
-            let victim = self
-                .hset
-                .victim(&self.dev)
-                .expect("full zones must exist when GC is needed");
+            // No collectible zone under GC pressure: let the next append
+            // surface the exhaustion as a fatal error.
+            let Some(victim) = self.hset.victim(&self.dev) else {
+                break;
+            };
             assert!(
                 self.hset.valid_count(victim) < self.dev.geometry().pages_per_zone(),
                 "set region overcommitted: every zone fully valid"
@@ -397,19 +440,19 @@ impl<D: ZonedFlash> FairyWren<D> {
                     self.hot_staged_bytes.remove(&set);
                     staged
                 };
-                self.rmw_set(set, &incoming, SetWriteKind::Active, now);
+                self.rmw_set(set, &incoming, SetWriteKind::Active, now)?;
             }
-            self.hset.release_zone(&mut self.dev, victim, now);
+            self.hset
+                .release_zone(&mut self.dev, victim, now, &mut self.stats.device_retries);
+            self.sync_retired();
         }
-        self.in_gc = false;
-        // Hot-set staging accumulated during the pass is flushed by the
-        // next `put` (the only non-re-entrant call site).
+        Ok(())
     }
 
     /// Passive migration (Case 2): reclaim the oldest log zone.
-    fn migrate_log_zone(&mut self, now: Nanos) {
+    fn migrate_log_zone(&mut self, now: Nanos) -> Result<(), EngineError> {
         let Some(victim) = self.log.oldest_full_zone(&self.dev) else {
-            return;
+            return Ok(());
         };
         for set in self.log.sets_touching(victim) {
             let objs: Vec<(u64, u32)> = self
@@ -421,21 +464,45 @@ impl<D: ZonedFlash> FairyWren<D> {
             if objs.is_empty() {
                 continue;
             }
-            self.gc_if_needed(now);
-            self.rmw_set(set, &objs, SetWriteKind::Passive, now);
+            self.gc_if_needed(now)?;
+            self.rmw_set(set, &objs, SetWriteKind::Passive, now)?;
         }
-        self.log.release_zone(&mut self.dev, victim, now);
+        self.log
+            .release_zone(&mut self.dev, victim, now, &mut self.stats.device_retries)
+            .map_err(|e| EngineError::device("resetting a log zone", e))?;
+        Ok(())
     }
 
-    fn probe_set(&mut self, set: u64, key: u64, now: Nanos) -> Option<GetOutcome> {
+    /// Probes one set page; read failures flag `faulted` and report
+    /// "not found" so the caller can fall through, and a *permanently*
+    /// unreadable zone is retired (transient bursts keep the capacity).
+    fn probe_set(
+        &mut self,
+        set: u64,
+        key: u64,
+        now: Nanos,
+        faulted: &mut bool,
+    ) -> Option<GetOutcome> {
         if !self.filters[set as usize].contains(key) {
             return None;
         }
         let addr = self.hset.location(set)?;
-        let done = self
-            .dev
-            .read_pages_into(addr, 1, &mut self.read_buf, now)
-            .expect("set read");
+        let dev = &mut self.dev;
+        let retries = &mut self.stats.device_retries;
+        let buf = &mut self.read_buf;
+        let done = match retry_transient(retries, |attempt| {
+            dev.read_pages_into(addr, 1, buf, backoff(now, attempt))
+        }) {
+            Ok(done) => done,
+            Err(e) => {
+                if !e.is_transient() {
+                    self.hset.retire_zone(&self.dev, addr.zone);
+                    self.sync_retired();
+                }
+                *faulted = true;
+                return None;
+            }
+        };
         self.stats.flash_bytes_read += self.read_buf.len() as u64;
         self.stats.candidate_reads += 1;
         if codec::find_payload(&self.read_buf, key).is_some() {
@@ -461,28 +528,37 @@ impl<D: ZonedFlash + Send> CacheEngine for FairyWren<D> {
         "fairywren"
     }
 
-    fn get(&mut self, key: u64, now: Nanos) -> GetOutcome {
+    fn try_get(&mut self, key: u64, now: Nanos) -> Result<GetOutcome, EngineError> {
         self.stats.gets += 1;
         let cold = self.cold_set_of(key);
         // 1. Log tier.
         if let Some(obj) = self.log.lookup(cold, key) {
-            self.stats.hits += 1;
-            self.mark_hot(key);
             return match obj.addr {
-                None => GetOutcome::memory_hit(now),
+                None => {
+                    self.stats.hits += 1;
+                    self.mark_hot(key);
+                    Ok(GetOutcome::memory_hit(now))
+                }
                 Some(addr) => {
-                    let done = self
-                        .dev
-                        .read_pages_into(addr, 1, &mut self.read_buf, now)
-                        .expect("log page read");
+                    let dev = &mut self.dev;
+                    let retries = &mut self.stats.device_retries;
+                    let buf = &mut self.read_buf;
+                    let Ok(done) = retry_transient(retries, |attempt| {
+                        dev.read_pages_into(addr, 1, buf, backoff(now, attempt))
+                    }) else {
+                        self.stats.fault_induced_misses += 1;
+                        return Ok(GetOutcome::memory_miss(now));
+                    };
+                    self.stats.hits += 1;
+                    self.mark_hot(key);
                     self.stats.flash_bytes_read += self.read_buf.len() as u64;
                     self.stats.candidate_reads += 1;
-                    GetOutcome {
+                    Ok(GetOutcome {
                         hit: true,
                         done_at: done,
                         flash_reads: 1,
                         set_reads: 1,
-                    }
+                    })
                 }
             };
         }
@@ -495,48 +571,62 @@ impl<D: ZonedFlash + Send> CacheEngine for FairyWren<D> {
         {
             self.stats.hits += 1;
             self.mark_hot(key);
-            return GetOutcome::memory_hit(now);
+            return Ok(GetOutcome::memory_hit(now));
         }
         // 3. Cold set, then hot partner set.
         let mut reads = 0;
         let mut latest = now;
+        let mut faulted = false;
         for set in [cold, hot] {
-            if let Some(out) = self.probe_set(set, key, now) {
+            if let Some(out) = self.probe_set(set, key, now, &mut faulted) {
                 reads += out.flash_reads;
                 latest = latest.max(out.done_at);
                 if out.hit {
                     self.stats.hits += 1;
                     self.mark_hot(key);
-                    return GetOutcome {
+                    return Ok(GetOutcome {
                         hit: true,
                         done_at: latest,
                         flash_reads: reads,
                         set_reads: reads,
-                    };
+                    });
                 }
             }
         }
-        GetOutcome {
+        if faulted {
+            self.stats.fault_induced_misses += 1;
+        }
+        Ok(GetOutcome {
             hit: false,
             done_at: latest,
             flash_reads: reads,
             set_reads: reads,
-        }
+        })
     }
 
-    fn put(&mut self, key: u64, size: u32, now: Nanos) -> Nanos {
+    fn try_put(&mut self, key: u64, size: u32, now: Nanos) -> Result<Nanos, EngineError> {
         let size = size.max(MIN_OBJECT_SIZE);
         self.stats.puts += 1;
         self.stats.logical_bytes += size as u64;
         let cold = self.cold_set_of(key);
         while self.log.must_reclaim_before(&self.dev, size) {
-            self.migrate_log_zone(now);
+            self.migrate_log_zone(now)?;
         }
-        let ins = self.log.insert(&mut self.dev, cold, key, size, now);
+        let ins = self
+            .log
+            .insert(
+                &mut self.dev,
+                cold,
+                key,
+                size,
+                now,
+                &mut self.stats.device_retries,
+            )
+            .map_err(|e| EngineError::device("appending to the hierarchical log", e))?;
         self.stats.flash_bytes_written += ins.flushed_bytes;
         self.maybe_cool(ins.flushed_bytes);
-        self.flush_ready_hot_sets(now);
-        ins.done_at
+        self.flush_ready_hot_sets(now)?;
+        Ok(ins.done_at)
     }
 
     fn stats(&self) -> EngineStats {
@@ -561,8 +651,13 @@ impl<D: ZonedFlash + Send> CacheEngine for FairyWren<D> {
     }
 
     fn drain(&mut self, now: Nanos) {
-        let ins = self.log.flush(&mut self.dev, now);
-        self.stats.flash_bytes_written += ins.flushed_bytes;
+        match self
+            .log
+            .flush(&mut self.dev, now, &mut self.stats.device_retries)
+        {
+            Ok(ins) => self.stats.flash_bytes_written += ins.flushed_bytes,
+            Err(e) => panic!("engine failed fatally on drain: {e}"),
+        }
     }
 }
 

@@ -6,7 +6,8 @@
 //! `E(L_i)` of the paper's §3.2 model.
 
 use nemo_engine::codec::PageBuf;
-use nemo_flash::{Nanos, PageAddr, ZoneId, ZoneState, ZonedFlash};
+use nemo_engine::retry::{backoff, retry_transient};
+use nemo_flash::{FlashError, Nanos, PageAddr, ZoneId, ZoneState, ZonedFlash};
 use std::collections::{HashMap, HashSet};
 
 /// One object living in the log.
@@ -127,6 +128,14 @@ impl HierLog {
 
     /// Inserts an object bound for `set`.
     ///
+    /// Transient device errors are retried (counted into `retries`); a
+    /// permanent append failure is fatal for the log ring and is returned
+    /// to the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns the device error when a buffer flush fails permanently.
+    ///
     /// # Panics
     ///
     /// Panics if the log is out of space — call
@@ -138,13 +147,14 @@ impl HierLog {
         key: u64,
         size: u32,
         now: Nanos,
-    ) -> LogInsert {
+        retries: &mut u64,
+    ) -> Result<LogInsert, FlashError> {
         let mut result = LogInsert {
             done_at: now,
             flushed_bytes: 0,
         };
         if (size as usize) > self.page.remaining() {
-            let flushed = self.flush(dev, now);
+            let flushed = self.flush(dev, now, retries)?;
             result.done_at = flushed.done_at;
             result.flushed_bytes = flushed.flushed_bytes;
         }
@@ -165,16 +175,27 @@ impl HierLog {
         });
         self.objects += 1;
         self.bytes += size as u64;
-        result
+        Ok(result)
     }
 
     /// Flushes the write buffer to flash (no-op when empty).
-    pub fn flush<D: ZonedFlash>(&mut self, dev: &mut D, now: Nanos) -> LogInsert {
+    ///
+    /// # Errors
+    ///
+    /// Returns the device error when the append fails permanently; the
+    /// buffered objects are lost and the log ring can no longer accept
+    /// writes (callers treat this as a fatal engine error).
+    pub fn flush<D: ZonedFlash>(
+        &mut self,
+        dev: &mut D,
+        now: Nanos,
+        retries: &mut u64,
+    ) -> Result<LogInsert, FlashError> {
         if self.page.is_empty() {
-            return LogInsert {
+            return Ok(LogInsert {
                 done_at: now,
                 flushed_bytes: 0,
-            };
+            });
         }
         let ppz = dev.geometry().pages_per_zone();
         if dev.write_pointer(ZoneId(self.zone_ids[self.open_idx])) >= ppz {
@@ -188,9 +209,9 @@ impl HierLog {
         let zone = self.zone_ids[self.open_idx];
         let page = std::mem::replace(&mut self.page, PageBuf::new(self.page_size));
         let bytes = page.finish();
-        let (addr, done) = dev
-            .append(ZoneId(zone), &bytes, now)
-            .expect("log zone append");
+        let (addr, done) = retry_transient(retries, |attempt| {
+            dev.append(ZoneId(zone), &bytes, backoff(now, attempt))
+        })?;
         // Bind buffered objects that are still live to their flash address
         // and remember which sets now have data in this zone.
         let zone_set = self.zone_sets.entry(zone).or_default();
@@ -203,10 +224,10 @@ impl HierLog {
                 zone_set.insert(set);
             }
         }
-        LogInsert {
+        Ok(LogInsert {
             done_at: done,
             flushed_bytes: bytes.len() as u64,
-        }
+        })
     }
 
     /// Sets that may still have live objects in `zone`.
@@ -234,10 +255,22 @@ impl HierLog {
 
     /// Resets a fully migrated zone and forgets its bookkeeping.
     ///
+    /// # Errors
+    ///
+    /// Returns the device error when the reset fails permanently; the
+    /// zone can never be reused, so the ring is wedged (callers treat
+    /// this as a fatal engine error).
+    ///
     /// # Panics
     ///
     /// Panics (in debug builds) if live objects still point into the zone.
-    pub fn release_zone<D: ZonedFlash>(&mut self, dev: &mut D, zone: u32, now: Nanos) -> Nanos {
+    pub fn release_zone<D: ZonedFlash>(
+        &mut self,
+        dev: &mut D,
+        zone: u32,
+        now: Nanos,
+        retries: &mut u64,
+    ) -> Result<Nanos, FlashError> {
         debug_assert!(
             !self
                 .per_set
@@ -247,7 +280,9 @@ impl HierLog {
             "releasing a log zone with live objects"
         );
         self.zone_sets.remove(&zone);
-        dev.reset_zone(ZoneId(zone), now).expect("log zone reset")
+        retry_transient(retries, |attempt| {
+            dev.reset_zone(ZoneId(zone), backoff(now, attempt))
+        })
     }
 
     /// Modelled metadata bytes of the log index (paper §2.3 prices a
@@ -274,7 +309,7 @@ mod tests {
     fn insert_and_lookup_buffered() {
         let mut d = dev();
         let mut l = log();
-        l.insert(&mut d, 5, 100, 64, Nanos::ZERO);
+        l.insert(&mut d, 5, 100, 64, Nanos::ZERO, &mut 0).unwrap();
         let obj = l.lookup(5, 100).expect("present");
         assert_eq!(obj.addr, None);
         assert_eq!(l.object_count(), 1);
@@ -284,8 +319,8 @@ mod tests {
     fn flush_binds_addresses() {
         let mut d = dev();
         let mut l = log();
-        l.insert(&mut d, 5, 100, 64, Nanos::ZERO);
-        l.flush(&mut d, Nanos::ZERO);
+        l.insert(&mut d, 5, 100, 64, Nanos::ZERO, &mut 0).unwrap();
+        l.flush(&mut d, Nanos::ZERO, &mut 0).unwrap();
         let obj = l.lookup(5, 100).expect("present");
         assert_eq!(obj.addr, Some(PageAddr::new(0, 0)));
         assert_eq!(l.sets_touching(0), vec![5]);
@@ -295,8 +330,8 @@ mod tests {
     fn duplicate_key_replaces_older_version() {
         let mut d = dev();
         let mut l = log();
-        l.insert(&mut d, 5, 100, 64, Nanos::ZERO);
-        l.insert(&mut d, 5, 100, 80, Nanos::ZERO);
+        l.insert(&mut d, 5, 100, 64, Nanos::ZERO, &mut 0).unwrap();
+        l.insert(&mut d, 5, 100, 80, Nanos::ZERO, &mut 0).unwrap();
         assert_eq!(l.object_count(), 1);
         assert_eq!(l.lookup(5, 100).expect("live").size, 80);
     }
@@ -306,7 +341,7 @@ mod tests {
         let mut d = dev();
         let mut l = log();
         for k in 0..5u64 {
-            l.insert(&mut d, 9, k, 64, Nanos::ZERO);
+            l.insert(&mut d, 9, k, 64, Nanos::ZERO, &mut 0).unwrap();
         }
         let objs = l.drain_set(9);
         assert_eq!(objs.len(), 5);
@@ -323,7 +358,8 @@ mod tests {
         // page. Fill until a reclaim is demanded.
         let mut k = 0u64;
         while !l.must_reclaim_before(&d, 400) {
-            l.insert(&mut d, k % 7, k, 400, Nanos::ZERO);
+            l.insert(&mut d, k % 7, k, 400, Nanos::ZERO, &mut 0)
+                .unwrap();
             k += 1;
             assert!(k < 100, "reclaim never triggered");
         }
@@ -331,10 +367,11 @@ mod tests {
         for set in l.sets_touching(victim) {
             l.drain_set(set);
         }
-        l.release_zone(&mut d, victim, Nanos::ZERO);
+        l.release_zone(&mut d, victim, Nanos::ZERO, &mut 0).unwrap();
         assert!(!l.must_reclaim_before(&d, 400));
         // Ring continues working after reclaim.
-        l.insert(&mut d, 1, 10_000, 400, Nanos::ZERO);
+        l.insert(&mut d, 1, 10_000, 400, Nanos::ZERO, &mut 0)
+            .unwrap();
     }
 
     #[test]
@@ -342,7 +379,7 @@ mod tests {
         let mut d = dev();
         let mut l = log();
         for k in 0..6u64 {
-            l.insert(&mut d, k % 2, k, 64, Nanos::ZERO);
+            l.insert(&mut d, k % 2, k, 64, Nanos::ZERO, &mut 0).unwrap();
         }
         assert!((l.mean_chain_len() - 3.0).abs() < 1e-9);
     }

@@ -10,7 +10,8 @@
 //! Case 3.2), so GC policy lives in the engines and this type only provides
 //! the mechanics.
 
-use nemo_flash::{Nanos, PageAddr, ZoneId, ZonedFlash};
+use nemo_engine::retry::{backoff, retry_transient};
+use nemo_flash::{FlashError, Nanos, PageAddr, ZoneId, ZonedFlash};
 use std::collections::{HashMap, VecDeque};
 
 /// Why a set page was written — drives the paper's Fig. 4/5 accounting.
@@ -36,6 +37,9 @@ pub struct HsetRegion {
     zone_valid: HashMap<u32, u32>,
     free: VecDeque<u32>,
     open: Option<u32>,
+    /// Zones retired after permanent device failures, pending collection
+    /// by the owning engine via [`Self::take_retired`].
+    retired: u64,
 }
 
 impl HsetRegion {
@@ -57,6 +61,7 @@ impl HsetRegion {
             page_set: HashMap::new(),
             zone_valid,
             open: None,
+            retired: 0,
         }
     }
 
@@ -88,48 +93,94 @@ impl HsetRegion {
     /// Appends `bytes` (one page) as the new copy of `set`, invalidating
     /// the previous copy.
     ///
+    /// Transient append errors are retried (counted into `retries`); a
+    /// frontier zone that fails permanently is retired (its valid sets
+    /// are dropped) and the append moves to the next free zone.
+    ///
+    /// # Errors
+    ///
+    /// Returns a permanent device error once no usable set zone remains.
+    ///
     /// # Panics
     ///
-    /// Panics if no frontier space is available — call [`Self::needs_gc`]
-    /// and collect first — or if `set` is out of range.
+    /// Panics if `set` is out of range. Callers must still run
+    /// [`Self::needs_gc`] / collection before appending; exhausting the
+    /// free list without device failures is a GC-invariant violation and
+    /// also surfaces as the `Err` above.
     pub fn append_set<D: ZonedFlash>(
         &mut self,
         dev: &mut D,
         set: u64,
         bytes: &[u8],
         now: Nanos,
-    ) -> (PageAddr, Nanos) {
+        retries: &mut u64,
+    ) -> Result<(PageAddr, Nanos), FlashError> {
         assert!(set < self.n_sets, "set out of range");
-        let zone = self.frontier(dev);
-        let (addr, done) = dev
-            .append(ZoneId(zone), bytes, now)
-            .expect("frontier append");
-        if dev.write_pointer(ZoneId(zone)) == dev.geometry().pages_per_zone() {
+        loop {
+            let Some(zone) = self.frontier(dev) else {
+                return Err(FlashError::io_permanent("no usable set zones remain"));
+            };
+            match retry_transient(retries, |attempt| {
+                dev.append(ZoneId(zone), bytes, backoff(now, attempt))
+            }) {
+                Ok((addr, done)) => {
+                    if dev.write_pointer(ZoneId(zone)) == dev.geometry().pages_per_zone() {
+                        self.open = None;
+                    }
+                    let geom = dev.geometry();
+                    if let Some(old) = self.set_loc[set as usize] {
+                        self.page_set.remove(&geom.flat_index(old));
+                        *self.zone_valid.get_mut(&old.zone).expect("tracked zone") -= 1;
+                    }
+                    self.set_loc[set as usize] = Some(addr);
+                    self.page_set.insert(geom.flat_index(addr), set);
+                    *self.zone_valid.get_mut(&addr.zone).expect("tracked zone") += 1;
+                    return Ok((addr, done));
+                }
+                Err(_) => self.retire_zone(dev, zone),
+            }
+        }
+    }
+
+    fn frontier<D: ZonedFlash>(&mut self, dev: &D) -> Option<u32> {
+        if let Some(z) = self.open {
+            if dev.write_pointer(ZoneId(z)) < dev.geometry().pages_per_zone() {
+                return Some(z);
+            }
+        }
+        let z = self.free.pop_front()?;
+        self.open = Some(z);
+        Some(z)
+    }
+
+    /// Permanently removes `zone` from the region after a device failure,
+    /// dropping any valid sets it still held (their next lookup misses).
+    pub fn retire_zone<D: ZonedFlash>(&mut self, dev: &D, zone: u32) {
+        if !self.zone_ids.contains(&zone) {
+            return;
+        }
+        self.zone_ids.retain(|&z| z != zone);
+        self.free.retain(|&z| z != zone);
+        if self.open == Some(zone) {
             self.open = None;
         }
         let geom = dev.geometry();
-        if let Some(old) = self.set_loc[set as usize] {
-            self.page_set.remove(&geom.flat_index(old));
-            *self.zone_valid.get_mut(&old.zone).expect("tracked zone") -= 1;
-        }
-        self.set_loc[set as usize] = Some(addr);
-        self.page_set.insert(geom.flat_index(addr), set);
-        *self.zone_valid.get_mut(&addr.zone).expect("tracked zone") += 1;
-        (addr, done)
-    }
-
-    fn frontier<D: ZonedFlash>(&mut self, dev: &D) -> u32 {
-        if let Some(z) = self.open {
-            if dev.write_pointer(ZoneId(z)) < dev.geometry().pages_per_zone() {
-                return z;
+        for p in 0..geom.pages_per_zone() {
+            if let Some(set) = self
+                .page_set
+                .remove(&geom.flat_index(PageAddr::new(zone, p)))
+            {
+                self.set_loc[set as usize] = None;
             }
         }
-        let z = self
-            .free
-            .pop_front()
-            .expect("GC invariant violated: no free set zone");
-        self.open = Some(z);
-        z
+        self.zone_valid.remove(&zone);
+        self.retired += 1;
+    }
+
+    /// Zones retired since the last call (engines fold this into
+    /// `EngineStats::quarantined_zones`).
+    pub fn take_retired(&mut self) -> u64 {
+        std::mem::take(&mut self.retired)
     }
 
     /// Greedy GC victim: the full zone with the fewest valid pages
@@ -157,18 +208,35 @@ impl HsetRegion {
     }
 
     /// Resets a fully collected zone and returns it to the free list.
+    /// A zone whose reset fails permanently is retired instead of being
+    /// reused (transient errors are retried, counted into `retries`).
     ///
     /// # Panics
     ///
     /// Panics if the zone still has valid pages.
-    pub fn release_zone<D: ZonedFlash>(&mut self, dev: &mut D, zone: u32, now: Nanos) -> Nanos {
+    pub fn release_zone<D: ZonedFlash>(
+        &mut self,
+        dev: &mut D,
+        zone: u32,
+        now: Nanos,
+        retries: &mut u64,
+    ) -> Nanos {
         assert_eq!(
             self.zone_valid[&zone], 0,
             "releasing zone {zone} with valid sets"
         );
-        let done = dev.reset_zone(ZoneId(zone), now).expect("set zone reset");
-        self.free.push_back(zone);
-        done
+        match retry_transient(retries, |attempt| {
+            dev.reset_zone(ZoneId(zone), backoff(now, attempt))
+        }) {
+            Ok(done) => {
+                self.free.push_back(zone);
+                done
+            }
+            Err(_) => {
+                self.retire_zone(dev, zone);
+                now
+            }
+        }
     }
 
     /// Number of free (empty, unassigned) zones.
@@ -225,7 +293,9 @@ mod tests {
     fn append_tracks_location_and_validity() {
         let mut d = dev();
         let mut r = HsetRegion::new(vec![0, 1, 2, 3], 16);
-        let (addr, _) = r.append_set(&mut d, 7, &page_with(7), Nanos::ZERO);
+        let (addr, _) = r
+            .append_set(&mut d, 7, &page_with(7), Nanos::ZERO, &mut 0)
+            .unwrap();
         assert_eq!(r.location(7), Some(addr));
         assert_eq!(r.zone_valid[&addr.zone], 1);
     }
@@ -234,8 +304,12 @@ mod tests {
     fn rewrite_invalidates_old_copy() {
         let mut d = dev();
         let mut r = HsetRegion::new(vec![0, 1, 2, 3], 16);
-        let (a1, _) = r.append_set(&mut d, 7, &page_with(7), Nanos::ZERO);
-        let (a2, _) = r.append_set(&mut d, 7, &page_with(7), Nanos::ZERO);
+        let (a1, _) = r
+            .append_set(&mut d, 7, &page_with(7), Nanos::ZERO, &mut 0)
+            .unwrap();
+        let (a2, _) = r
+            .append_set(&mut d, 7, &page_with(7), Nanos::ZERO, &mut 0)
+            .unwrap();
         assert_ne!(a1, a2);
         assert_eq!(r.location(7), Some(a2));
         // Old page no longer valid.
@@ -249,7 +323,8 @@ mod tests {
         // Hammer 4 sets until GC is needed (4 zones x 4 pages = 16 pages).
         let mut writes = 0;
         while !r.needs_gc(&d) {
-            r.append_set(&mut d, writes % 4, &page_with(writes), Nanos::ZERO);
+            r.append_set(&mut d, writes % 4, &page_with(writes), Nanos::ZERO, &mut 0)
+                .unwrap();
             writes += 1;
             assert!(writes < 64, "needs_gc never fired");
         }
@@ -259,9 +334,10 @@ mod tests {
         for s in sets {
             let addr = r.location(s).expect("valid set has a location");
             let (bytes, _) = d.read_pages(addr, 1, Nanos::ZERO).expect("read");
-            r.append_set(&mut d, s, &bytes, Nanos::ZERO);
+            r.append_set(&mut d, s, &bytes, Nanos::ZERO, &mut 0)
+                .unwrap();
         }
-        r.release_zone(&mut d, victim, Nanos::ZERO);
+        r.release_zone(&mut d, victim, Nanos::ZERO, &mut 0);
         assert!(r.free_zones() >= 1);
     }
 
@@ -272,10 +348,12 @@ mod tests {
         // Fill zone 0 with sets 0-3, then rewrite 3 of them so zone 0
         // holds mostly garbage.
         for s in 0..4u64 {
-            r.append_set(&mut d, s, &page_with(s), Nanos::ZERO);
+            r.append_set(&mut d, s, &page_with(s), Nanos::ZERO, &mut 0)
+                .unwrap();
         }
         for s in 0..3u64 {
-            r.append_set(&mut d, s, &page_with(s), Nanos::ZERO);
+            r.append_set(&mut d, s, &page_with(s), Nanos::ZERO, &mut 0)
+                .unwrap();
         }
         // Zones 0 and 1 are now full; zone 0 has 1 valid, zone 1 has 3.
         assert_eq!(r.victim(&d), Some(0));
@@ -286,7 +364,8 @@ mod tests {
         let mut d = dev();
         let mut r = HsetRegion::new(vec![0, 1, 2], 8);
         for s in 0..4u64 {
-            r.append_set(&mut d, s, &page_with(s), Nanos::ZERO);
+            r.append_set(&mut d, s, &page_with(s), Nanos::ZERO, &mut 0)
+                .unwrap();
         }
         let f = r.mean_valid_fraction(&d);
         assert!((0.99..=1.0).contains(&f), "one full, fully-valid zone: {f}");
@@ -298,8 +377,9 @@ mod tests {
         let mut d = dev();
         let mut r = HsetRegion::new(vec![0, 1, 2], 8);
         for s in 0..4u64 {
-            r.append_set(&mut d, s, &page_with(s), Nanos::ZERO);
+            r.append_set(&mut d, s, &page_with(s), Nanos::ZERO, &mut 0)
+                .unwrap();
         }
-        r.release_zone(&mut d, 0, Nanos::ZERO);
+        r.release_zone(&mut d, 0, Nanos::ZERO, &mut 0);
     }
 }

@@ -9,7 +9,8 @@ use crate::hset::{HsetRegion, SetWriteKind};
 use crate::SET_SALT;
 use nemo_bloom::BloomFilter;
 use nemo_engine::codec::{self, PageBuf, MIN_OBJECT_SIZE};
-use nemo_engine::{CacheEngine, EngineStats, GetOutcome, MemoryBreakdown};
+use nemo_engine::retry::{backoff, retry_transient};
+use nemo_engine::{CacheEngine, EngineError, EngineStats, GetOutcome, MemoryBreakdown};
 use nemo_flash::{Geometry, LatencyModel, Nanos, SimFlash, ZonedFlash};
 use nemo_metrics::DiscreteCdf;
 use nemo_util::hash_u64;
@@ -180,13 +181,19 @@ impl<D: ZonedFlash> Kangaroo<D> {
         self.hset.mean_valid_fraction(&self.dev)
     }
 
+    /// Folds zones retired by the set region into the engine's counters.
+    fn sync_retired(&mut self) {
+        self.stats.quarantined_zones += self.hset.take_retired();
+    }
+
     /// Runs independent GC (Case 3.1) until space is healthy.
-    fn gc_if_needed(&mut self, now: Nanos) {
+    fn gc_if_needed(&mut self, now: Nanos) -> Result<(), EngineError> {
         while self.hset.needs_gc(&self.dev) {
-            let victim = self
-                .hset
-                .victim(&self.dev)
-                .expect("full zones must exist when GC is needed");
+            // No collectible zone under GC pressure: let the next append
+            // surface the exhaustion as a fatal error.
+            let Some(victim) = self.hset.victim(&self.dev) else {
+                break;
+            };
             assert!(
                 self.hset.valid_count(victim) < self.dev.geometry().pages_per_zone(),
                 "set region overcommitted: every zone fully valid"
@@ -194,32 +201,78 @@ impl<D: ZonedFlash> Kangaroo<D> {
             // The buffer is taken rather than borrowed: `append_set`
             // needs the device mutably while the page contents are read.
             let mut bytes = std::mem::take(&mut self.read_buf);
+            let mut victim_unreadable = false;
             for set in self.hset.sets_in_zone(&self.dev, victim) {
                 let addr = self.hset.location(set).expect("valid set");
-                self.dev
-                    .read_pages_into(addr, 1, &mut bytes, now)
-                    .expect("valid set read");
+                let dev = &mut self.dev;
+                let retries = &mut self.stats.device_retries;
+                if retry_transient(retries, |attempt| {
+                    dev.read_pages_into(addr, 1, &mut bytes, backoff(now, attempt))
+                })
+                .is_err()
+                {
+                    // The victim zone cannot be read back: its valid sets
+                    // are lost, retire it instead of relocating.
+                    victim_unreadable = true;
+                    break;
+                }
                 self.stats.flash_bytes_read += bytes.len() as u64;
-                self.hset.append_set(&mut self.dev, set, &bytes, now);
+                let appended = self.hset.append_set(
+                    &mut self.dev,
+                    set,
+                    &bytes,
+                    now,
+                    &mut self.stats.device_retries,
+                );
+                self.sync_retired();
+                if let Err(e) = appended {
+                    self.read_buf = bytes;
+                    return Err(EngineError::device("relocating a set during GC", e));
+                }
                 self.stats.flash_bytes_written += bytes.len() as u64;
                 self.pub_relocations += 1;
             }
             self.read_buf = bytes;
-            self.hset.release_zone(&mut self.dev, victim, now);
+            if victim_unreadable {
+                self.hset.retire_zone(&self.dev, victim);
+            } else {
+                self.hset
+                    .release_zone(&mut self.dev, victim, now, &mut self.stats.device_retries);
+            }
+            self.sync_retired();
         }
+        Ok(())
     }
 
     /// Merges `objs` (from the log) into `set` with a read-modify-write.
-    fn rmw_set(&mut self, set: u64, objs: &[(u64, u32)], _kind: SetWriteKind, now: Nanos) {
-        self.gc_if_needed(now);
+    fn rmw_set(
+        &mut self,
+        set: u64,
+        objs: &[(u64, u32)],
+        _kind: SetWriteKind,
+        now: Nanos,
+    ) -> Result<(), EngineError> {
+        self.gc_if_needed(now)?;
         let page_size = self.dev.geometry().page_size() as usize;
         let mut entries: Vec<(u64, u32)> = match self.hset.location(set) {
             Some(addr) => {
-                self.dev
-                    .read_pages_into(addr, 1, &mut self.read_buf, now)
-                    .expect("set read");
-                self.stats.flash_bytes_read += self.read_buf.len() as u64;
-                codec::parse_entries(&self.read_buf).collect()
+                let dev = &mut self.dev;
+                let retries = &mut self.stats.device_retries;
+                let buf = &mut self.read_buf;
+                if retry_transient(retries, |attempt| {
+                    dev.read_pages_into(addr, 1, buf, backoff(now, attempt))
+                })
+                .is_ok()
+                {
+                    self.stats.flash_bytes_read += self.read_buf.len() as u64;
+                    codec::parse_entries(&self.read_buf).collect()
+                } else {
+                    // Old copy unreadable: retire its zone and rebuild the
+                    // set from the incoming objects alone.
+                    self.hset.retire_zone(&self.dev, addr.zone);
+                    self.sync_retired();
+                    Vec::new()
+                }
             }
             None => Vec::new(),
         };
@@ -241,7 +294,15 @@ impl<D: ZonedFlash> Kangaroo<D> {
             debug_assert!(pushed);
         }
         let bytes = page.finish();
-        self.hset.append_set(&mut self.dev, set, &bytes, now);
+        let appended = self.hset.append_set(
+            &mut self.dev,
+            set,
+            &bytes,
+            now,
+            &mut self.stats.device_retries,
+        );
+        self.sync_retired();
+        appended.map_err(|e| EngineError::device("rewriting a set", e))?;
         self.stats.flash_bytes_written += bytes.len() as u64;
         self.objects_in_sets = self.objects_in_sets + entries.len() as u64 - old_count;
         self.rmw_count += 1;
@@ -253,12 +314,13 @@ impl<D: ZonedFlash> Kangaroo<D> {
             bf.insert(key);
         }
         self.filters[set as usize] = bf;
+        Ok(())
     }
 
     /// Passive migration: reclaim the oldest log zone (paper Case 2).
-    fn migrate_log_zone(&mut self, now: Nanos) {
+    fn migrate_log_zone(&mut self, now: Nanos) -> Result<(), EngineError> {
         let Some(victim) = self.log.oldest_full_zone(&self.dev) else {
-            return;
+            return Ok(());
         };
         for set in self.log.sets_touching(victim) {
             let objs: Vec<(u64, u32)> = self
@@ -270,9 +332,12 @@ impl<D: ZonedFlash> Kangaroo<D> {
             if objs.is_empty() {
                 continue;
             }
-            self.rmw_set(set, &objs, SetWriteKind::Passive, now);
+            self.rmw_set(set, &objs, SetWriteKind::Passive, now)?;
         }
-        self.log.release_zone(&mut self.dev, victim, now);
+        self.log
+            .release_zone(&mut self.dev, victim, now, &mut self.stats.device_retries)
+            .map_err(|e| EngineError::device("resetting a log zone", e))?;
+        Ok(())
     }
 }
 
@@ -281,72 +346,104 @@ impl<D: ZonedFlash + Send> CacheEngine for Kangaroo<D> {
         "kangaroo"
     }
 
-    fn get(&mut self, key: u64, now: Nanos) -> GetOutcome {
+    fn try_get(&mut self, key: u64, now: Nanos) -> Result<GetOutcome, EngineError> {
         self.stats.gets += 1;
         let set = self.set_of(key);
         // 1. Log tier (buffer or log flash page).
         if let Some(obj) = self.log.lookup(set, key) {
-            self.stats.hits += 1;
             return match obj.addr {
-                None => GetOutcome::memory_hit(now),
+                None => {
+                    self.stats.hits += 1;
+                    Ok(GetOutcome::memory_hit(now))
+                }
                 Some(addr) => {
-                    let done = self
-                        .dev
-                        .read_pages_into(addr, 1, &mut self.read_buf, now)
-                        .expect("log page read");
+                    let dev = &mut self.dev;
+                    let retries = &mut self.stats.device_retries;
+                    let buf = &mut self.read_buf;
+                    let Ok(done) = retry_transient(retries, |attempt| {
+                        dev.read_pages_into(addr, 1, buf, backoff(now, attempt))
+                    }) else {
+                        self.stats.fault_induced_misses += 1;
+                        return Ok(GetOutcome::memory_miss(now));
+                    };
+                    self.stats.hits += 1;
                     self.stats.flash_bytes_read += self.read_buf.len() as u64;
                     self.stats.candidate_reads += 1;
-                    GetOutcome {
+                    Ok(GetOutcome {
                         hit: true,
                         done_at: done,
                         flash_reads: 1,
                         set_reads: 1,
-                    }
+                    })
                 }
             };
         }
         // 2. Set tier behind the per-set bloom filter.
         if !self.filters[set as usize].contains(key) {
-            return GetOutcome::memory_miss(now);
+            return Ok(GetOutcome::memory_miss(now));
         }
         let Some(addr) = self.hset.location(set) else {
-            return GetOutcome::memory_miss(now);
+            return Ok(GetOutcome::memory_miss(now));
         };
-        let done = self
-            .dev
-            .read_pages_into(addr, 1, &mut self.read_buf, now)
-            .expect("set read");
+        let dev = &mut self.dev;
+        let retries = &mut self.stats.device_retries;
+        let buf = &mut self.read_buf;
+        let done = match retry_transient(retries, |attempt| {
+            dev.read_pages_into(addr, 1, buf, backoff(now, attempt))
+        }) {
+            Ok(done) => done,
+            Err(e) => {
+                // Degrade to a miss; only a permanently unreadable set
+                // zone is retired (a transient burst keeps the capacity).
+                if !e.is_transient() {
+                    self.hset.retire_zone(&self.dev, addr.zone);
+                    self.sync_retired();
+                }
+                self.stats.fault_induced_misses += 1;
+                return Ok(GetOutcome::memory_miss(now));
+            }
+        };
         self.stats.flash_bytes_read += self.read_buf.len() as u64;
         self.stats.candidate_reads += 1;
         if codec::find_payload(&self.read_buf, key).is_some() {
             self.stats.hits += 1;
-            GetOutcome {
+            Ok(GetOutcome {
                 hit: true,
                 done_at: done,
                 flash_reads: 1,
                 set_reads: 1,
-            }
+            })
         } else {
-            GetOutcome {
+            Ok(GetOutcome {
                 hit: false,
                 done_at: done,
                 flash_reads: 1,
                 set_reads: 1,
-            }
+            })
         }
     }
 
-    fn put(&mut self, key: u64, size: u32, now: Nanos) -> Nanos {
+    fn try_put(&mut self, key: u64, size: u32, now: Nanos) -> Result<Nanos, EngineError> {
         let size = size.max(MIN_OBJECT_SIZE);
         self.stats.puts += 1;
         self.stats.logical_bytes += size as u64;
         let set = self.set_of(key);
         while self.log.must_reclaim_before(&self.dev, size) {
-            self.migrate_log_zone(now);
+            self.migrate_log_zone(now)?;
         }
-        let ins = self.log.insert(&mut self.dev, set, key, size, now);
+        let ins = self
+            .log
+            .insert(
+                &mut self.dev,
+                set,
+                key,
+                size,
+                now,
+                &mut self.stats.device_retries,
+            )
+            .map_err(|e| EngineError::device("appending to the hierarchical log", e))?;
         self.stats.flash_bytes_written += ins.flushed_bytes;
-        ins.done_at
+        Ok(ins.done_at)
     }
 
     fn stats(&self) -> EngineStats {
@@ -370,8 +467,13 @@ impl<D: ZonedFlash + Send> CacheEngine for Kangaroo<D> {
     }
 
     fn drain(&mut self, now: Nanos) {
-        let ins = self.log.flush(&mut self.dev, now);
-        self.stats.flash_bytes_written += ins.flushed_bytes;
+        match self
+            .log
+            .flush(&mut self.dev, now, &mut self.stats.device_retries)
+        {
+            Ok(ins) => self.stats.flash_bytes_written += ins.flushed_bytes,
+            Err(e) => panic!("engine failed fatally on drain: {e}"),
+        }
     }
 }
 

@@ -1,8 +1,11 @@
 //! The log-structured baseline ("Log" in Fig. 12a).
 
 use nemo_engine::codec::{PageBuf, MIN_OBJECT_SIZE};
-use nemo_engine::{CacheEngine, EngineStats, GetOutcome, MemoryBreakdown};
-use nemo_flash::{Geometry, LatencyModel, Nanos, PageAddr, SimFlash, ZoneId, ZonedFlash};
+use nemo_engine::retry::{backoff, retry_transient};
+use nemo_engine::{CacheEngine, EngineError, EngineStats, GetOutcome, MemoryBreakdown};
+use nemo_flash::{
+    FlashError, Geometry, LatencyModel, Nanos, PageAddr, SimFlash, ZoneId, ZonedFlash,
+};
 use std::collections::HashMap;
 
 /// Configuration of [`LogCache`].
@@ -81,6 +84,8 @@ pub struct LogCache<D: ZonedFlash = SimFlash> {
     zone_keys: Vec<Vec<u64>>,
     /// Zone currently being appended to.
     open_zone: u32,
+    /// Zones withdrawn from the ring after a permanent device error.
+    quarantined: Vec<bool>,
     stats: EngineStats,
     /// Reused one-page read buffer: indexed lookups stay allocation-free.
     read_buf: Vec<u8>,
@@ -114,44 +119,87 @@ impl<D: ZonedFlash> LogCache<D> {
             page: PageBuf::new(cfg.geometry.page_size() as usize),
             zone_keys,
             open_zone: 0,
+            quarantined: vec![false; cfg.geometry.zone_count() as usize],
             stats: EngineStats::default(),
             read_buf: vec![0u8; cfg.geometry.page_size() as usize],
         }
     }
 
     /// Flushes the in-progress page to the log, evicting the next zone if
-    /// the ring has wrapped.
-    fn flush_page(&mut self, now: Nanos) -> Nanos {
+    /// the ring has wrapped. Zones that fail permanently (reset or
+    /// append) are quarantined and the ring moves on.
+    fn flush_page(&mut self, now: Nanos) -> Result<Nanos, EngineError> {
         if self.page.is_empty() {
-            return now;
+            return Ok(now);
         }
         let geom = self.dev.geometry();
-        // Advance to a writable zone, evicting if the ring wrapped.
-        if self.dev.write_pointer(ZoneId(self.open_zone)) >= geom.pages_per_zone() {
-            self.open_zone = (self.open_zone + 1) % geom.zone_count();
-            if self.dev.zone_state(ZoneId(self.open_zone)) != nemo_flash::ZoneState::Empty {
-                self.evict_zone(self.open_zone, now);
-            }
-        }
         let page = std::mem::replace(&mut self.page, PageBuf::new(geom.page_size() as usize));
         let bytes = page.finish();
-        let (addr, done) = self
-            .dev
-            .append(ZoneId(self.open_zone), &bytes, now)
-            .expect("log append must succeed on a writable zone");
-        self.stats.flash_bytes_written += bytes.len() as u64;
-        self.stats.nand_bytes_written += bytes.len() as u64;
-        for &(key, size) in &self.pending {
-            self.index.insert(key, IndexEntry { addr, size });
-            self.zone_keys[addr.zone as usize].push(key);
+        // A zone may fail as we go; every zone gets at most one chance
+        // per flush before the log declares the device unusable.
+        for _ in 0..=geom.zone_count() {
+            // Advance to a writable zone, evicting if the ring wrapped.
+            if self.quarantined[self.open_zone as usize]
+                || self.dev.write_pointer(ZoneId(self.open_zone)) >= geom.pages_per_zone()
+            {
+                let Some(next) = self.next_usable_zone(now) else {
+                    return Err(EngineError::device(
+                        "appending to the log",
+                        FlashError::io_permanent("no usable log zones remain"),
+                    ));
+                };
+                self.open_zone = next;
+            }
+            let dev = &mut self.dev;
+            let retries = &mut self.stats.device_retries;
+            let zone = self.open_zone;
+            match retry_transient(retries, |attempt| {
+                dev.append(ZoneId(zone), &bytes, backoff(now, attempt))
+            }) {
+                Ok((addr, done)) => {
+                    self.stats.flash_bytes_written += bytes.len() as u64;
+                    self.stats.nand_bytes_written += bytes.len() as u64;
+                    for &(key, size) in &self.pending {
+                        self.index.insert(key, IndexEntry { addr, size });
+                        self.zone_keys[addr.zone as usize].push(key);
+                    }
+                    self.pending.clear();
+                    return Ok(done);
+                }
+                Err(_) => self.quarantine(zone),
+            }
         }
-        self.pending.clear();
-        done
+        Err(EngineError::device(
+            "appending to the log",
+            FlashError::io_permanent("every log zone failed an append"),
+        ))
+    }
+
+    /// Advances the ring to the next non-quarantined zone, evicting a
+    /// wrapped zone's objects on the way. Returns `None` when every zone
+    /// is quarantined.
+    fn next_usable_zone(&mut self, now: Nanos) -> Option<u32> {
+        let geom = self.dev.geometry();
+        let mut zone = self.open_zone;
+        for _ in 0..geom.zone_count() {
+            zone = (zone + 1) % geom.zone_count();
+            if self.quarantined[zone as usize] {
+                continue;
+            }
+            if self.dev.zone_state(ZoneId(zone)) != nemo_flash::ZoneState::Empty
+                && !self.evict_zone(zone, now)
+            {
+                continue; // reset failed permanently; zone quarantined
+            }
+            return Some(zone);
+        }
+        None
     }
 
     /// Drops all live objects whose current copy is in `zone`, then resets
-    /// it (FIFO eviction).
-    fn evict_zone(&mut self, zone: u32, now: Nanos) {
+    /// it (FIFO eviction). Returns whether the zone is writable again; a
+    /// permanently failing reset quarantines it instead.
+    fn evict_zone(&mut self, zone: u32, now: Nanos) -> bool {
         let keys = std::mem::take(&mut self.zone_keys[zone as usize]);
         for key in keys {
             if let Some(entry) = self.index.get(&key) {
@@ -161,9 +209,35 @@ impl<D: ZonedFlash> LogCache<D> {
                 }
             }
         }
-        self.dev
-            .reset_zone(ZoneId(zone), now)
-            .expect("reset of evicted zone");
+        let dev = &mut self.dev;
+        let retries = &mut self.stats.device_retries;
+        match retry_transient(retries, |attempt| {
+            dev.reset_zone(ZoneId(zone), backoff(now, attempt))
+        }) {
+            Ok(_) => true,
+            Err(_) => {
+                self.quarantine(zone);
+                false
+            }
+        }
+    }
+
+    /// Takes a zone out of the ring after a permanent device error,
+    /// dropping any objects still indexed there.
+    fn quarantine(&mut self, zone: u32) {
+        if !self.quarantined[zone as usize] {
+            self.quarantined[zone as usize] = true;
+            self.stats.quarantined_zones += 1;
+        }
+        let keys = std::mem::take(&mut self.zone_keys[zone as usize]);
+        for key in keys {
+            if let Some(entry) = self.index.get(&key) {
+                if entry.addr.zone == zone {
+                    self.index.remove(&key);
+                    self.stats.evicted_objects += 1;
+                }
+            }
+        }
     }
 
     /// Test/experiment hook: direct read access to device statistics.
@@ -177,20 +251,34 @@ impl<D: ZonedFlash + Send> CacheEngine for LogCache<D> {
         "log"
     }
 
-    fn get(&mut self, key: u64, now: Nanos) -> GetOutcome {
+    fn try_get(&mut self, key: u64, now: Nanos) -> Result<GetOutcome, EngineError> {
         self.stats.gets += 1;
         // Objects still in the write buffer are served from memory.
         if self.pending.iter().any(|&(k, _)| k == key) {
             self.stats.hits += 1;
-            return GetOutcome::memory_hit(now);
+            return Ok(GetOutcome::memory_hit(now));
         }
         let Some(&entry) = self.index.get(&key) else {
-            return GetOutcome::memory_miss(now);
+            return Ok(GetOutcome::memory_miss(now));
         };
-        let done = self
-            .dev
-            .read_pages_into(entry.addr, 1, &mut self.read_buf, now)
-            .expect("indexed page must be readable");
+        let dev = &mut self.dev;
+        let retries = &mut self.stats.device_retries;
+        let buf = &mut self.read_buf;
+        let done = match retry_transient(retries, |attempt| {
+            dev.read_pages_into(entry.addr, 1, buf, backoff(now, attempt))
+        }) {
+            Ok(done) => done,
+            Err(e) => {
+                // Degrade the lookup to a miss. Only a permanent failure
+                // condemns the zone (dropping its objects); an exhausted
+                // transient burst keeps the capacity for when it passes.
+                if !e.is_transient() {
+                    self.quarantine(entry.addr.zone);
+                }
+                self.stats.fault_induced_misses += 1;
+                return Ok(GetOutcome::memory_miss(now));
+            }
+        };
         self.stats.flash_bytes_read += self.read_buf.len() as u64;
         self.stats.candidate_reads += 1;
         debug_assert!(
@@ -198,28 +286,28 @@ impl<D: ZonedFlash + Send> CacheEngine for LogCache<D> {
             "exact index pointed at a page without the object"
         );
         self.stats.hits += 1;
-        GetOutcome {
+        Ok(GetOutcome {
             hit: true,
             done_at: done,
             flash_reads: 1,
             set_reads: 1,
-        }
+        })
     }
 
-    fn put(&mut self, key: u64, size: u32, now: Nanos) -> Nanos {
+    fn try_put(&mut self, key: u64, size: u32, now: Nanos) -> Result<Nanos, EngineError> {
         let size = size.max(MIN_OBJECT_SIZE);
         self.stats.puts += 1;
         self.stats.logical_bytes += size as u64;
         let mut done = now;
         if !self.page.try_push(key, size) {
-            done = self.flush_page(now);
+            done = self.flush_page(now)?;
             assert!(
                 self.page.try_push(key, size),
                 "object of {size} B must fit in an empty page"
             );
         }
         self.pending.push((key, size));
-        done
+        Ok(done)
     }
 
     fn stats(&self) -> EngineStats {
@@ -239,7 +327,9 @@ impl<D: ZonedFlash + Send> CacheEngine for LogCache<D> {
     }
 
     fn drain(&mut self, now: Nanos) {
-        self.flush_page(now);
+        if let Err(e) = self.flush_page(now) {
+            panic!("engine failed fatally on drain: {e}");
+        }
     }
 }
 

@@ -6,7 +6,8 @@
 use crate::SET_SALT;
 use nemo_bloom::BloomFilter;
 use nemo_engine::codec::{self, PageBuf, MIN_OBJECT_SIZE};
-use nemo_engine::{CacheEngine, EngineStats, GetOutcome, MemoryBreakdown};
+use nemo_engine::retry::{backoff, retry_transient};
+use nemo_engine::{CacheEngine, EngineError, EngineStats, GetOutcome, MemoryBreakdown};
 use nemo_flash::{ConventionalSsd, Geometry, LatencyModel, Nanos, SimFlash, ZonedFlash};
 use nemo_util::hash_u64;
 
@@ -151,38 +152,54 @@ impl<D: ZonedFlash + Send> CacheEngine for SetCache<D> {
         "set"
     }
 
-    fn get(&mut self, key: u64, now: Nanos) -> GetOutcome {
+    fn try_get(&mut self, key: u64, now: Nanos) -> Result<GetOutcome, EngineError> {
         self.stats.gets += 1;
         let set = self.set_of(key);
         if !self.filters[set as usize].contains(key) {
-            return GetOutcome::memory_miss(now);
+            return Ok(GetOutcome::memory_miss(now));
         }
-        let done = self
-            .dev
-            .read_page_into(set, &mut self.page_buf, now)
-            .expect("set read");
+        let dev = &mut self.dev;
+        let retries = &mut self.stats.device_retries;
+        let buf = &mut self.page_buf;
+        let done = match retry_transient(retries, |attempt| {
+            dev.read_page_into(set, buf, backoff(now, attempt))
+        }) {
+            Ok(done) => done,
+            Err(e) => {
+                if !e.is_transient() {
+                    // Permanently unreadable set: drop it from the filter so
+                    // later lookups miss in memory instead of re-reading a
+                    // dead page. Exhausted transient retries only cost this
+                    // lookup; the set stays resident.
+                    let (m_bits, k_hashes) = self.bloom_geom;
+                    self.filters[set as usize] = BloomFilter::with_geometry(m_bits, k_hashes);
+                }
+                self.stats.fault_induced_misses += 1;
+                return Ok(GetOutcome::memory_miss(now));
+            }
+        };
         self.stats.flash_bytes_read += self.page_buf.len() as u64;
         self.stats.candidate_reads += 1;
         if codec::find_payload(&self.page_buf, key).is_some() {
             self.stats.hits += 1;
-            GetOutcome {
+            Ok(GetOutcome {
                 hit: true,
                 done_at: done,
                 flash_reads: 1,
                 set_reads: 1,
-            }
+            })
         } else {
             // Bloom false positive: one wasted flash read.
-            GetOutcome {
+            Ok(GetOutcome {
                 hit: false,
                 done_at: done,
                 flash_reads: 1,
                 set_reads: 1,
-            }
+            })
         }
     }
 
-    fn put(&mut self, key: u64, size: u32, now: Nanos) -> Nanos {
+    fn try_put(&mut self, key: u64, size: u32, now: Nanos) -> Result<Nanos, EngineError> {
         let size = size.max(MIN_OBJECT_SIZE);
         self.stats.puts += 1;
         self.stats.logical_bytes += size as u64;
@@ -191,9 +208,18 @@ impl<D: ZonedFlash + Send> CacheEngine for SetCache<D> {
 
         // Read-modify-write: read the set, drop the old version of this
         // key, FIFO-evict until the new object fits, rewrite.
-        self.dev
-            .read_page_into(set, &mut self.page_buf, now)
-            .expect("set read");
+        let dev = &mut self.dev;
+        let retries = &mut self.stats.device_retries;
+        let buf = &mut self.page_buf;
+        if retry_transient(retries, |attempt| {
+            dev.read_page_into(set, buf, backoff(now, attempt))
+        })
+        .is_err()
+        {
+            // The old contents are gone; rebuild the set from scratch with
+            // just the new object (the rewrite relocates it physically).
+            self.page_buf.fill(0);
+        }
         self.stats.flash_bytes_read += self.page_buf.len() as u64;
         let had_key = codec::parse_entries(&self.page_buf).any(|(k, _)| k == key);
         let mut entries: Vec<(u64, u32)> = codec::parse_entries(&self.page_buf)
@@ -220,7 +246,12 @@ impl<D: ZonedFlash + Send> CacheEngine for SetCache<D> {
         let pushed = page.try_push(key, size);
         debug_assert!(pushed, "new object must fit after eviction");
         let bytes = page.finish();
-        let done = self.dev.write_page(set, &bytes, now).expect("set write");
+        let dev = &mut self.dev;
+        let retries = &mut self.stats.device_retries;
+        let done = retry_transient(retries, |attempt| {
+            dev.write_page(set, &bytes, backoff(now, attempt))
+        })
+        .map_err(|e| EngineError::device("rewriting a set", e))?;
         self.stats.flash_bytes_written += bytes.len() as u64;
 
         // Rebuild the set's filter from the surviving entries.
@@ -231,7 +262,7 @@ impl<D: ZonedFlash + Send> CacheEngine for SetCache<D> {
         }
         bf.insert(key);
         self.filters[set as usize] = bf;
-        done
+        Ok(done)
     }
 
     fn stats(&self) -> EngineStats {

@@ -12,7 +12,7 @@
 //!      fig17 fig18 fig19a fig19b table5 table6 motivation breakdown
 //!      read_cost sensitivity wave_sweep read_amplification appendix_a
 //!      ablation sharded openloop netload serve device_validation
-//!      qd_sweep all
+//!      qd_sweep faultload all
 //! ```
 //!
 //! `--smoke` shrinks the device and op counts so an experiment
@@ -39,6 +39,13 @@
 //! parity across depths is asserted, and full (non-`--smoke`) runs also
 //! assert that some depth ≥ 4 sustains 1.5× the sequential rate.
 //!
+//! `faultload` replays the merged trace open loop through a sharded
+//! Nemo fleet whose devices execute scripted, seeded fault schedules
+//! (transient EIO burst, permanent zone death, latency storm) and
+//! asserts the robustness contract: every request answered, ≥ 99.9 %
+//! serviced, zero dead shards, hit-ratio recovery within two points of
+//! the fault-free control, and bit-identical repeats.
+//!
 //! `openloop` replays the merged trace open loop through the sharded
 //! `nemo-service` front-end for all five systems: `--rate` sets the
 //! aggregate virtual-time arrival rate (req/s), `--inflight` the
@@ -57,7 +64,7 @@
 //! `--duration-secs` (0 = until killed), then drains and reports.
 
 use nemo_bench::{
-    breakdown, device_validation, main_metrics, motivation, netload, overhead, qd_sweep,
+    breakdown, device_validation, faultload, main_metrics, motivation, netload, overhead, qd_sweep,
     sensitivity, sharded, RunScale,
 };
 use nemo_service::DeviceBackend;
@@ -71,7 +78,7 @@ fn usage() -> ! {
          ids: fig4 fig5 fig6 fig8 fig12a fig12b fig13 fig14 fig15 fig16 fig17 fig18\n\
          \x20     fig19a fig19b table5 table6 motivation breakdown read_cost sensitivity\n\
          \x20     wave_sweep read_amplification appendix_a ablation sharded openloop\n\
-         \x20     netload serve device_validation qd_sweep all"
+         \x20     netload serve device_validation qd_sweep faultload all"
     );
     std::process::exit(2);
 }
@@ -248,6 +255,7 @@ fn main() {
             }
         }
         "qd_sweep" => qd_sweep::qd_sweep(scale, smoke),
+        "faultload" => faultload::faultload(scale, shards, smoke),
         "all" => {
             motivation::all(scale);
             breakdown::all(scale);

@@ -44,6 +44,7 @@
 pub mod breakdown;
 pub mod common;
 pub mod device_validation;
+pub mod faultload;
 pub mod main_metrics;
 pub mod motivation;
 pub mod netload;

@@ -3,13 +3,13 @@
 use crate::checkpoint;
 use crate::config::NemoConfig;
 use crate::hotness::HotnessTracker;
-use crate::index::PbfgIndex;
+use crate::index::{backoff, retry_transient, PbfgIndex, DEVICE_RETRY_LIMIT};
 use crate::memsg::MemSg;
 use nemo_bloom::BloomFilter;
 use nemo_engine::codec::{self, PageBuf, MIN_OBJECT_SIZE};
-use nemo_engine::{CacheEngine, EngineStats, GetOutcome, MemoryBreakdown};
+use nemo_engine::{CacheEngine, EngineError, EngineStats, GetOutcome, MemoryBreakdown};
 use nemo_flash::{
-    Nanos, PageAddr, ReadBatch, ReadCompletion, SimFlash, ZoneId, ZoneState, ZonedFlash,
+    FlashError, Nanos, PageAddr, ReadBatch, ReadCompletion, SimFlash, ZoneId, ZoneState, ZonedFlash,
 };
 use nemo_metrics::CountHistogram;
 use std::collections::VecDeque;
@@ -340,7 +340,15 @@ impl<D: ZonedFlash> Nemo<D> {
     /// Flushes the front SG: evict the oldest on-flash SG if the pool is
     /// full (with write-back into the sealed front), then append the front
     /// SG and its filters to flash.
-    fn flush_front(&mut self, now: Nanos) {
+    ///
+    /// A zone whose append fails permanently is quarantined and the flush
+    /// moves on to the next free zone, evicting further SGs if it must.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] when no usable data zone remains or the
+    /// index pool itself fails permanently.
+    fn flush_front(&mut self, now: Nanos) -> Result<(), EngineError> {
         let mut front = self.queue.pop_front().expect("queue never empty");
         let mut writebacks = 0u64;
         if self.cfg.background_eviction {
@@ -356,28 +364,57 @@ impl<D: ZonedFlash> Nemo<D> {
         } else if self.pool.len() >= self.pool_capacity {
             writebacks = self.evict_oldest(&mut front, now);
         }
-        let zone = self
-            .free_zones
-            .pop_front()
-            .expect("pool bookkeeping guarantees a free zone");
-        // Serialize the whole SG: one page per set, full zone append.
         let psz = self.cfg.geometry.page_size() as usize;
         let sets = self.cfg.sets_per_sg();
-        let mut bytes = Vec::with_capacity(sets as usize * psz);
-        for set in 0..sets {
-            let mut page = PageBuf::new(psz);
-            for &(k, s) in front.set(set).entries() {
-                let pushed = page.try_push(k, s);
-                debug_assert!(pushed, "set buffer mirrors page capacity");
+        let (zone, flushed_bytes) = loop {
+            let Some(zone) = self.free_zones.pop_front() else {
+                // Eviction produced no usable zone (quarantine consumed
+                // it); reclaim further SGs until one frees, or give up.
+                if self.pool.is_empty() {
+                    self.queue.push_front(front);
+                    return Err(EngineError::device(
+                        "flushing a streamgroup",
+                        FlashError::io_permanent("no usable data zones remain"),
+                    ));
+                }
+                if self.cfg.background_eviction {
+                    self.force_finish_scan(now);
+                    if self.free_zones.is_empty() && self.scan.is_none() {
+                        writebacks += self.evict_oldest(&mut front, now);
+                    }
+                } else {
+                    writebacks += self.evict_oldest(&mut front, now);
+                }
+                continue;
+            };
+            // Serialize the whole SG: one page per set, full zone append.
+            // (Re-serialized per target zone: a late eviction may have
+            // written objects back into the front SG.)
+            let mut bytes = Vec::with_capacity(sets as usize * psz);
+            for set in 0..sets {
+                let mut page = PageBuf::new(psz);
+                for &(k, s) in front.set(set).entries() {
+                    let pushed = page.try_push(k, s);
+                    debug_assert!(pushed, "set buffer mirrors page capacity");
+                }
+                bytes.extend_from_slice(&page.finish());
             }
-            bytes.extend_from_slice(&page.finish());
-        }
-        let (_, _done) = self
-            .dev
-            .append(ZoneId(zone), &bytes, now)
-            .expect("SG append to a freed zone");
-        self.stats.flash_bytes_written += bytes.len() as u64;
-        self.bytes_since_cooling += bytes.len() as u64;
+            let dev = &mut self.dev;
+            let retries = &mut self.stats.device_retries;
+            match retry_transient(retries, |attempt| {
+                dev.append(ZoneId(zone), &bytes, backoff(now, attempt))
+            }) {
+                Ok(_) => break (zone, bytes.len() as u64),
+                Err(_) => {
+                    // Permanent append failure: this zone is bad. Take it
+                    // out of rotation and try the next free zone.
+                    self.stats.quarantined_zones += 1;
+                    self.pool_capacity = self.pool_capacity.saturating_sub(1).max(1);
+                }
+            }
+        };
+        self.stats.flash_bytes_written += flushed_bytes;
+        self.bytes_since_cooling += flushed_bytes;
 
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -402,11 +439,10 @@ impl<D: ZonedFlash> Nemo<D> {
         } else {
             Vec::new()
         };
-        let (idx_bytes, _) = self
+        let added = self
             .index
             .add_sg(&mut self.dev, seq, zone, filters, &keys, now);
-        self.stats.flash_bytes_written += idx_bytes;
-        self.bytes_since_cooling += idx_bytes;
+        self.stats.device_retries += self.index.take_device_retries();
 
         self.pool.push_back(FlashSg {
             seq,
@@ -414,6 +450,16 @@ impl<D: ZonedFlash> Nemo<D> {
             objects: front.object_count(),
         });
         self.queue.push_back(Self::fresh_sg(&self.cfg));
+
+        let (idx_bytes, _) = added.map_err(|e| {
+            // The index pool is the one structure the engine cannot serve
+            // without; a permanent failure there is fatal. Bookkeeping
+            // above stays consistent so a caller that ignores the error
+            // cannot corrupt the engine further.
+            EngineError::device("appending to the PBFG index pool", e)
+        })?;
+        self.stats.flash_bytes_written += idx_bytes;
+        self.bytes_since_cooling += idx_bytes;
 
         // Resize the PBFG cache to the configured fraction of live pages.
         let cap =
@@ -439,6 +485,7 @@ impl<D: ZonedFlash> Nemo<D> {
         // scanning the oldest SG now so paced background slices can
         // reclaim its zone before the next flush needs one.
         self.maybe_start_scan();
+        Ok(())
     }
 
     /// Starts a deferred eviction scan of the oldest on-flash SG when the
@@ -511,13 +558,92 @@ impl<D: ZonedFlash> Nemo<D> {
         self.staged_writebacks.extend(scan.staged);
         self.tracker.untrack(victim.seq);
         self.index.on_evict(victim.seq);
-        self.dev
-            .reset_zone(ZoneId(victim.zone), now)
-            .expect("victim zone reset");
         let popped = self.pool.pop_front().expect("victim is the pool front");
         debug_assert_eq!(popped.seq, victim.seq);
-        self.free_zones.push_back(victim.zone);
+        self.reclaim_or_quarantine(victim.zone, now);
         self.stats.evicted_objects += victim.objects;
+    }
+
+    /// Resets an evicted SG's zone and returns it to the free list; a
+    /// zone whose reset fails permanently is quarantined instead (taken
+    /// out of rotation, shrinking the pool).
+    fn reclaim_or_quarantine(&mut self, zone: u32, now: Nanos) {
+        let dev = &mut self.dev;
+        let retries = &mut self.stats.device_retries;
+        match retry_transient(retries, |attempt| {
+            dev.reset_zone(ZoneId(zone), backoff(now, attempt))
+        }) {
+            Ok(_) => self.free_zones.push_back(zone),
+            Err(_) => {
+                self.stats.quarantined_zones += 1;
+                self.pool_capacity = self.pool_capacity.saturating_sub(1).max(1);
+            }
+        }
+    }
+
+    /// Quarantines a data zone that failed permanently while still
+    /// holding live objects (get-path read failure): its SG is dropped
+    /// from the pool, index and hotness tracker, and the zone never
+    /// returns to the free list. The cache keeps serving; the zone's
+    /// objects become misses.
+    fn quarantine_zone(&mut self, zone: u32) {
+        if let Some(pos) = self.pool.iter().position(|sg| sg.zone == zone) {
+            let dead = self.pool.remove(pos).expect("position just found");
+            self.index.on_evict(dead.seq);
+            self.tracker.untrack(dead.seq);
+            self.stats.evicted_objects += dead.objects;
+            // An in-flight eviction scan of the dead SG cannot finish.
+            if self.scan.as_ref().is_some_and(|s| s.victim.seq == dead.seq) {
+                self.scan = None;
+            }
+        }
+        self.free_zones.retain(|&z| z != zone);
+        self.stats.quarantined_zones += 1;
+        self.pool_capacity = self.pool_capacity.saturating_sub(1).max(1);
+    }
+
+    /// Reads one candidate wave into [`Self::wave_buf`] through the
+    /// configured path (submit/poll when `io_queue_depth > 0`, scattered
+    /// otherwise), retrying transient errors with virtual-time backoff.
+    /// Returns the wave's completion time.
+    fn read_wave(&mut self, addrs: &[PageAddr], now: Nanos) -> Result<Nanos, FlashError> {
+        let mut attempt = 0;
+        loop {
+            let issue = backoff(now, attempt);
+            let res = if self.cfg.io_queue_depth > 0 {
+                self.dev
+                    .submit_read_batch(
+                        &mut self.io_batch,
+                        addrs,
+                        &mut self.wave_buf,
+                        issue,
+                        self.cfg.io_queue_depth as usize,
+                    )
+                    .and_then(|()| {
+                        self.io_completions.clear();
+                        while !self
+                            .dev
+                            .poll_completions(&mut self.io_batch, &mut self.io_completions)?
+                        {
+                        }
+                        Ok(self
+                            .io_completions
+                            .iter()
+                            .fold(issue, |acc, c| acc.max(c.done)))
+                    })
+            } else {
+                self.dev
+                    .read_scattered_into(addrs, &mut self.wave_buf, issue)
+            };
+            match res {
+                Ok(done) => return Ok(done),
+                Err(e) if e.is_transient() && attempt < DEVICE_RETRY_LIMIT => {
+                    attempt += 1;
+                    self.stats.device_retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Re-admits the staged write-back candidates of a completed deferred
@@ -553,9 +679,19 @@ impl<D: ZonedFlash> Nemo<D> {
         let addr = PageAddr::new(victim.zone, set);
         let psz = self.cfg.geometry.page_size() as usize;
         self.scan_buf.resize(psz, 0);
-        self.dev
-            .read_pages_into(addr, 1, &mut self.scan_buf, now)
-            .expect("victim SG page read");
+        let dev = &mut self.dev;
+        let retries = &mut self.stats.device_retries;
+        let buf = &mut self.scan_buf;
+        if retry_transient(retries, |attempt| {
+            dev.read_pages_into(addr, 1, buf, backoff(now, attempt))
+        })
+        .is_err()
+        {
+            // The victim page is unreadable even after retries: its
+            // write-back candidates are lost, but the SG is on its way
+            // out anyway — skip the set instead of failing the eviction.
+            return false;
+        }
         self.stats.flash_bytes_read += psz as u64;
         for (k, s) in codec::parse_entries(&self.scan_buf) {
             if self.tracker.is_hot(victim.seq, set, k) {
@@ -593,21 +729,38 @@ impl<D: ZonedFlash> Nemo<D> {
             .map(|&set| PageAddr::new(victim.zone, set))
             .collect();
         self.scan_buf.resize(addrs.len() * psz, 0);
-        self.dev
-            .submit_read_batch(
-                &mut self.io_batch,
-                &addrs,
-                &mut self.scan_buf,
-                now,
-                self.cfg.io_queue_depth as usize,
-            )
-            .expect("victim SG batch submission");
-        self.io_completions.clear();
-        while !self
-            .dev
-            .poll_completions(&mut self.io_batch, &mut self.io_completions)
-            .expect("victim SG batch completions")
-        {}
+        let mut attempt = 0;
+        loop {
+            let issue = backoff(now, attempt);
+            let res = self
+                .dev
+                .submit_read_batch(
+                    &mut self.io_batch,
+                    &addrs,
+                    &mut self.scan_buf,
+                    issue,
+                    self.cfg.io_queue_depth as usize,
+                )
+                .and_then(|()| {
+                    self.io_completions.clear();
+                    while !self
+                        .dev
+                        .poll_completions(&mut self.io_batch, &mut self.io_completions)?
+                    {
+                    }
+                    Ok(())
+                });
+            match res {
+                Ok(()) => break,
+                Err(e) if e.is_transient() && attempt < DEVICE_RETRY_LIMIT => {
+                    attempt += 1;
+                    self.stats.device_retries += 1;
+                }
+                // Permanently unreadable victim pages: the write-back
+                // candidates are lost, but the SG is being evicted anyway.
+                Err(_) => return,
+            }
+        }
         self.stats.flash_bytes_read += self.scan_buf.len() as u64;
         for (&set, page) in sets.iter().zip(self.scan_buf.chunks_exact(psz)) {
             for (k, s) in codec::parse_entries(page) {
@@ -653,10 +806,7 @@ impl<D: ZonedFlash> Nemo<D> {
         let writebacks = self.readmit_writebacks(staged, target);
         self.tracker.untrack(victim.seq);
         self.index.on_evict(victim.seq);
-        self.dev
-            .reset_zone(ZoneId(victim.zone), now)
-            .expect("victim zone reset");
-        self.free_zones.push_back(victim.zone);
+        self.reclaim_or_quarantine(victim.zone, now);
         self.stats.evicted_objects += victim.objects.saturating_sub(writebacks);
         self.report.writeback_objects += writebacks;
         writebacks
@@ -716,6 +866,9 @@ impl<D: ZonedFlash> Nemo<D> {
             s.candidate_reads,
             s.evicted_objects,
             s.objects_on_flash,
+            s.device_retries,
+            s.quarantined_zones,
+            s.fault_induced_misses,
         ] {
             w.u64(v);
         }
@@ -864,6 +1017,9 @@ impl<D: ZonedFlash> Nemo<D> {
             candidate_reads: r.u64()?,
             evicted_objects: r.u64()?,
             objects_on_flash: r.u64()?,
+            device_retries: r.u64()?,
+            quarantined_zones: r.u64()?,
+            fault_induced_misses: r.u64()?,
             ..EngineStats::default()
         };
         let npool = r.len(20)?;
@@ -1055,10 +1211,12 @@ impl<D: ZonedFlash> Nemo<D> {
         let mut report = RecoveryReport::new(RecoveryMode::Cold, checkpoint_error);
         for z in 0..engine.cfg.index_zones() {
             if engine.dev.zone_state(ZoneId(z)) != ZoneState::Empty {
-                engine
-                    .dev
-                    .reset_zone(ZoneId(z), Nanos::ZERO)
-                    .expect("stale index zone reset");
+                let dev = &mut engine.dev;
+                let retries = &mut engine.stats.device_retries;
+                retry_transient(retries, |attempt| {
+                    dev.reset_zone(ZoneId(z), backoff(Nanos::ZERO, attempt))
+                })
+                .expect("stale index zone reset: the index pool must be writable to recover");
             }
         }
         for z in engine.cfg.index_zones()..engine.cfg.geometry.zone_count() {
@@ -1078,17 +1236,35 @@ impl<D: ZonedFlash> Nemo<D> {
     /// from the entry headers, and registers the zone as an SG under a
     /// fresh sequence number. A zone that parses to zero objects (torn
     /// append, never-completed SG) is reset and returned to the free
-    /// list. Recovery I/O is reported, not charged to [`EngineStats`] —
-    /// it is restart cost, not workload cost.
+    /// list; a zone that cannot be read even after retries is
+    /// quarantined — recovery proceeds without it. Recovery I/O is
+    /// reported, not charged to [`EngineStats`] — it is restart cost,
+    /// not workload cost.
     fn scan_zone_into_pool(&mut self, zone: u32, report: &mut RecoveryReport) {
         let wp = self.dev.write_pointer(ZoneId(zone));
         debug_assert!(wp > 0, "only non-empty zones are scanned");
         let psz = self.cfg.geometry.page_size() as usize;
         let mut buf = std::mem::take(&mut self.scan_buf);
         buf.resize(wp as usize * psz, 0);
-        self.dev
-            .read_pages_into(PageAddr::new(zone, 0), wp, &mut buf, Nanos::ZERO)
-            .expect("recovery zone scan");
+        {
+            let dev = &mut self.dev;
+            let retries = &mut self.stats.device_retries;
+            if retry_transient(retries, |attempt| {
+                dev.read_pages_into(
+                    PageAddr::new(zone, 0),
+                    wp,
+                    &mut buf,
+                    backoff(Nanos::ZERO, attempt),
+                )
+            })
+            .is_err()
+            {
+                self.scan_buf = buf;
+                self.stats.quarantined_zones += 1;
+                self.pool_capacity = self.pool_capacity.saturating_sub(1).max(1);
+                return;
+            }
+        }
         report.zones_scanned += 1;
         report.pages_read += wp as u64;
         let sets = self.cfg.sets_per_sg();
@@ -1108,10 +1284,7 @@ impl<D: ZonedFlash> Nemo<D> {
         }
         self.scan_buf = buf;
         if objects == 0 {
-            self.dev
-                .reset_zone(ZoneId(zone), Nanos::ZERO)
-                .expect("reset of a recovered-empty zone");
-            self.free_zones.push_back(zone);
+            self.reclaim_or_quarantine(zone, Nanos::ZERO);
             return;
         }
         let seq = self.next_seq;
@@ -1122,7 +1295,9 @@ impl<D: ZonedFlash> Nemo<D> {
             &[]
         };
         self.index
-            .add_sg(&mut self.dev, seq, zone, filters, keys_ref, Nanos::ZERO);
+            .add_sg(&mut self.dev, seq, zone, filters, keys_ref, Nanos::ZERO)
+            .expect("index pool append: the index pool must be writable to recover");
+        self.stats.device_retries += self.index.take_device_retries();
         self.pool.push_back(FlashSg { seq, zone, objects });
         report.objects_recovered += objects;
     }
@@ -1198,30 +1373,33 @@ impl<D: ZonedFlash + Send> CacheEngine for Nemo<D> {
         "nemo"
     }
 
-    fn get(&mut self, key: u64, now: Nanos) -> GetOutcome {
+    fn try_get(&mut self, key: u64, now: Nanos) -> Result<GetOutcome, EngineError> {
         self.stats.gets += 1;
         let set = self.set_index_of(key);
         // 1. Buffered SGs (at most one live version after put-dedup).
         for sg in self.queue.iter() {
             if sg.set(set).contains(key) {
                 self.stats.hits += 1;
-                return GetOutcome::memory_hit(now);
+                return Ok(GetOutcome::memory_hit(now));
             }
         }
         // 2. PBFG query -> candidate SGs (newest first, stale-filtered
-        //    and capped by the index).
-        let q = self.index.candidates(&mut self.dev, set, key, now);
+        //    and capped by the index). A permanent index-pool failure is
+        //    fatal: the engine cannot locate anything without its index.
+        let queried = self.index.candidates(&mut self.dev, set, key, now);
+        self.stats.device_retries += self.index.take_device_retries();
+        let q = queried.map_err(|e| EngineError::device("querying the PBFG index pool", e))?;
         self.stats.flash_bytes_read += q.bytes_read;
         self.report
             .candidates_per_get
             .record(q.candidates.len() as u32);
         if q.candidates.is_empty() {
-            return GetOutcome {
+            return Ok(GetOutcome {
                 hit: false,
                 done_at: q.done_at,
                 flash_reads: q.flash_reads,
                 set_reads: 0,
-            };
+            });
         }
         // 3. Staged candidate reads: the newest `read_wave_width`
         //    candidates are read in parallel (paper §4.1's parallel
@@ -1234,6 +1412,7 @@ impl<D: ZonedFlash + Send> CacheEngine for Nemo<D> {
         let mut done = q.done_at;
         let mut reads = 0u32;
         let mut hit = false;
+        let mut faulted = false;
         let mut start = 0usize;
         while start < q.candidates.len() && !hit {
             let end = (start + wave).min(q.candidates.len());
@@ -1241,70 +1420,94 @@ impl<D: ZonedFlash + Send> CacheEngine for Nemo<D> {
             addrs.clear();
             addrs.extend(wave_cands.iter().map(|c| PageAddr::new(c.zone, set)));
             // Read the wave into the engine's reused buffer: the get path
-            // issues no per-wave allocation.
+            // issues no per-wave allocation. The wave's pages are scanned
+            // below in submission order on either device path, so
+            // completion order can never perturb hit accounting; only
+            // the wave's completion time feeds the outcome.
             self.wave_buf.resize(addrs.len() * psz, 0);
-            done = if self.cfg.io_queue_depth > 0 {
-                // Completion-based path: submit the whole wave at the
-                // configured queue depth and poll it dry. The wave's
-                // pages are scanned below in submission order exactly
-                // like the synchronous path, so completion order (which
-                // is timing-dependent on measuring devices) can never
-                // perturb hit accounting; only the wave's completion
-                // time — the max over its pages — feeds the outcome.
-                self.dev
-                    .submit_read_batch(
-                        &mut self.io_batch,
-                        &addrs,
-                        &mut self.wave_buf,
-                        done,
-                        self.cfg.io_queue_depth as usize,
-                    )
-                    .expect("candidate set read submission");
-                self.io_completions.clear();
-                while !self
-                    .dev
-                    .poll_completions(&mut self.io_batch, &mut self.io_completions)
-                    .expect("candidate set read completions")
-                {}
-                self.io_completions
-                    .iter()
-                    .fold(done, |acc, c| acc.max(c.done))
-            } else {
-                self.dev
-                    .read_scattered_into(&addrs, &mut self.wave_buf, done)
-                    .expect("candidate set reads")
-            };
-            reads += addrs.len() as u32;
-            self.stats.flash_bytes_read += self.wave_buf.len() as u64;
-            for (cand, page) in wave_cands.iter().zip(self.wave_buf.chunks_exact(psz)) {
-                if codec::find_payload(page, key).is_some() {
-                    if hit {
-                        // An older copy of a key already found in this
-                        // wave: a stale version left behind by an update.
-                        self.report.stale_version_reads += 1;
-                    } else {
-                        hit = true;
-                        self.stats.hits += 1;
-                        self.tracker.mark(cand.seq, set, key);
+            match self.read_wave(&addrs, done) {
+                Ok(t) => {
+                    done = t;
+                    reads += addrs.len() as u32;
+                    self.stats.flash_bytes_read += self.wave_buf.len() as u64;
+                    for (cand, page) in wave_cands.iter().zip(self.wave_buf.chunks_exact(psz)) {
+                        if codec::find_payload(page, key).is_some() {
+                            if hit {
+                                // An older copy of a key already found in
+                                // this wave: a stale version left behind
+                                // by an update.
+                                self.report.stale_version_reads += 1;
+                            } else {
+                                hit = true;
+                                self.stats.hits += 1;
+                                self.tracker.mark(cand.seq, set, key);
+                            }
+                        } else {
+                            // The candidate's filter matched but the page
+                            // does not hold the key: a PBFG false positive.
+                            self.report.bloom_fp_reads += 1;
+                        }
                     }
-                } else {
-                    // The candidate's filter matched but the page does
-                    // not hold the key: a PBFG false positive.
-                    self.report.bloom_fp_reads += 1;
+                }
+                Err(_) => {
+                    // The batched wave failed permanently, but a batch
+                    // error does not say *which* zone is bad. Re-read the
+                    // wave's candidates one page at a time to isolate and
+                    // quarantine the dead zone(s); surviving pages are
+                    // still scanned, so a readable copy is still found.
+                    faulted = true;
+                    for cand in wave_cands {
+                        let addr = PageAddr::new(cand.zone, set);
+                        self.wave_buf.resize(psz, 0);
+                        let dev = &mut self.dev;
+                        let retries = &mut self.stats.device_retries;
+                        let buf = &mut self.wave_buf;
+                        let read = retry_transient(retries, |attempt| {
+                            dev.read_pages_into(addr, 1, buf, backoff(done, attempt))
+                        });
+                        match read {
+                            Ok(t) => {
+                                done = done.max(t);
+                                reads += 1;
+                                self.stats.flash_bytes_read += psz as u64;
+                                if codec::find_payload(&self.wave_buf[..psz], key).is_some() {
+                                    if hit {
+                                        self.report.stale_version_reads += 1;
+                                    } else {
+                                        hit = true;
+                                        self.stats.hits += 1;
+                                        self.tracker.mark(cand.seq, set, key);
+                                    }
+                                } else {
+                                    self.report.bloom_fp_reads += 1;
+                                }
+                            }
+                            // Only a permanent failure condemns the zone;
+                            // an exhausted transient burst costs this get
+                            // its candidate but keeps the capacity.
+                            Err(e) if !e.is_transient() => self.quarantine_zone(cand.zone),
+                            Err(_) => {}
+                        }
+                    }
                 }
             }
             start = end;
         }
         self.stats.candidate_reads += reads as u64;
-        GetOutcome {
+        if faulted && !hit {
+            // The object may have lived on a zone the fault path just
+            // lost; either way this miss is attributable to the device.
+            self.stats.fault_induced_misses += 1;
+        }
+        Ok(GetOutcome {
             hit,
             done_at: done,
             flash_reads: q.flash_reads + reads,
             set_reads: reads,
-        }
+        })
     }
 
-    fn put(&mut self, key: u64, size: u32, now: Nanos) -> Nanos {
+    fn try_put(&mut self, key: u64, size: u32, now: Nanos) -> Result<Nanos, EngineError> {
         let size = size.max(MIN_OBJECT_SIZE);
         self.stats.puts += 1;
         self.stats.logical_bytes += size as u64;
@@ -1317,7 +1520,7 @@ impl<D: ZonedFlash + Send> CacheEngine for Nemo<D> {
         }
         loop {
             if self.try_insert(set, key, size) {
-                return now;
+                return Ok(now);
             }
             if self.stall_count < self.cfg.effective_flush_threshold() {
                 // Probabilistic (count-based) flushing: sacrifice old
@@ -1337,10 +1540,10 @@ impl<D: ZonedFlash + Send> CacheEngine for Nemo<D> {
                 }
                 let inserted = front.insert_at(set, key, size);
                 assert!(inserted, "sacrifice must make room for a tiny object");
-                return now;
+                return Ok(now);
             }
             self.stall_count = 0;
-            self.flush_front(now);
+            self.flush_front(now)?;
         }
     }
 
@@ -1373,10 +1576,14 @@ impl<D: ZonedFlash + Send> CacheEngine for Nemo<D> {
     }
 
     fn drain(&mut self, now: Nanos) {
-        // Flush every buffered SG that holds objects.
+        // Flush every buffered SG that holds objects. Draining is a
+        // harness/shutdown operation with no caller to degrade to, so a
+        // fatal device error here panics like the infallible `get`/`put`.
         for _ in 0..self.queue.len() {
             if self.queue.front().is_some_and(|sg| sg.object_count() > 0) {
-                self.flush_front(now);
+                if let Err(e) = self.flush_front(now) {
+                    panic!("engine failed fatally on drain: {e}");
+                }
             }
         }
     }

@@ -9,8 +9,10 @@
 //! stay in memory until the group is sealed.
 
 use nemo_bloom::{contains_in_slice, BloomFilter, ProbeSet};
-use nemo_flash::{Nanos, PageAddr, ZoneId, ZoneState, ZonedFlash};
+use nemo_flash::{FlashError, Nanos, PageAddr, ZoneId, ZoneState, ZonedFlash};
 use std::collections::{HashMap, VecDeque};
+
+pub(crate) use nemo_engine::retry::{backoff, retry_transient, DEVICE_RETRY_LIMIT};
 
 /// A candidate location returned by a PBFG query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,6 +170,9 @@ pub struct PbfgIndex {
     building_supersede: Option<BloomFilter>,
     /// Newest-first candidate cap per query (0 = unlimited).
     max_candidates: u32,
+    /// Transient-retry count since the engine last drained it (not
+    /// checkpointed here; the engine folds it into [`EngineStats`]).
+    device_retries: u64,
     stats: IndexStats,
 }
 
@@ -210,8 +215,15 @@ impl PbfgIndex {
             supersede_sizing: None,
             building_supersede: None,
             max_candidates: 0,
+            device_retries: 0,
             stats: IndexStats::default(),
         }
+    }
+
+    /// Drains the transient-retry count accumulated by index-pool I/O
+    /// since the last call (the engine folds it into its own stats).
+    pub fn take_device_retries(&mut self) -> u64 {
+        std::mem::take(&mut self.device_retries)
     }
 
     /// Enables stale-version filtering: each group keeps an in-memory
@@ -273,6 +285,13 @@ impl PbfgIndex {
     /// recorded in the group's supersede filter when stale-version
     /// filtering is enabled (pass `&[]` to skip). Returns flash bytes
     /// written (0 until a group seals) and the completion time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the device error if persisting a sealed group fails
+    /// permanently (transient errors are retried internally). The
+    /// building group keeps the new SG either way; only the pool append
+    /// is lost, and the index cannot serve without its pool.
     pub fn add_sg<D: ZonedFlash>(
         &mut self,
         dev: &mut D,
@@ -281,7 +300,7 @@ impl PbfgIndex {
         filters: Vec<BloomFilter>,
         keys: &[u64],
         now: Nanos,
-    ) -> (u64, Nanos) {
+    ) -> Result<(u64, Nanos), FlashError> {
         assert_eq!(
             filters.len(),
             self.sets_per_sg as usize,
@@ -300,13 +319,17 @@ impl PbfgIndex {
         if self.building.len() as u32 >= self.sgs_per_group {
             self.persist_building(dev, now)
         } else {
-            (0, now)
+            Ok((0, now))
         }
     }
 
     /// Serializes the building group into packed PBFG pages and appends
     /// them to the index pool.
-    fn persist_building<D: ZonedFlash>(&mut self, dev: &mut D, now: Nanos) -> (u64, Nanos) {
+    fn persist_building<D: ZonedFlash>(
+        &mut self,
+        dev: &mut D,
+        now: Nanos,
+    ) -> Result<(u64, Nanos), FlashError> {
         let group_id = self.next_group_id;
         self.next_group_id += 1;
         let psz = self.page_size as usize;
@@ -332,10 +355,10 @@ impl PbfgIndex {
             }
         }
         self.building.clear();
-        let zone = self.pool_zone_with_room(dev, now);
-        let (base, done) = dev
-            .append(ZoneId(zone), &bytes, now)
-            .expect("index pool append");
+        let zone = self.pool_zone_with_room(dev, now)?;
+        let (base, done) = retry_transient(&mut self.device_retries, |attempt| {
+            dev.append(ZoneId(zone), &bytes, backoff(now, attempt))
+        })?;
         self.stats.pool_pages_written += self.sets_per_sg as u64;
         self.zone_groups.entry(zone).or_default().push(group_id);
         self.retired.insert(group_id, live == 0);
@@ -346,17 +369,21 @@ impl PbfgIndex {
             live,
             supersede: self.building_supersede.take(),
         });
-        (bytes.len() as u64, done)
+        Ok((bytes.len() as u64, done))
     }
 
     /// Finds (recycling if needed) a pool zone with room for one group.
-    fn pool_zone_with_room<D: ZonedFlash>(&mut self, dev: &mut D, now: Nanos) -> u32 {
+    fn pool_zone_with_room<D: ZonedFlash>(
+        &mut self,
+        dev: &mut D,
+        now: Nanos,
+    ) -> Result<u32, FlashError> {
         let ppz = dev.geometry().pages_per_zone();
         for _ in 0..=self.pool_zones.len() {
             let zone = self.pool_zones[self.pool_open];
             let room = ppz - dev.write_pointer(ZoneId(zone));
             if room >= self.sets_per_sg {
-                return zone;
+                return Ok(zone);
             }
             // Advance the ring; recycle the next zone if all its groups
             // have retired.
@@ -373,7 +400,9 @@ impl PbfgIndex {
                 for g in groups {
                     self.retired.remove(&g);
                 }
-                dev.reset_zone(ZoneId(next), now).expect("index zone reset");
+                retry_transient(&mut self.device_retries, |attempt| {
+                    dev.reset_zone(ZoneId(next), backoff(now, attempt))
+                })?;
             }
         }
         unreachable!("index pool ring exhausted");
@@ -419,13 +448,19 @@ impl PbfgIndex {
     /// every older copy of the key is stale, so older groups are
     /// neither probed nor fetched. The surviving list is truncated to
     /// the newest [`Self::set_max_candidates`] entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the device error if an index-pool page read fails
+    /// permanently (transient errors are retried internally). The index
+    /// is left consistent; the query simply could not be answered.
     pub fn candidates<D: ZonedFlash>(
         &mut self,
         dev: &mut D,
         set: u32,
         key: u64,
         now: Nanos,
-    ) -> CandidateQuery {
+    ) -> Result<CandidateQuery, FlashError> {
         let probes = ProbeSet::for_key(key);
         let mut out = Vec::new();
         // Building group (newest): filters are in memory — one
@@ -472,7 +507,9 @@ impl PbfgIndex {
                 None
             } else {
                 self.stats.cache_misses += 1;
-                let (mut page, t) = dev.read_pages(addr, 1, now).expect("index pool page read");
+                let (mut page, t) = retry_transient(&mut self.device_retries, |attempt| {
+                    dev.read_pages(addr, 1, backoff(now, attempt))
+                })?;
                 flash_reads += 1;
                 bytes_read += page.len() as u64;
                 done = done.max(t);
@@ -510,13 +547,13 @@ impl PbfgIndex {
             out.truncate(self.max_candidates as usize);
             self.stats.capped_queries += 1;
         }
-        CandidateQuery {
+        Ok(CandidateQuery {
             candidates: out,
             flash_reads,
             bytes_read,
             done_at: done,
             capped,
-        }
+        })
     }
 
     /// Resident bytes of the PBFG cache.
@@ -781,8 +818,9 @@ mod tests {
     fn building_group_answers_from_memory() {
         let mut d = dev();
         let mut idx = index();
-        idx.add_sg(&mut d, 1, 10, filters_with_keys(&[8, 16]), &[], Nanos::ZERO);
-        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        idx.add_sg(&mut d, 1, 10, filters_with_keys(&[8, 16]), &[], Nanos::ZERO)
+            .unwrap();
+        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO).unwrap();
         assert_eq!(q.candidates, vec![SgCandidate { seq: 1, zone: 10 }]);
         assert_eq!(q.flash_reads, 0);
     }
@@ -793,14 +831,16 @@ mod tests {
         let mut idx = index();
         let mut wrote = 0;
         for seq in 0..3u64 {
-            let (b, _) = idx.add_sg(
-                &mut d,
-                seq,
-                10 + seq as u32,
-                filters_with_keys(&[seq * SETS as u64]),
-                &[],
-                Nanos::ZERO,
-            );
+            let (b, _) = idx
+                .add_sg(
+                    &mut d,
+                    seq,
+                    10 + seq as u32,
+                    filters_with_keys(&[seq * SETS as u64]),
+                    &[],
+                    Nanos::ZERO,
+                )
+                .unwrap();
             wrote += b;
         }
         assert_eq!(wrote, SETS as u64 * 512, "one page per set offset");
@@ -821,13 +861,14 @@ mod tests {
                 filters_with_keys(&[seq + 8]), // keys 8,9,10 -> sets 0,1,2
                 &[],
                 Nanos::ZERO,
-            );
+            )
+            .unwrap();
         }
-        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO).unwrap();
         assert!(q.candidates.contains(&SgCandidate { seq: 0, zone: 10 }));
         assert_eq!(q.flash_reads, 1, "first access fetches the PBFG page");
         // Second access: cached.
-        let q2 = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        let q2 = idx.candidates(&mut d, 0, 8, Nanos::ZERO).unwrap();
         assert_eq!(q2.flash_reads, 0);
         assert!(idx.stats().cache_hits > 0);
     }
@@ -838,10 +879,11 @@ mod tests {
         let mut idx = index();
         idx.set_cache_capacity(0);
         for seq in 0..3u64 {
-            idx.add_sg(&mut d, seq, 10, filters_with_keys(&[1]), &[], Nanos::ZERO);
+            idx.add_sg(&mut d, seq, 10, filters_with_keys(&[1]), &[], Nanos::ZERO)
+                .unwrap();
         }
-        let q1 = idx.candidates(&mut d, 1, 1, Nanos::ZERO);
-        let q2 = idx.candidates(&mut d, 1, 1, Nanos::ZERO);
+        let q1 = idx.candidates(&mut d, 1, 1, Nanos::ZERO).unwrap();
+        let q2 = idx.candidates(&mut d, 1, 1, Nanos::ZERO).unwrap();
         assert_eq!(q1.flash_reads, 1);
         assert_eq!(q2.flash_reads, 1, "nothing can be cached");
         assert!((idx.stats().miss_ratio() - 1.0).abs() < 1e-9);
@@ -860,13 +902,14 @@ mod tests {
                 filters_with_keys(&[8]),
                 &[],
                 Nanos::ZERO,
-            );
+            )
+            .unwrap();
         }
         for seq in 0..3u64 {
             idx.on_evict(seq);
         }
         assert_eq!(idx.group_count(), 0, "group retires with its SGs");
-        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO).unwrap();
         assert!(q.candidates.is_empty());
     }
 
@@ -883,9 +926,10 @@ mod tests {
                 filters_with_keys(&[8]),
                 &[],
                 Nanos::ZERO,
-            );
+            )
+            .unwrap();
         }
-        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO).unwrap();
         let seqs: Vec<u64> = q.candidates.iter().map(|c| c.seq).collect();
         assert_eq!(seqs, vec![9, 7, 4]);
     }
@@ -900,7 +944,8 @@ mod tests {
         let mut seq = 0u64;
         for _ in 0..8 {
             for _ in 0..3 {
-                idx.add_sg(&mut d, seq, 10, filters_with_keys(&[1]), &[], Nanos::ZERO);
+                idx.add_sg(&mut d, seq, 10, filters_with_keys(&[1]), &[], Nanos::ZERO)
+                    .unwrap();
                 seq += 1;
             }
             // Retire everything except the newest group.
@@ -920,13 +965,15 @@ mod tests {
         // (seqs 3..6) re-admits key 8 in seq 5.
         for seq in 0..3u64 {
             let keys: &[u64] = if seq == 0 { &[8] } else { &[seq + 16] };
-            idx.add_sg(&mut d, seq, 10, filters_with_keys(keys), keys, Nanos::ZERO);
+            idx.add_sg(&mut d, seq, 10, filters_with_keys(keys), keys, Nanos::ZERO)
+                .unwrap();
         }
         for seq in 3..6u64 {
             let keys: &[u64] = if seq == 5 { &[8] } else { &[seq + 32] };
-            idx.add_sg(&mut d, seq, 10, filters_with_keys(keys), keys, Nanos::ZERO);
+            idx.add_sg(&mut d, seq, 10, filters_with_keys(keys), keys, Nanos::ZERO)
+                .unwrap();
         }
-        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO).unwrap();
         let seqs: Vec<u64> = q.candidates.iter().map(|c| c.seq).collect();
         assert_eq!(seqs, vec![5], "older group's stale copy must be dropped");
         assert_eq!(
@@ -947,13 +994,15 @@ mod tests {
         // PBFG candidate.
         for seq in 0..3u64 {
             let keys: &[u64] = if seq == 0 { &[8] } else { &[seq + 16] };
-            idx.add_sg(&mut d, seq, 10, filters_with_keys(keys), keys, Nanos::ZERO);
+            idx.add_sg(&mut d, seq, 10, filters_with_keys(keys), keys, Nanos::ZERO)
+                .unwrap();
         }
         for seq in 3..6u64 {
             let keys: &[u64] = &[seq + 32];
-            idx.add_sg(&mut d, seq, 10, filters_with_keys(keys), keys, Nanos::ZERO);
+            idx.add_sg(&mut d, seq, 10, filters_with_keys(keys), keys, Nanos::ZERO)
+                .unwrap();
         }
-        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO).unwrap();
         assert_eq!(
             q.candidates,
             vec![SgCandidate { seq: 0, zone: 10 }],
@@ -970,10 +1019,12 @@ mod tests {
         idx.enable_supersede(12, 0.02);
         // Persisted group holds key 8; the building group re-admits it.
         for seq in 0..3u64 {
-            idx.add_sg(&mut d, seq, 10, filters_with_keys(&[8]), &[8], Nanos::ZERO);
+            idx.add_sg(&mut d, seq, 10, filters_with_keys(&[8]), &[8], Nanos::ZERO)
+                .unwrap();
         }
-        idx.add_sg(&mut d, 3, 11, filters_with_keys(&[8]), &[8], Nanos::ZERO);
-        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        idx.add_sg(&mut d, 3, 11, filters_with_keys(&[8]), &[8], Nanos::ZERO)
+            .unwrap();
+        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO).unwrap();
         let seqs: Vec<u64> = q.candidates.iter().map(|c| c.seq).collect();
         assert_eq!(seqs, vec![3], "persisted stale copies skipped entirely");
         assert_eq!(q.flash_reads, 0, "no index-pool fetch needed");
@@ -993,9 +1044,10 @@ mod tests {
                 filters_with_keys(&[8]),
                 &[],
                 Nanos::ZERO,
-            );
+            )
+            .unwrap();
         }
-        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        let q = idx.candidates(&mut d, 0, 8, Nanos::ZERO).unwrap();
         let seqs: Vec<u64> = q.candidates.iter().map(|c| c.seq).collect();
         assert_eq!(seqs, vec![9, 7], "cap keeps the newest candidates");
         assert_eq!(q.capped, 1);
@@ -1007,15 +1059,17 @@ mod tests {
         let mut d = dev();
         let mut idx = index();
         idx.set_cache_capacity(64);
-        idx.add_sg(&mut d, 0, 10, filters_with_keys(&[8]), &[], Nanos::ZERO);
+        idx.add_sg(&mut d, 0, 10, filters_with_keys(&[8]), &[], Nanos::ZERO)
+            .unwrap();
         // Building: always "recently active".
         assert!(idx.is_recently_active(0, 0));
         for seq in 1..3u64 {
-            idx.add_sg(&mut d, seq, 10, filters_with_keys(&[8]), &[], Nanos::ZERO);
+            idx.add_sg(&mut d, seq, 10, filters_with_keys(&[8]), &[], Nanos::ZERO)
+                .unwrap();
         }
         // Persisted but not yet cached.
         assert!(!idx.is_recently_active(0, 0));
-        idx.candidates(&mut d, 0, 8, Nanos::ZERO);
+        idx.candidates(&mut d, 0, 8, Nanos::ZERO).unwrap();
         assert!(idx.is_recently_active(0, 0), "fetch populates the cache");
     }
 }

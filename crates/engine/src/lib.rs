@@ -28,8 +28,9 @@
 //! ```
 
 pub mod codec;
+pub mod retry;
 mod stats;
 mod traits;
 
 pub use stats::{EngineStats, MemoryBreakdown, MemoryComponent};
-pub use traits::{CacheEngine, GetOutcome};
+pub use traits::{CacheEngine, EngineError, GetOutcome};

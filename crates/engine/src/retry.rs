@@ -1,0 +1,98 @@
+//! Bounded retry-with-backoff over transient device errors — the shared
+//! policy every engine applies before escalating to [`EngineError`]
+//! (quarantine or a fatal error).
+//!
+//! [`EngineError`]: crate::EngineError
+
+use nemo_flash::{FlashError, Nanos};
+
+/// Transient device errors are retried this many times before they are
+/// treated as permanent.
+pub const DEVICE_RETRY_LIMIT: u32 = 3;
+
+/// Virtual-time exponential backoff for retry attempt `attempt`:
+/// attempt 0 issues at `now`, attempt `n` at `now + 50µs · 2^(n-1)`.
+pub fn backoff(now: Nanos, attempt: u32) -> Nanos {
+    if attempt == 0 {
+        now
+    } else {
+        now + Nanos::from_micros(50u64 << (attempt - 1))
+    }
+}
+
+/// Retries `op` through transient device errors with a bounded budget,
+/// counting each retry into `retries` (engines fold the count into
+/// [`EngineStats::device_retries`]). The attempt index is passed to the
+/// closure so it can back the virtual issue time off via [`backoff`].
+///
+/// # Errors
+///
+/// Returns the last device error once the budget is exhausted or the
+/// error is permanent.
+///
+/// [`EngineStats::device_retries`]: crate::EngineStats::device_retries
+pub fn retry_transient<T>(
+    retries: &mut u64,
+    mut op: impl FnMut(u32) -> Result<T, FlashError>,
+) -> Result<T, FlashError> {
+    let mut attempt = 0;
+    loop {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt < DEVICE_RETRY_LIMIT => {
+                attempt += 1;
+                *retries += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retries_transient_then_succeeds() {
+        let mut retries = 0;
+        let mut fails = 2;
+        let out = retry_transient(&mut retries, |_| {
+            if fails > 0 {
+                fails -= 1;
+                Err(FlashError::io_transient("blip"))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn permanent_errors_abort_immediately() {
+        let mut retries = 0;
+        let mut calls = 0;
+        let out: Result<(), _> = retry_transient(&mut retries, |_| {
+            calls += 1;
+            Err(FlashError::io_permanent("dead"))
+        });
+        assert!(out.is_err());
+        assert_eq!((calls, retries), (1, 0));
+    }
+
+    #[test]
+    fn budget_bounds_transient_retries() {
+        let mut retries = 0;
+        let out: Result<(), _> =
+            retry_transient(&mut retries, |_| Err(FlashError::io_transient("flaky")));
+        assert!(out.is_err());
+        assert_eq!(retries, DEVICE_RETRY_LIMIT as u64);
+    }
+
+    #[test]
+    fn backoff_is_monotonic() {
+        let t = Nanos::from_micros(10);
+        assert_eq!(backoff(t, 0), t);
+        assert!(backoff(t, 2) > backoff(t, 1));
+    }
+}

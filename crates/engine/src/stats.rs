@@ -37,6 +37,15 @@ pub struct EngineStats {
     /// Objects currently resident on flash (approximate for approximate
     /// indexes).
     pub objects_on_flash: u64,
+    /// Device operations retried after a transient error (bounded
+    /// retry-with-backoff; each retry attempt counts once).
+    pub device_retries: u64,
+    /// Zones quarantined after a permanent device error. A quarantined
+    /// zone's objects are dropped from the index and never reused.
+    pub quarantined_zones: u64,
+    /// Lookups answered as misses purely because a device fault (after
+    /// retries) or a quarantine made the object unreachable.
+    pub fault_induced_misses: u64,
     /// Raw device counters.
     pub device: DeviceStats,
 }
@@ -110,6 +119,9 @@ impl EngineStats {
             candidate_reads: self.candidate_reads + other.candidate_reads,
             evicted_objects: self.evicted_objects + other.evicted_objects,
             objects_on_flash: self.objects_on_flash + other.objects_on_flash,
+            device_retries: self.device_retries + other.device_retries,
+            quarantined_zones: self.quarantined_zones + other.quarantined_zones,
+            fault_induced_misses: self.fault_induced_misses + other.fault_induced_misses,
             device: self.device.merge(&other.device),
         }
     }

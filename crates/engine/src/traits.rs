@@ -1,7 +1,62 @@
 //! The engine trait.
 
 use crate::stats::{EngineStats, MemoryBreakdown};
-use nemo_flash::Nanos;
+use nemo_flash::{FlashError, Nanos};
+use std::fmt;
+
+/// A fatal engine failure — the error a [`CacheEngine::try_get`] /
+/// [`CacheEngine::try_put`] surfaces after its internal recovery
+/// (bounded retries, zone quarantine, degrading to a miss) has been
+/// exhausted. Reaching the caller means the engine can no longer serve;
+/// the sharded front-end reacts by taking the owning shard out of
+/// rotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// An unrecoverable device failure on a structure the engine cannot
+    /// serve without (index pool, write frontier).
+    Device {
+        /// What the engine was doing when the device failed.
+        context: &'static str,
+        /// The device error that exhausted recovery.
+        source: FlashError,
+    },
+    /// The request was routed to a shard that is no longer serving
+    /// (produced by the sharded front-end, not by engines themselves).
+    ShardUnavailable {
+        /// Index of the dead shard.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Device { context, source } => {
+                write!(f, "unrecoverable device error while {context}: {source}")
+            }
+            EngineError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} is unavailable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Device { source, .. } => Some(source),
+            EngineError::ShardUnavailable { .. } => None,
+        }
+    }
+}
+
+impl EngineError {
+    /// Wraps a device error with the operation it interrupted.
+    pub fn device(context: &'static str, source: FlashError) -> Self {
+        EngineError::Device { context, source }
+    }
+}
 
 /// Result of a lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,11 +116,50 @@ pub trait CacheEngine: Send {
     fn name(&self) -> &'static str;
 
     /// Looks up `key` at virtual time `now`.
-    fn get(&mut self, key: u64, now: Nanos) -> GetOutcome;
+    ///
+    /// Device faults are absorbed where a cache legitimately can:
+    /// transient errors are retried (bounded), permanently failed zones
+    /// are quarantined, and an unreachable object degrades to a miss
+    /// (counted in [`EngineStats::fault_induced_misses`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] only when the engine can no longer serve
+    /// at all (e.g. its index pool is on a dead zone).
+    fn try_get(&mut self, key: u64, now: Nanos) -> Result<GetOutcome, EngineError>;
 
     /// Inserts (or updates) an object of `size` bytes; returns the
     /// completion time of the foreground portion of the write.
-    fn put(&mut self, key: u64, size: u32, now: Nanos) -> Nanos;
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::try_get`]: recoverable device faults are
+    /// absorbed, an error means the engine is dead.
+    fn try_put(&mut self, key: u64, size: u32, now: Nanos) -> Result<Nanos, EngineError>;
+
+    /// Infallible [`Self::try_get`] for harnesses on fault-free devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine reports a fatal [`EngineError`].
+    fn get(&mut self, key: u64, now: Nanos) -> GetOutcome {
+        match self.try_get(key, now) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("engine failed fatally on get: {e}"),
+        }
+    }
+
+    /// Infallible [`Self::try_put`] for harnesses on fault-free devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine reports a fatal [`EngineError`].
+    fn put(&mut self, key: u64, size: u32, now: Nanos) -> Nanos {
+        match self.try_put(key, size, now) {
+            Ok(done) => done,
+            Err(e) => panic!("engine failed fatally on put: {e}"),
+        }
+    }
 
     /// Common counters.
     fn stats(&self) -> EngineStats;

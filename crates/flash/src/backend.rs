@@ -8,6 +8,7 @@
 //! backend without boxing.
 
 use crate::error::FlashError;
+use crate::faults::FaultyFlash;
 use crate::geometry::{Geometry, PageAddr, ZoneId};
 use crate::real::RealFlash;
 use crate::stats::DeviceStats;
@@ -32,6 +33,10 @@ pub enum AnyFlash {
     Sim(SimFlash),
     /// The real-I/O device, measured completion times.
     Real(RealFlash),
+    /// Either device behind a deterministic fault injector (boxed: the
+    /// wrapper carries plan state the fault-free variants shouldn't pay
+    /// for).
+    Faulty(Box<FaultyFlash<AnyFlash>>),
 }
 
 impl From<SimFlash> for AnyFlash {
@@ -46,11 +51,18 @@ impl From<RealFlash> for AnyFlash {
     }
 }
 
+impl From<FaultyFlash<AnyFlash>> for AnyFlash {
+    fn from(dev: FaultyFlash<AnyFlash>) -> Self {
+        AnyFlash::Faulty(Box::new(dev))
+    }
+}
+
 macro_rules! delegate {
     ($self:ident, $dev:ident => $e:expr) => {
         match $self {
             AnyFlash::Sim($dev) => $e,
             AnyFlash::Real($dev) => $e,
+            AnyFlash::Faulty($dev) => $e,
         }
     };
 }
@@ -154,6 +166,10 @@ impl ZonedFlash for AnyFlash {
 
     fn suspect_zones(&self) -> &[ZoneId] {
         delegate!(self, dev => dev.suspect_zones())
+    }
+
+    fn tear_zone_record(&mut self, zone: ZoneId) -> Result<(), FlashError> {
+        delegate!(self, dev => dev.tear_zone_record(zone))
     }
 }
 

@@ -4,6 +4,30 @@ use crate::geometry::{PageAddr, ZoneId};
 use std::error::Error;
 use std::fmt;
 
+/// Whether a failed device operation is worth retrying.
+///
+/// Carried by [`FlashError::Io`] so policies (engine retry loops, zone
+/// quarantine) branch on a typed class instead of string-matching the
+/// underlying errno message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// The same operation may succeed if retried (EINTR/EAGAIN-style
+    /// kernel hiccups, injected transient faults).
+    Transient,
+    /// Retrying the identical operation cannot succeed (media failure,
+    /// a dead zone, a missing backing file).
+    Permanent,
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorClass::Transient => write!(f, "transient"),
+            ErrorClass::Permanent => write!(f, "permanent"),
+        }
+    }
+}
+
 /// Errors returned by the simulated flash devices.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -41,8 +65,15 @@ pub enum FlashError {
     BadLogicalPage(u64),
     /// Garbage collection could not reclaim space (device over-filled).
     GcStalled,
-    /// Backing-file I/O failed (file-backed devices only).
-    Io(String),
+    /// A device I/O operation failed (backing-file errors, injected
+    /// faults). `class` says whether a retry can help; `msg` carries
+    /// the underlying errno text for humans and logs only.
+    Io {
+        /// Retryability of the failure.
+        class: ErrorClass,
+        /// Underlying error message (errno text or fault description).
+        msg: String,
+    },
     /// A backed device file's superblock is missing, corrupt, or does not
     /// match the file (reopen of a non-device or truncated file).
     BadSuperblock(String),
@@ -91,7 +122,7 @@ impl fmt::Display for FlashError {
             FlashError::GcStalled => {
                 write!(f, "garbage collection stalled: no reclaimable space")
             }
-            FlashError::Io(msg) => write!(f, "backing-file i/o error: {msg}"),
+            FlashError::Io { class, msg } => write!(f, "{class} device i/o error: {msg}"),
             FlashError::BadSuperblock(msg) => write!(f, "bad device superblock: {msg}"),
             FlashError::GeometryMismatch { expected, found } => write!(
                 f,
@@ -104,9 +135,50 @@ impl fmt::Display for FlashError {
 
 impl Error for FlashError {}
 
+impl FlashError {
+    /// A retryable I/O failure.
+    pub fn io_transient(msg: impl Into<String>) -> Self {
+        FlashError::Io {
+            class: ErrorClass::Transient,
+            msg: msg.into(),
+        }
+    }
+
+    /// A non-retryable I/O failure.
+    pub fn io_permanent(msg: impl Into<String>) -> Self {
+        FlashError::Io {
+            class: ErrorClass::Permanent,
+            msg: msg.into(),
+        }
+    }
+
+    /// True when retrying the same operation may succeed. Everything
+    /// except a transient [`FlashError::Io`] is a hard failure: either
+    /// a caller bug (bad address, overflow) or unrecoverable state.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            FlashError::Io {
+                class: ErrorClass::Transient,
+                ..
+            }
+        )
+    }
+}
+
 impl From<std::io::Error> for FlashError {
     fn from(err: std::io::Error) -> Self {
-        FlashError::Io(err.to_string())
+        use std::io::ErrorKind;
+        let class = match err.kind() {
+            ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+                ErrorClass::Transient
+            }
+            _ => ErrorClass::Permanent,
+        };
+        FlashError::Io {
+            class,
+            msg: err.to_string(),
+        }
     }
 }
 
@@ -124,6 +196,19 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("zone 3"));
         assert!(s.contains("2 pages"));
+    }
+
+    #[test]
+    fn io_class_from_errno_kind() {
+        let e: FlashError = std::io::Error::from(std::io::ErrorKind::Interrupted).into();
+        assert!(e.is_transient());
+        let e: FlashError = std::io::Error::from(std::io::ErrorKind::NotFound).into();
+        assert!(!e.is_transient());
+        assert!(FlashError::io_transient("injected").is_transient());
+        assert!(!FlashError::io_permanent("dead zone").is_transient());
+        assert!(FlashError::io_permanent("dead zone")
+            .to_string()
+            .contains("permanent"));
     }
 
     #[test]

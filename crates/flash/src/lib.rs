@@ -33,9 +33,11 @@
 //!   over-provisioning. Used by the set-associative baseline, which the
 //!   paper runs with 50 % OP, and for DLWA studies.
 //!
-//! [`AnyFlash`] wraps the two zoned devices in one concrete type for
+//! [`AnyFlash`] wraps the zoned devices in one concrete type for
 //! runtime backend selection (engines themselves are generic over
-//! [`ZonedFlash`]).
+//! [`ZonedFlash`]), and [`FaultyFlash`] wraps any backend to inject
+//! deterministic, seeded device faults ([`FaultPlan`]) for robustness
+//! testing.
 //!
 //! # Examples
 //!
@@ -56,6 +58,7 @@ mod clock;
 mod conventional;
 mod dies;
 mod error;
+mod faults;
 mod geometry;
 mod real;
 mod stats;
@@ -67,7 +70,8 @@ pub use backend::AnyFlash;
 pub use clock::{Clock, TickClock, WallClock};
 pub use conventional::{ConventionalSsd, FtlStats};
 pub use dies::{DieTimeline, LatencyModel};
-pub use error::FlashError;
+pub use error::{ErrorClass, FlashError};
+pub use faults::{FaultKind, FaultOp, FaultPlan, FaultRule, FaultyFlash};
 pub use geometry::{Geometry, PageAddr, ZoneId};
 pub use real::{RealFlash, RealFlashOptions};
 pub use stats::DeviceStats;

@@ -698,6 +698,7 @@ impl<C: Clock> ZonedFlash for RealFlash<C> {
                     completed += 1;
                 }
                 Err(e) => {
+                    self.stats.read_errors += 1;
                     first_err = Some(e.into());
                     break;
                 }
@@ -721,6 +722,10 @@ impl<C: Clock> ZonedFlash for RealFlash<C> {
                 }
                 completed += pages;
                 if let Some(e) = reply.err {
+                    // Every failed chunk is counted, even though the call
+                    // can only surface one error — multi-chunk failures
+                    // must not collapse into a single-error statistic.
+                    self.stats.read_errors += 1;
                     first_err.get_or_insert(e.into());
                 }
             }
@@ -801,6 +806,12 @@ impl<C: Clock> ZonedFlash for RealFlash<C> {
 
     fn suspect_zones(&self) -> &[ZoneId] {
         &self.suspect
+    }
+
+    fn tear_zone_record(&mut self, zone: ZoneId) -> Result<(), FlashError> {
+        self.check_zone(zone)?;
+        superblock::tear_zone(&self.meta, zone.0)?;
+        Ok(())
     }
 }
 

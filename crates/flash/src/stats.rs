@@ -42,6 +42,11 @@ pub struct DeviceStats {
     /// is as deep as its deepest shard) and [`Self::delta`] keeps the
     /// later value (the mark is monotone within a run).
     pub inflight_hwm: u64,
+    /// Read operations that failed (including every page of a scattered
+    /// batch that failed, not just the first error the call surfaced).
+    pub read_errors: u64,
+    /// Write-path operations (appends, resets) that failed.
+    pub write_errors: u64,
 }
 
 impl DeviceStats {
@@ -66,6 +71,8 @@ impl DeviceStats {
                 .submit_lat_total
                 .saturating_sub(earlier.submit_lat_total),
             inflight_hwm: self.inflight_hwm,
+            read_errors: self.read_errors - earlier.read_errors,
+            write_errors: self.write_errors - earlier.write_errors,
         }
     }
 
@@ -85,6 +92,8 @@ impl DeviceStats {
             async_reads: self.async_reads + other.async_reads,
             submit_lat_total: self.submit_lat_total + other.submit_lat_total,
             inflight_hwm: self.inflight_hwm.max(other.inflight_hwm),
+            read_errors: self.read_errors + other.read_errors,
+            write_errors: self.write_errors + other.write_errors,
         }
     }
 }
@@ -133,6 +142,8 @@ mod tests {
             async_reads: 6,
             submit_lat_total: Nanos(300),
             inflight_hwm: 8,
+            read_errors: 3,
+            write_errors: 1,
         };
         let b = DeviceStats {
             pages_written: 4,
@@ -147,6 +158,8 @@ mod tests {
         assert_eq!(m.pages_written, 14);
         assert_eq!(m.bytes_written, 57344);
         assert_eq!(m.busy_time, Nanos(540));
+        assert_eq!(m.read_errors, 3);
+        assert_eq!(m.write_errors, 1);
         assert_eq!(m.async_reads, 8);
         assert_eq!(m.submit_lat_total, Nanos(390));
         // The high-water mark is not additive: a fleet's depth is its

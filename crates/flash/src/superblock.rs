@@ -177,6 +177,18 @@ pub(crate) fn sync(file: &File) -> io::Result<()> {
     file.sync_data()
 }
 
+/// Fault-injection helper: flips one byte inside `zone`'s on-disk record
+/// without updating its CRC — the damage a crash in the middle of an
+/// in-place record rewrite leaves behind. [`read`] will substitute
+/// [`ZoneRecord::suspect`] for the zone on the next open.
+pub(crate) fn tear_zone(file: &File, zone: u32) -> io::Result<()> {
+    let off = HEADER_BYTES + zone as u64 * ZONE_RECORD_BYTES + 1;
+    let mut byte = [0u8; 1];
+    file.read_exact_at(&mut byte, off)?;
+    file.write_all_at(&[byte[0] ^ 0xFF], off)?;
+    file.sync_data()
+}
+
 /// Reads and validates the superblock.
 ///
 /// With `expected` geometry supplied (every engine-facing open path), a

@@ -156,6 +156,24 @@ pub trait ZonedFlash {
     fn suspect_zones(&self) -> &[ZoneId] {
         &[]
     }
+    /// Fault-injection hook: corrupts `zone`'s *persisted* metadata
+    /// record in place (leaving live in-memory state untouched), the
+    /// exact damage a crash in the middle of an in-place record rewrite
+    /// leaves behind. The next reopen fails the record's CRC and reports
+    /// the zone through [`Self::suspect_zones`]. Used by
+    /// [`crate::FaultyFlash`] and crash tests; never called on the
+    /// production path.
+    ///
+    /// # Errors
+    ///
+    /// The default (and any backend without persistent zone records)
+    /// returns a permanent [`FlashError::Io`].
+    fn tear_zone_record(&mut self, zone: ZoneId) -> Result<(), FlashError> {
+        let _ = zone;
+        Err(FlashError::io_permanent(
+            "this backend has no persistent zone records to tear",
+        ))
+    }
     /// Appends page-aligned data at a zone's write pointer.
     ///
     /// Returns the address of the first page written and the completion
@@ -708,6 +726,19 @@ impl ZonedFlash for SimFlash {
 
     fn suspect_zones(&self) -> &[ZoneId] {
         &self.suspect
+    }
+
+    fn tear_zone_record(&mut self, zone: ZoneId) -> Result<(), FlashError> {
+        self.check_zone(zone)?;
+        match &self.backend {
+            Backend::File { file, .. } => {
+                superblock::tear_zone(file, zone.0)?;
+                Ok(())
+            }
+            Backend::Mem { .. } => Err(FlashError::io_permanent(
+                "in-memory device has no persistent zone records to tear",
+            )),
+        }
     }
 
     fn append(

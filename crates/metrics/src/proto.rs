@@ -37,6 +37,9 @@ pub struct ProtoStats {
     /// Unrecoverable protocol errors that closed the connection
     /// (unbounded command line, bad data chunk, oversized value).
     pub fatal_errors: u64,
+    /// Commands answered with `SERVER_ERROR` because the owning shard
+    /// was dead (the request was refused, not serviced).
+    pub server_errors: u64,
     /// Payload bytes read off sockets.
     pub bytes_in: u64,
     /// Payload bytes written to sockets.
@@ -60,6 +63,7 @@ impl ProtoStats {
             wire_misses: self.wire_misses + other.wire_misses,
             protocol_errors: self.protocol_errors + other.protocol_errors,
             fatal_errors: self.fatal_errors + other.fatal_errors,
+            server_errors: self.server_errors + other.server_errors,
             bytes_in: self.bytes_in + other.bytes_in,
             bytes_out: self.bytes_out + other.bytes_out,
         }
@@ -100,8 +104,9 @@ mod tests {
             wire_misses: 9 * scale,
             protocol_errors: 10 * scale,
             fatal_errors: 11 * scale,
-            bytes_in: 12 * scale,
-            bytes_out: 13 * scale,
+            server_errors: 12 * scale,
+            bytes_in: 13 * scale,
+            bytes_out: 14 * scale,
         }
     }
 

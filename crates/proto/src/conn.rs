@@ -217,8 +217,27 @@ pub(crate) fn handle_conn(mut stream: TcpStream, shared: &ConnShared) -> ProtoSt
             match reply {
                 PendingReply::Immediate(bytes) => out.extend_from_slice(&bytes),
                 PendingReply::Get { keys, cas } => {
-                    for (wire_key, engine_key, seq) in keys {
-                        let c = wait_for(seq, &rx, &mut received);
+                    // Collect every key's completion before rendering:
+                    // if any shard refused its key, the whole command is
+                    // answered with one SERVER_ERROR line (memcached has
+                    // no per-key error syntax inside a VALUE stream),
+                    // and the seq bookkeeping stays consistent either
+                    // way.
+                    let completions: Vec<(Vec<u8>, u64, Completion)> = keys
+                        .into_iter()
+                        .map(|(wire_key, engine_key, seq)| {
+                            (wire_key, engine_key, wait_for(seq, &rx, &mut received))
+                        })
+                        .collect();
+                    if completions
+                        .iter()
+                        .any(|(_, _, c)| matches!(c.kind, CompletionKind::Unavailable { .. }))
+                    {
+                        ps.server_errors += 1;
+                        out.extend_from_slice(b"SERVER_ERROR shard unavailable\r\n");
+                        continue;
+                    }
+                    for (wire_key, engine_key, c) in completions {
                         let hit = matches!(c.kind, CompletionKind::Get { hit: true, .. });
                         if hit {
                             ps.wire_hits += 1;
@@ -248,9 +267,17 @@ pub(crate) fn handle_conn(mut stream: TcpStream, shared: &ConnShared) -> ProtoSt
                     out.extend_from_slice(b"END\r\n");
                 }
                 PendingReply::Set { seq, noreply } => {
-                    wait_for(seq, &rx, &mut received);
+                    let c = wait_for(seq, &rx, &mut received);
+                    let refused = matches!(c.kind, CompletionKind::Unavailable { .. });
+                    if refused {
+                        ps.server_errors += 1;
+                    }
                     if !noreply {
-                        out.extend_from_slice(b"STORED\r\n");
+                        if refused {
+                            out.extend_from_slice(b"SERVER_ERROR shard unavailable\r\n");
+                        } else {
+                            out.extend_from_slice(b"STORED\r\n");
+                        }
                     }
                 }
             }

@@ -153,8 +153,8 @@ impl DeviceBackend {
         lat: LatencyModel,
     ) -> Result<AnyFlash, FlashError> {
         match self {
-            DeviceBackend::Modeled => Err(FlashError::Io(
-                "the modeled in-memory backend persists nothing to reopen".into(),
+            DeviceBackend::Modeled => Err(FlashError::io_permanent(
+                "the modeled in-memory backend persists nothing to reopen",
             )),
             DeviceBackend::ModeledFile { dir } => {
                 let path = dir.join(format!("{tag}-shard{shard}.img"));
@@ -190,7 +190,7 @@ impl DeviceBackend {
         bytes: &[u8],
     ) -> Result<(), FlashError> {
         let path = self.checkpoint_path(tag, shard).ok_or_else(|| {
-            FlashError::Io("the modeled in-memory backend cannot persist checkpoints".into())
+            FlashError::io_permanent("the modeled in-memory backend cannot persist checkpoints")
         })?;
         let tmp = path.with_extension("ckpt.tmp");
         let mut file = std::fs::File::create(&tmp)?;

@@ -85,5 +85,6 @@ pub use openloop::{OpenLoopConfig, OpenLoopReplay, OpenLoopResult};
 pub use restart::checkpoint_fleet;
 pub use routing::shard_of;
 pub use sharded::{
-    Completion, CompletionKind, Dispatcher, ShardedCache, ShardedCacheBuilder, ShardedReport,
+    Completion, CompletionKind, Dispatcher, ShardHealth, ShardedCache, ShardedCacheBuilder,
+    ShardedReport,
 };

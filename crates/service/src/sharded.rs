@@ -1,14 +1,46 @@
 //! The sharded front-end: worker threads owning one engine each.
 
 use crate::routing::shard_of;
-use nemo_engine::{CacheEngine, EngineStats, GetOutcome, MemoryBreakdown};
+use nemo_engine::{CacheEngine, EngineError, EngineStats, GetOutcome, MemoryBreakdown};
 use nemo_flash::Nanos;
 use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
 use std::thread::{Builder as ThreadBuilder, JoinHandle};
 
 /// One buffered fire-and-forget put: `(key, size, now)`.
 type BufferedPut = (u64, u32, Nanos);
+
+/// Health of one shard worker, reported by
+/// [`ShardedCache::fleet_health`] / [`Dispatcher::fleet_health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Serving normally; no device faults absorbed so far.
+    Healthy,
+    /// Still serving, but the engine has absorbed device faults (retries,
+    /// quarantined zones or fault-induced misses are non-zero).
+    Degraded,
+    /// The engine failed fatally (typed [`EngineError`] or panic). The
+    /// worker now refuses requests with typed unavailable replies instead
+    /// of servicing them.
+    Dead,
+}
+
+const HEALTH_HEALTHY: u8 = 0;
+const HEALTH_DEGRADED: u8 = 1;
+const HEALTH_DEAD: u8 = 2;
+
+impl ShardHealth {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            HEALTH_HEALTHY => ShardHealth::Healthy,
+            HEALTH_DEGRADED => ShardHealth::Degraded,
+            _ => ShardHealth::Dead,
+        }
+    }
+}
 
 /// What a timed (open-loop) operation was.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +58,12 @@ pub enum CompletionKind {
     },
     /// An insert.
     Put,
+    /// The owning shard is dead; the request was refused, not serviced.
+    /// The wire layer maps this to a memcached `SERVER_ERROR`.
+    Unavailable {
+        /// Index of the dead shard.
+        shard: usize,
+    },
 }
 
 /// Completion record of one timed (open-loop) operation, sent on the
@@ -251,6 +289,7 @@ impl ShardedCacheBuilder {
         let mut name = "sharded";
         let mut senders = Vec::with_capacity(self.shards);
         let mut workers = Vec::with_capacity(self.shards);
+        let mut health = Vec::with_capacity(self.shards);
         for shard in 0..self.shards {
             let engine = factory(shard);
             name = engine.name();
@@ -260,10 +299,13 @@ impl ShardedCacheBuilder {
                 inflight: self.inflight,
                 background_slices: self.background_slices,
                 pipeline: self.pipeline,
+                shard,
             };
+            let shard_health = Arc::new(AtomicU8::new(HEALTH_HEALTHY));
+            health.push(Arc::clone(&shard_health));
             let handle = ThreadBuilder::new()
                 .name(format!("{name}-shard-{shard}"))
-                .spawn(move || run_worker(engine, rx, tuning))
+                .spawn(move || run_worker(engine, rx, tuning, shard_health))
                 .expect("spawn shard worker");
             workers.push(handle);
         }
@@ -271,6 +313,7 @@ impl ShardedCacheBuilder {
             name,
             senders,
             workers,
+            health,
             pending: (0..self.shards).map(|_| RefCell::new(Vec::new())).collect(),
             batch_capacity: self.batch_capacity,
         }
@@ -283,6 +326,7 @@ struct WorkerTuning {
     inflight: usize,
     background_slices: u32,
     pipeline: usize,
+    shard: usize,
 }
 
 /// Virtual-time admission window of one shard: completion times of the
@@ -343,7 +387,22 @@ impl InflightWindow {
 /// operations claim the device dies first at any given timestamp, and
 /// tying slices to the command stream (never to wall-clock idleness)
 /// keeps results deterministic across thread interleavings.
-fn run_worker<E: CacheEngine>(mut engine: E, rx: Receiver<Command>, tuning: WorkerTuning) -> E {
+///
+/// Supervision: a fatal [`EngineError`] from the engine — or a panic
+/// inside it — does not take the worker thread down. The shard's health
+/// flips to [`ShardHealth::Dead`], and the worker keeps draining its
+/// queue, refusing every subsequent request with a typed
+/// [`CompletionKind::Unavailable`] reply (or a dropped reply channel for
+/// the synchronous paths, which the front-end maps to
+/// [`EngineError::ShardUnavailable`]) — requesters always get an answer,
+/// never a wedged channel. The engine value survives for post-mortem
+/// inspection via [`ShardedCache::finish`].
+fn run_worker<E: CacheEngine>(
+    mut engine: E,
+    rx: Receiver<Command>,
+    tuning: WorkerTuning,
+    health: Arc<AtomicU8>,
+) -> E {
     let mut window = InflightWindow::new(tuning.inflight);
     let mut intake = Vec::with_capacity(tuning.pipeline);
     while let Ok(first) = rx.recv() {
@@ -354,26 +413,128 @@ fn run_worker<E: CacheEngine>(mut engine: E, rx: Receiver<Command>, tuning: Work
                 Err(_) => break,
             }
         }
-        for cmd in intake.drain(..) {
-            apply_command(&mut engine, &mut window, &tuning, cmd);
+        let mut fatal = false;
+        let mut drained = intake.drain(..);
+        for cmd in drained.by_ref() {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                apply_command(&mut engine, &mut window, &tuning, cmd)
+            }));
+            match outcome {
+                Ok(Ok(())) => {}
+                // Fatal engine error: the command already received its
+                // typed unavailable reply inside `apply_command`.
+                Ok(Err(_)) => {
+                    fatal = true;
+                    break;
+                }
+                // Engine panic: the in-flight command's reply channel was
+                // dropped during unwinding, which requesters observe as a
+                // disconnect; everything still queued is refused below.
+                Err(_) => {
+                    fatal = true;
+                    break;
+                }
+            }
+        }
+        if fatal {
+            health.store(HEALTH_DEAD, Ordering::Release);
+            for cmd in drained {
+                refuse_command(cmd, tuning.shard);
+            }
+            // Keep the queue open: answer everything the front-end sends
+            // from now on with typed refusals instead of wedging senders.
+            while let Ok(cmd) = rx.recv() {
+                refuse_command(cmd, tuning.shard);
+            }
+            return engine;
+        }
+        drop(drained);
+        // Promote Healthy -> Degraded once the engine reports absorbed
+        // faults; checked per wakeup, not per command, to stay cheap.
+        if health.load(Ordering::Relaxed) == HEALTH_HEALTHY {
+            let s = engine.stats();
+            if s.device_retries > 0 || s.quarantined_zones > 0 || s.fault_induced_misses > 0 {
+                health.store(HEALTH_DEGRADED, Ordering::Release);
+            }
         }
     }
     engine
 }
 
+/// Refuses a command on behalf of a dead shard: timed operations get a
+/// typed [`CompletionKind::Unavailable`] completion; synchronous ones
+/// get their reply channel dropped (a disconnect the front-end converts
+/// to [`EngineError::ShardUnavailable`]).
+fn refuse_command(cmd: Command, shard: usize) {
+    let unavailable = |seq, arrival, reply: Sender<Completion>| {
+        let _ = reply.send(Completion {
+            seq,
+            arrival,
+            start: arrival,
+            done: arrival,
+            kind: CompletionKind::Unavailable { shard },
+        });
+    };
+    match cmd {
+        Command::TimedGet {
+            seq,
+            arrival,
+            reply,
+            ..
+        }
+        | Command::TimedPut {
+            seq,
+            arrival,
+            reply,
+            ..
+        }
+        | Command::TimedLookup {
+            seq,
+            arrival,
+            reply,
+            ..
+        } => unavailable(seq, arrival, reply),
+        // Dropping the reply sender disconnects the requester's receive.
+        Command::Get { .. }
+        | Command::Put { .. }
+        | Command::PutBatch(_)
+        | Command::Drain { .. }
+        | Command::Stats { .. }
+        | Command::Memory { .. } => {}
+    }
+}
+
 /// Applies one command to the shard's engine.
+///
+/// A fatal [`EngineError`] propagates to [`run_worker`], which kills the
+/// shard — but only after this function has answered the requester:
+/// timed commands get a typed [`CompletionKind::Unavailable`] completion,
+/// synchronous ones a dropped reply channel.
 fn apply_command<E: CacheEngine>(
     engine: &mut E,
     window: &mut InflightWindow,
     tuning: &WorkerTuning,
     cmd: Command,
-) {
+) -> Result<(), EngineError> {
+    let unavailable = |seq, arrival, start, reply: &Sender<Completion>| {
+        let _ = reply.send(Completion {
+            seq,
+            arrival,
+            start,
+            done: start,
+            kind: CompletionKind::Unavailable {
+                shard: tuning.shard,
+            },
+        });
+    };
     // Reply sends only fail if the requester gave up waiting (it
     // never does today); the engine transition already happened, so
     // dropping the reply is harmless either way.
     match cmd {
         Command::Get { key, now, reply } => {
-            let _ = reply.send(engine.get(key, now));
+            // On error the reply sender drops, which the front-end maps
+            // to `EngineError::ShardUnavailable`.
+            let _ = reply.send(engine.try_get(key, now)?);
         }
         Command::Put {
             key,
@@ -381,11 +542,11 @@ fn apply_command<E: CacheEngine>(
             now,
             reply,
         } => {
-            let _ = reply.send(engine.put(key, size, now));
+            let _ = reply.send(engine.try_put(key, size, now)?);
         }
         Command::PutBatch(batch) => {
             for (key, size, now) in batch {
-                engine.put(key, size, now);
+                engine.try_put(key, size, now)?;
             }
         }
         Command::TimedGet {
@@ -396,12 +557,21 @@ fn apply_command<E: CacheEngine>(
             reply,
         } => {
             let start = window.admit(arrival);
-            let out = engine.get(key, start);
+            let out = match engine.try_get(key, start) {
+                Ok(out) => out,
+                Err(e) => {
+                    unavailable(seq, arrival, start, &reply);
+                    return Err(e);
+                }
+            };
             let done = out.done_at;
             if !out.hit {
                 // Demand fill at the miss's completion time; backing
                 // store work, not client-visible latency.
-                engine.put(key, fill_size, done);
+                if let Err(e) = engine.try_put(key, fill_size, done) {
+                    unavailable(seq, arrival, start, &reply);
+                    return Err(e);
+                }
             }
             window.complete(done);
             run_background(engine, done, tuning.background_slices);
@@ -424,7 +594,13 @@ fn apply_command<E: CacheEngine>(
             reply,
         } => {
             let start = window.admit(arrival);
-            let done = engine.put(key, size, start);
+            let done = match engine.try_put(key, size, start) {
+                Ok(done) => done,
+                Err(e) => {
+                    unavailable(seq, arrival, start, &reply);
+                    return Err(e);
+                }
+            };
             window.complete(done);
             run_background(engine, done, tuning.background_slices);
             let _ = reply.send(Completion {
@@ -442,7 +618,13 @@ fn apply_command<E: CacheEngine>(
             reply,
         } => {
             let start = window.admit(arrival);
-            let out = engine.get(key, start);
+            let out = match engine.try_get(key, start) {
+                Ok(out) => out,
+                Err(e) => {
+                    unavailable(seq, arrival, start, &reply);
+                    return Err(e);
+                }
+            };
             let done = out.done_at;
             window.complete(done);
             run_background(engine, done, tuning.background_slices);
@@ -468,6 +650,7 @@ fn apply_command<E: CacheEngine>(
             let _ = reply.send(engine.memory());
         }
     }
+    Ok(())
 }
 
 /// Runs up to `slices` bounded background slices at `now`.
@@ -502,6 +685,7 @@ fn run_background<E: CacheEngine>(engine: &mut E, now: Nanos, slices: u32) {
 #[derive(Debug, Clone)]
 pub struct Dispatcher {
     senders: Vec<SyncSender<Command>>,
+    health: Vec<Arc<AtomicU8>>,
 }
 
 impl Dispatcher {
@@ -513,6 +697,15 @@ impl Dispatcher {
     /// The shard a key routes to.
     pub fn shard_of(&self, key: u64) -> usize {
         shard_of(key, self.senders.len())
+    }
+
+    /// Current health of every shard, indexed by shard id. Lock-free;
+    /// safe to poll from connection handlers.
+    pub fn fleet_health(&self) -> Vec<ShardHealth> {
+        self.health
+            .iter()
+            .map(|h| ShardHealth::from_u8(h.load(Ordering::Acquire)))
+            .collect()
     }
 
     fn send(&self, shard: usize, cmd: Command) {
@@ -620,6 +813,8 @@ pub struct ShardedCache<E: CacheEngine + 'static> {
     name: &'static str,
     senders: Vec<SyncSender<Command>>,
     workers: Vec<JoinHandle<E>>,
+    /// Per-shard health flags, shared with the workers.
+    health: Vec<Arc<AtomicU8>>,
     /// Fire-and-forget puts buffered per shard until a batch fills (or a
     /// synchronous operation on the shard forces them out first, keeping
     /// per-shard order equal to dispatch order).
@@ -661,17 +856,33 @@ impl<E: CacheEngine + 'static> ShardedCache<E> {
     /// Looks up `key` at virtual time `now`, blocking on the owning
     /// shard. Buffered puts for that shard are shipped first, so a get
     /// always observes every put dispatched before it.
-    pub fn get(&self, key: u64, now: Nanos) -> GetOutcome {
+    ///
+    /// If the owning shard is dead (its engine failed fatally or
+    /// panicked), returns [`EngineError::ShardUnavailable`] instead of
+    /// hanging.
+    pub fn try_get(&self, key: u64, now: Nanos) -> Result<GetOutcome, EngineError> {
         let shard = self.shard_of(key);
         self.flush_shard(shard);
         let (reply, rx) = channel();
         self.send(shard, Command::Get { key, now, reply });
-        rx.recv().expect("shard worker alive")
+        rx.recv()
+            .map_err(|_| EngineError::ShardUnavailable { shard })
+    }
+
+    /// Panicking convenience wrapper over [`Self::try_get`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owning shard is dead.
+    pub fn get(&self, key: u64, now: Nanos) -> GetOutcome {
+        self.try_get(key, now)
+            .unwrap_or_else(|e| panic!("engine failed fatally on get: {e}"))
     }
 
     /// Inserts synchronously, returning the foreground completion time
-    /// reported by the owning shard's engine.
-    pub fn put(&self, key: u64, size: u32, now: Nanos) -> Nanos {
+    /// reported by the owning shard's engine — or
+    /// [`EngineError::ShardUnavailable`] if the owning shard is dead.
+    pub fn try_put(&self, key: u64, size: u32, now: Nanos) -> Result<Nanos, EngineError> {
         let shard = self.shard_of(key);
         self.flush_shard(shard);
         let (reply, rx) = channel();
@@ -684,7 +895,29 @@ impl<E: CacheEngine + 'static> ShardedCache<E> {
                 reply,
             },
         );
-        rx.recv().expect("shard worker alive")
+        rx.recv()
+            .map_err(|_| EngineError::ShardUnavailable { shard })
+    }
+
+    /// Panicking convenience wrapper over [`Self::try_put`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owning shard is dead.
+    pub fn put(&self, key: u64, size: u32, now: Nanos) -> Nanos {
+        self.try_put(key, size, now)
+            .unwrap_or_else(|e| panic!("engine failed fatally on put: {e}"))
+    }
+
+    /// Current health of every shard, indexed by shard id: `Healthy`
+    /// until the engine first reports absorbed faults (retries,
+    /// quarantines, fault-induced misses), `Degraded` after, `Dead` once
+    /// a fatal engine error or panic kills the shard. Lock-free.
+    pub fn fleet_health(&self) -> Vec<ShardHealth> {
+        self.health
+            .iter()
+            .map(|h| ShardHealth::from_u8(h.load(Ordering::Acquire)))
+            .collect()
     }
 
     /// Dispatches an open-loop lookup (with demand fill on miss) to the
@@ -751,6 +984,7 @@ impl<E: CacheEngine + 'static> ShardedCache<E> {
         self.flush_puts();
         Dispatcher {
             senders: self.senders.clone(),
+            health: self.health.clone(),
         }
     }
 
@@ -772,7 +1006,9 @@ impl<E: CacheEngine + 'static> ShardedCache<E> {
     }
 
     /// Forces every shard's in-memory engine buffers to flash and waits
-    /// for all shards to acknowledge. Buffered puts ship first.
+    /// for all shards to acknowledge. Buffered puts ship first. Dead
+    /// shards refuse the drain (their reply channel drops); the fleet
+    /// drains around them.
     pub fn drain(&self, now: Nanos) {
         self.flush_puts();
         let acks: Vec<Receiver<()>> = self
@@ -786,12 +1022,14 @@ impl<E: CacheEngine + 'static> ShardedCache<E> {
             })
             .collect();
         for ack in acks {
-            ack.recv().expect("shard worker alive");
+            let _ = ack.recv();
         }
     }
 
     /// Live per-shard counters, indexed by shard id. Buffered puts ship
-    /// first so the counters cover every dispatched request.
+    /// first so the counters cover every dispatched request. A dead
+    /// shard reports zeroed counters (its engine is unreachable until
+    /// [`Self::finish`] hands it back).
     pub fn shard_stats(&self) -> Vec<EngineStats> {
         self.flush_puts();
         let replies: Vec<Receiver<EngineStats>> = self
@@ -806,7 +1044,7 @@ impl<E: CacheEngine + 'static> ShardedCache<E> {
             .collect();
         replies
             .into_iter()
-            .map(|rx| rx.recv().expect("shard worker alive"))
+            .map(|rx| rx.recv().unwrap_or_default())
             .collect()
     }
 
@@ -835,7 +1073,7 @@ impl<E: CacheEngine + 'static> ShardedCache<E> {
             .collect();
         let parts: Vec<MemoryBreakdown> = replies
             .into_iter()
-            .map(|rx| rx.recv().expect("shard worker alive"))
+            .map(|rx| rx.recv().unwrap_or_default())
             .collect();
         MemoryBreakdown::merge_all(&parts)
     }
@@ -898,12 +1136,12 @@ impl<E: CacheEngine + 'static> CacheEngine for ShardedCache<E> {
         self.name
     }
 
-    fn get(&mut self, key: u64, now: Nanos) -> GetOutcome {
-        ShardedCache::get(self, key, now)
+    fn try_get(&mut self, key: u64, now: Nanos) -> Result<GetOutcome, EngineError> {
+        ShardedCache::try_get(self, key, now)
     }
 
-    fn put(&mut self, key: u64, size: u32, now: Nanos) -> Nanos {
-        ShardedCache::put(self, key, size, now)
+    fn try_put(&mut self, key: u64, size: u32, now: Nanos) -> Result<Nanos, EngineError> {
+        ShardedCache::try_put(self, key, size, now)
     }
 
     fn stats(&self) -> EngineStats {
@@ -1055,41 +1293,83 @@ mod tests {
         assert_eq!(cache.stats().puts, 400);
     }
 
-    #[test]
-    fn drop_after_worker_death_does_not_abort() {
-        // An engine whose gets always panic, killing its worker thread.
-        struct Bomb;
-        impl CacheEngine for Bomb {
-            fn name(&self) -> &'static str {
-                "bomb"
-            }
-            fn get(&mut self, _key: u64, _now: Nanos) -> GetOutcome {
-                panic!("engine invariant violated");
-            }
-            fn put(&mut self, _key: u64, _size: u32, now: Nanos) -> Nanos {
-                now
-            }
-            fn stats(&self) -> EngineStats {
-                EngineStats::default()
-            }
-            fn memory(&self) -> MemoryBreakdown {
-                MemoryBreakdown::default()
+    /// An engine whose gets always panic, killing its shard.
+    #[derive(Default)]
+    struct Bomb {
+        puts: u64,
+    }
+    impl CacheEngine for Bomb {
+        fn name(&self) -> &'static str {
+            "bomb"
+        }
+        fn try_get(&mut self, _key: u64, _now: Nanos) -> Result<GetOutcome, EngineError> {
+            panic!("engine invariant violated");
+        }
+        fn try_put(&mut self, _key: u64, _size: u32, now: Nanos) -> Result<Nanos, EngineError> {
+            self.puts += 1;
+            Ok(now)
+        }
+        fn stats(&self) -> EngineStats {
+            EngineStats {
+                puts: self.puts,
+                ..EngineStats::default()
             }
         }
+        fn memory(&self) -> MemoryBreakdown {
+            MemoryBreakdown::default()
+        }
+    }
 
+    #[test]
+    fn drop_after_worker_death_does_not_abort() {
         let cache = ShardedCacheBuilder::new(2)
             .batch_capacity(1024)
-            .spawn(|_| Bomb);
-        // The get's worker panics, so the blocking reply panics in turn.
+            .spawn(|_| Bomb::default());
+        // The get's engine panics; the supervisor converts that into a
+        // typed unavailable error, which the panicking wrapper surfaces.
         let attempt =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cache.get(7, Nanos::ZERO)));
-        assert!(attempt.is_err(), "bomb worker should have died");
+        assert!(attempt.is_err(), "bomb shard should be unavailable");
         // Leave puts buffered for the dead shard: Drop's best-effort
-        // flush must swallow the closed channel, not double-panic into
-        // an abort (which would fail this whole test binary).
+        // flush must swallow a refused batch, not double-panic into an
+        // abort (which would fail this whole test binary).
         for key in 0..64u64 {
             cache.put_and_forget(key, 10, Nanos::ZERO);
         }
         drop(cache);
+    }
+
+    #[test]
+    fn dead_shard_reports_typed_errors_and_health() {
+        let cache = ShardedCacheBuilder::new(2)
+            .batch_capacity(1024)
+            .spawn(|_| Bomb::default());
+        let dead = cache.shard_of(7);
+        let err = cache.try_get(7, Nanos::ZERO).expect_err("bomb must die");
+        assert!(matches!(err, EngineError::ShardUnavailable { shard } if shard == dead));
+        // Every later request on the dead shard gets a typed refusal, not
+        // a hang — synchronous and timed paths alike.
+        assert!(cache.try_get(7, Nanos::ZERO).is_err());
+        assert!(cache.try_put(7, 100, Nanos::ZERO).is_err());
+        let (tx, rx) = channel();
+        cache.dispatch_get(7, 100, Nanos::ZERO, 99, &tx);
+        let c = rx.recv().expect("timed ops always complete");
+        assert_eq!(c.seq, 99);
+        assert!(matches!(c.kind, CompletionKind::Unavailable { shard } if shard == dead));
+        // Health reflects the death; the sibling shard still serves.
+        let health = cache.fleet_health();
+        assert_eq!(health[dead], ShardHealth::Dead);
+        let live = 1 - dead;
+        assert_eq!(health[live], ShardHealth::Healthy);
+        let live_key = (0..u64::MAX).find(|k| cache.shard_of(*k) == live).unwrap();
+        assert!(cache.try_put(live_key, 100, Nanos::ZERO).is_ok());
+        // Fleet-wide operations route around the corpse.
+        cache.drain(Nanos::ZERO);
+        let stats = cache.shard_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[dead], EngineStats::default());
+        assert_eq!(stats[live].puts, 1);
+        let report = cache.finish(Nanos::ZERO);
+        assert_eq!(report.engines.len(), 2, "dead engine is still returned");
     }
 }

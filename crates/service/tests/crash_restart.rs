@@ -7,15 +7,11 @@
 
 use nemo_core::{Nemo, NemoConfig, RecoveryMode};
 use nemo_engine::CacheEngine;
-use nemo_flash::{Geometry, LatencyModel, Nanos, SimFlash, ZoneId, ZonedFlash};
+use nemo_flash::{
+    FaultPlan, FaultyFlash, Geometry, LatencyModel, Nanos, SimFlash, ZoneId, ZonedFlash,
+};
 use nemo_trace::{TraceConfig, TraceGenerator};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-
-/// Superblock layout constants (see `nemo-flash`'s superblock module):
-/// a 64-byte header followed by one 20-byte CRC-sealed record per zone.
-const SB_HEADER_BYTES: u64 = 64;
-const SB_ZONE_RECORD_BYTES: u64 = 20;
 
 fn small_cfg() -> NemoConfig {
     let mut cfg = NemoConfig::small();
@@ -57,21 +53,16 @@ fn last_written_data_zone(cfg: &NemoConfig, path: &Path) -> ZoneId {
         .expect("the workload wrote at least one data zone")
 }
 
-/// Flips one payload byte of `zone`'s superblock record, as a crash
-/// mid-`finish_zone` would leave it (the record rewrite is not atomic;
-/// a torn record fails its CRC on reopen).
-fn tear_zone_record(path: &Path, zone: ZoneId) {
-    let mut file = std::fs::OpenOptions::new()
-        .read(true)
-        .write(true)
-        .open(path)
-        .unwrap();
-    let record = SB_HEADER_BYTES + u64::from(zone.0) * SB_ZONE_RECORD_BYTES;
-    let mut byte = [0u8; 1];
-    file.seek(SeekFrom::Start(record)).unwrap();
-    file.read_exact(&mut byte).unwrap();
-    file.seek(SeekFrom::Start(record)).unwrap();
-    file.write_all(&[byte[0] ^ 0xFF]).unwrap();
+/// Tears `zone`'s superblock record, as a crash mid-`finish_zone` would
+/// leave it (the record rewrite is not atomic; a torn record fails its
+/// CRC on reopen). Injection goes through the device fault API —
+/// [`FaultyFlash`] delegating to [`ZonedFlash::tear_zone_record`] —
+/// rather than hand-editing superblock bytes, so this test stays
+/// oblivious to the on-disk record layout.
+fn tear_zone_record(cfg: &NemoConfig, path: &Path, zone: ZoneId) {
+    let dev = SimFlash::open_file_backed(cfg.geometry, cfg.latency, path).unwrap();
+    let mut faulty = FaultyFlash::new(dev, FaultPlan::new(0));
+    faulty.tear_zone_record(zone).unwrap();
 }
 
 #[test]
@@ -91,7 +82,7 @@ fn torn_zone_record_recovers_partially_and_converges() {
     drop(nemo);
 
     let victim = last_written_data_zone(&cfg, &path);
-    tear_zone_record(&path, victim);
+    tear_zone_record(&cfg, &path, victim);
 
     // Reopen: the torn record must surface as a suspect zone, not an
     // open failure, and recovery must rescan exactly that zone instead
@@ -140,7 +131,7 @@ fn stale_checkpoint_with_torn_record_cold_scans_and_converges() {
     assert!(pre_crash_hit > 0.5, "workload never warmed up");
     drop(nemo);
 
-    tear_zone_record(&path, last_written_data_zone(&cfg, &path));
+    tear_zone_record(&cfg, &path, last_written_data_zone(&cfg, &path));
 
     let dev = SimFlash::open_file_backed(cfg.geometry, cfg.latency, &path).unwrap();
     let (mut nemo, report) = Nemo::recover(cfg.clone(), dev, Some(&checkpoint));
